@@ -1,0 +1,104 @@
+// Package camusbench holds the benchmark harness that regenerates every
+// table and figure of the paper's evaluation (§VIII). One benchmark per
+// result: run all with
+//
+//	go test -bench=. -benchmem
+//
+// or a single figure with e.g. -bench=Fig12. Each benchmark executes the
+// full experiment per iteration and logs the reproduced series; the same
+// experiments are runnable standalone via cmd/camus-bench (use -full
+// there for paper-scale axes).
+package camusbench
+
+import (
+	"testing"
+
+	"camus/internal/experiments"
+)
+
+func runExperiment(b *testing.B, fn func(experiments.Config) *experiments.Result) {
+	b.Helper()
+	cfg := experiments.DefaultConfig()
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = fn(cfg)
+	}
+	b.StopTimer()
+	if res != nil {
+		b.Logf("\n%s", res)
+	}
+}
+
+// BenchmarkFig08ITCHLatencyCDF — §VIII-E1, Fig. 8: ITCH end-to-end
+// latency, Camus switch filtering vs. software subscriber, on the
+// Nasdaq-trace-like and synthetic Zipf workloads.
+func BenchmarkFig08ITCHLatencyCDF(b *testing.B) {
+	runExperiment(b, experiments.Fig8)
+}
+
+// BenchmarkFig09INTThroughput — §VIII-E2, Fig. 9: INT filter throughput
+// vs. filter count for C userspace, DPDK, and Camus at 100G line rate.
+func BenchmarkFig09INTThroughput(b *testing.B) {
+	runExperiment(b, experiments.Fig9)
+}
+
+// BenchmarkFig11HICNLatency — §VIII-E3, Fig. 11: tail latency for
+// uncached hICN content with the stateful cache-bypass predicates.
+func BenchmarkFig11HICNLatency(b *testing.B) {
+	runExperiment(b, experiments.Fig11)
+}
+
+// BenchmarkFig12BDDMemory — §VIII-F2, Fig. 12: compiled table entries vs.
+// the one-big-table baseline, sweeping subscription count and
+// selectiveness.
+func BenchmarkFig12BDDMemory(b *testing.B) {
+	runExperiment(b, experiments.Fig12)
+}
+
+// BenchmarkTable1Resources — §VIII-F2, Table I: switch resource usage
+// for the ITCH, INT, and hICN applications.
+func BenchmarkTable1Resources(b *testing.B) {
+	runExperiment(b, experiments.Table1)
+}
+
+// BenchmarkFig13RoutingMemory — §VIII-G1, Fig. 13a–c: per-layer switch
+// memory for the MR and TR policies with and without α-discretization.
+func BenchmarkFig13RoutingMemory(b *testing.B) {
+	runExperiment(b, experiments.Fig13)
+}
+
+// BenchmarkFig13dExtraTraffic — §VIII-G1, Fig. 13d: extra core-layer
+// traffic as a function of the discretization unit α.
+func BenchmarkFig13dExtraTraffic(b *testing.B) {
+	runExperiment(b, experiments.Fig13d)
+}
+
+// BenchmarkFig14CompileTime — §VIII-G3, Fig. 14: dynamic reconfiguration
+// (recompile) time for MR and TR, 1–3 variables, α=10 vs. α=1.
+func BenchmarkFig14CompileTime(b *testing.B) {
+	runExperiment(b, experiments.Fig14)
+}
+
+// BenchmarkFig15GeneralTopology — §VIII-G2, Fig. 15: max per-switch FIB
+// entries for MST vs. MST++ spanning trees on AS-like graphs.
+func BenchmarkFig15GeneralTopology(b *testing.B) {
+	runExperiment(b, experiments.Fig15)
+}
+
+// BenchmarkAblationNoImplicationPruning — DESIGN.md §5.1: effect of the
+// domain-specific BDD reduction on table entries and compile time.
+func BenchmarkAblationNoImplicationPruning(b *testing.B) {
+	runExperiment(b, experiments.AblationPruning)
+}
+
+// BenchmarkAblationFieldOrder — DESIGN.md §5.2: BDD variable-order
+// heuristics.
+func BenchmarkAblationFieldOrder(b *testing.B) {
+	runExperiment(b, experiments.AblationFieldOrder)
+}
+
+// BenchmarkAblationExactMatch — DESIGN.md §5.3: the §V-E TCAM-saving
+// optimizations.
+func BenchmarkAblationExactMatch(b *testing.B) {
+	runExperiment(b, experiments.AblationExactMatch)
+}

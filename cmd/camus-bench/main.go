@@ -1,0 +1,83 @@
+// Command camus-bench regenerates every table and figure of the paper's
+// evaluation (§VIII) and prints the series the paper plots.
+//
+// Usage:
+//
+//	camus-bench [-full] [-seed N] [-only "Fig. 12"]
+//
+// Quick mode (default) uses scaled-down workloads suitable for a laptop;
+// -full uses the paper's axes (several minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"camus/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run paper-scale workloads (slow)")
+	seed := flag.Int64("seed", 1, "workload generator seed")
+	only := flag.String("only", "", "run only the experiment whose ID contains this string")
+	outPath := flag.String("out", "", "also write the report to a file")
+	flag.Parse()
+
+	cfg := experiments.Config{Quick: !*full, Seed: *seed}
+	mode := "quick"
+	if *full {
+		mode = "full (paper-scale)"
+	}
+	fmt.Printf("camus-bench: reproducing the evaluation of \"Forwarding and Routing with Packet Subscriptions\"\n")
+	fmt.Printf("mode: %s, seed: %d\n\n", mode, *seed)
+
+	type entry struct {
+		id  string
+		run func(experiments.Config) *experiments.Result
+	}
+	all := []entry{
+		{"Fig. 8", experiments.Fig8},
+		{"Fig. 9", experiments.Fig9},
+		{"Fig. 11", experiments.Fig11},
+		{"Fig. 12", experiments.Fig12},
+		{"Table I", experiments.Table1},
+		{"Fig. 13a-c", experiments.Fig13},
+		{"Fig. 13d", experiments.Fig13d},
+		{"Fig. 14", experiments.Fig14},
+		{"Fig. 15", experiments.Fig15},
+		{"Ablation A1", experiments.AblationPruning},
+		{"Ablation A2", experiments.AblationFieldOrder},
+		{"Ablation A3", experiments.AblationExactMatch},
+	}
+
+	var report strings.Builder
+	emit := func(format string, args ...interface{}) {
+		fmt.Printf(format, args...)
+		fmt.Fprintf(&report, format, args...)
+	}
+	ran := 0
+	for _, e := range all {
+		if *only != "" && !strings.Contains(strings.ToLower(e.id), strings.ToLower(*only)) {
+			continue
+		}
+		start := time.Now()
+		res := e.run(cfg)
+		emit("%s", res)
+		emit("(%s in %s)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matches -only=%q\n", *only)
+		os.Exit(1)
+	}
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, []byte(report.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "camus-bench: write %s: %v\n", *outPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("report written to %s\n", *outPath)
+	}
+}

@@ -1,0 +1,88 @@
+// Command camusc is the Camus subscription compiler CLI: it takes an
+// application message-format spec (the paper's Fig. 4 DSL) and a rule
+// file, and emits the compiled pipeline tables (Fig. 6), the multicast
+// groups, the resource estimate, and optionally the BDD in Graphviz
+// form.
+//
+// Usage:
+//
+//	camusc -spec itch.spec -rules feeds.rules [-dot out.dot] [-last-hop]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"camus/internal/bdd"
+	"camus/internal/compiler"
+	"camus/internal/spec"
+	"camus/internal/subscription"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "message format specification file (required)")
+	rulesPath := flag.String("rules", "", "subscription rules file (required)")
+	dotPath := flag.String("dot", "", "write the rule BDD in Graphviz format")
+	lastHop := flag.Bool("last-hop", false, "compile as a last-hop switch (stateful predicates active)")
+	noPrune := flag.Bool("no-prune", false, "disable domain-specific BDD pruning (ablation)")
+	quiet := flag.Bool("q", false, "print only the resource summary")
+	flag.Parse()
+
+	if *specPath == "" || *rulesPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	specSrc, err := os.ReadFile(*specPath)
+	check("read spec", err)
+	sp, err := spec.Parse(baseName(*specPath), string(specSrc))
+	check("parse spec", err)
+
+	rulesSrc, err := os.ReadFile(*rulesPath)
+	check("read rules", err)
+	rules, err := subscription.NewParser(sp).ParseRules(string(rulesSrc))
+	check("parse rules", err)
+
+	opts := compiler.Options{
+		LastHop: *lastHop,
+		BDD:     bdd.Options{DisablePruning: *noPrune},
+	}
+	prog, err := compiler.Compile(sp, rules, opts)
+	check("compile", err)
+
+	if !*quiet {
+		fmt.Print(prog)
+		fmt.Println()
+	}
+	fmt.Printf("rules: %d, %s\n", len(rules), prog.Resources)
+	if !prog.Resources.Fits() {
+		fmt.Fprintln(os.Stderr, "warning: program exceeds the modeled switch resources")
+	}
+	if *dotPath != "" {
+		check("write dot", os.WriteFile(*dotPath, []byte(prog.BDD.Dot()), 0o644))
+		fmt.Printf("BDD written to %s\n", *dotPath)
+	}
+}
+
+func check(what string, err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "camusc: %s: %v\n", what, err)
+		os.Exit(1)
+	}
+}
+
+func baseName(path string) string {
+	base := path
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			base = path[i+1:]
+			break
+		}
+	}
+	for i := 0; i < len(base); i++ {
+		if base[i] == '.' {
+			return base[:i]
+		}
+	}
+	return base
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"camus/internal/bdd"
+	"camus/internal/compiler"
+	"camus/internal/spec"
+	"camus/internal/subscription"
+)
+
+// TestCompileTestdata exercises the camusc pipeline on the shipped
+// sample files end to end (read → parse spec → parse rules → compile →
+// render), mirroring main().
+func TestCompileTestdata(t *testing.T) {
+	specSrc, err := os.ReadFile(filepath.Join("testdata", "itch.spec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := spec.Parse("itch", string(specSrc))
+	if err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+	rulesSrc, err := os.ReadFile(filepath.Join("testdata", "itch.rules"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := subscription.NewParser(sp).ParseRules(string(rulesSrc))
+	if err != nil {
+		t.Fatalf("rules: %v", err)
+	}
+	if len(rules) != 5 {
+		t.Fatalf("rules = %d, want 5", len(rules))
+	}
+	for _, lastHop := range []bool{false, true} {
+		prog, err := compiler.Compile(sp, rules, compiler.Options{
+			LastHop: lastHop,
+			BDD:     bdd.Options{},
+		})
+		if err != nil {
+			t.Fatalf("compile(lastHop=%v): %v", lastHop, err)
+		}
+		out := prog.String()
+		for _, want := range []string{"table", "Leaf", "fwd(1"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("output missing %q", want)
+			}
+		}
+		if !prog.Resources.Fits() {
+			t.Errorf("sample program does not fit: %s", prog.Resources)
+		}
+		dot := prog.BDD.Dot()
+		if !strings.Contains(dot, "digraph") {
+			t.Error("dot output broken")
+		}
+		wantRegs := 0
+		if lastHop {
+			wantRegs = 1
+		}
+		if prog.Resources.Registers != wantRegs {
+			t.Errorf("lastHop=%v: registers = %d, want %d", lastHop, prog.Resources.Registers, wantRegs)
+		}
+	}
+}
+
+func TestBaseName(t *testing.T) {
+	cases := map[string]string{
+		"itch.spec":             "itch",
+		"/a/b/itch.spec":        "itch",
+		"noext":                 "noext",
+		"/deep/path/x.y.z":      "x",
+		"rel/path/market.rules": "market",
+	}
+	for in, want := range cases {
+		if got := baseName(in); got != want {
+			t.Errorf("baseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

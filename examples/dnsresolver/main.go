@@ -1,0 +1,72 @@
+// Command dnsresolver runs the in-network DNS application (§VIII-C5):
+// each DNS entry is one subscription with the custom answerDNS action;
+// the switch crafts authoritative answers itself and only forwards
+// unknown names to the real DNS server.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"camus/camus"
+	"camus/internal/formats"
+	"camus/internal/subscription"
+)
+
+func main() {
+	app, err := camus.NewAppFromSpec(formats.DNS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// One rule per DNS entry, plus the miss rule routing everything the
+	// switch cannot answer to the real resolver on port 9. The miss rule
+	// is the explicit complement of the cached names (subscriptions have
+	// no priorities; "else" is expressed as negation).
+	rules, err := app.ParseRules(`
+qtype == 1 and name == h101: answerDNS(10.0.0.101)
+qtype == 1 and name == h105: answerDNS(10.0.0.105)
+qtype == 1 and name == web: answerDNS(10.0.1.1)
+name != h101 and name != h105 and name != web: fwd(9)
+qtype != 1: fwd(9)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := app.Compile(rules)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sw, err := app.NewSwitch("dns-tor", prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The custom action handler crafts the AA response and reflects it
+	// to the querying port.
+	sw.HandleCustom("answerDNS", func(act subscription.Action, m *camus.Message, pkt *camus.Packet) []camus.Delivery {
+		name, _ := m.GetRef("name")
+		fmt.Printf("  switch answers %-6s → %s (authoritative)\n", name.Str, act.Args[0])
+		return []camus.Delivery{{Port: pkt.In, Msgs: []*camus.Message{m}}}
+	})
+
+	query := func(name string) {
+		q := &formats.DNSQuery{TxID: 1, QType: formats.QTypeA, Name: name}
+		wire, err := formats.EncodeDNS(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := formats.DecodeDNS(wire)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query %s:\n", name)
+		out := sw.Process(&camus.Packet{In: 3, Msgs: []*camus.Message{m}}, 0)
+		for _, d := range out {
+			if d.Port == 9 {
+				fmt.Printf("  forwarded to DNS server on port 9 (cache miss)\n")
+			}
+		}
+	}
+	query("h105")
+	query("web")
+	query("unknown-host") // falls through to the real server
+}

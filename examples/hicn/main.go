@@ -1,0 +1,63 @@
+// Command hicn runs the video-streaming application (§VIII-C4): Camus
+// stateful predicates meter content popularity in the switch and route
+// only "hot" requests (likely cache hits) to the software hICN
+// forwarder; cold requests bypass it toward the origin, cutting tail
+// latency (§VIII-E3, Fig. 11).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"camus/camus"
+	"camus/internal/formats"
+	"camus/internal/workload"
+)
+
+func main() {
+	app, err := camus.NewAppFromSpec(formats.HICN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Port 1 = software hICN forwarder (cache); port 2 = upstream path
+	// to the origin. The meter counts video requests over a 10ms
+	// tumbling window; during busy periods (likely cache hits) requests
+	// go to the forwarder, otherwise they bypass it upstream.
+	rules, err := app.ParseRules(`
+name_prefix prefix "video/" and count(content_meter) >= 3: fwd(1)
+name_prefix prefix "video/" and count(content_meter) < 3: fwd(2)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := app.Compile(rules, camus.LastHop())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sw, err := app.NewSwitch("edge", prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	reqs := workload.HICNStream(workload.HICNConfig{Requests: 5000, HotFraction: 0.8, Seed: 1})
+	toCache, toOrigin := 0, 0
+	now := time.Duration(0)
+	for _, r := range reqs {
+		now += 50 * time.Microsecond
+		out := sw.Process(&camus.Packet{In: 0, Msgs: []*camus.Message{r.Message()}}, now)
+		for _, d := range out {
+			switch d.Port {
+			case 1:
+				toCache++
+			case 2:
+				toOrigin++
+			}
+		}
+	}
+	fmt.Printf("requests: %d\n", len(reqs))
+	fmt.Printf("steered to forwarder cache (hot, meter ≥ 3/10ms): %d\n", toCache)
+	fmt.Printf("sent upstream toward origin:                      %d\n", toOrigin)
+	fmt.Println("\nthe forwarder only sees traffic likely to hit its cache;")
+	fmt.Println("cold requests skip the software hop entirely (Fig. 11).")
+}

@@ -1,0 +1,70 @@
+// Command highway runs the IoT motor-highway monitoring application
+// (§VIII-C6, Linear-Road-inspired): car motes emit 10 position reports
+// per second; subscriptions detect speeding inside lat/long boxes and
+// forward only violations to the monitoring server — in a single
+// pipeline pass despite predicating on five fields.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"camus/camus"
+	"camus/internal/formats"
+)
+
+func main() {
+	app, err := camus.NewAppFromSpec(formats.Highway)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The paper's example rule plus two more monitored zones.
+	rules, err := app.ParseRules(`
+x > 10 and x < 20 and y > 30 and y < 40 and spd > 55: fwd(1)
+x > 100 and x < 140 and y > 10 and y < 25 and spd > 55: fwd(1)
+highway == 7 and spd > 65: fwd(2)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := app.Compile(rules)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sw, err := app.NewSwitch("roadside", prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled %d zone rules: %s\n\n", 3, prog.Resources)
+
+	r := rand.New(rand.NewSource(42))
+	cars := 200
+	reports, violations := 0, 0
+	m := app.NewMessage()
+	for tick := 0; tick < 100; tick++ { // 10 seconds at 10 Hz
+		for car := 0; car < cars; car++ {
+			rep := &formats.PositionReport{
+				CarID:   int64(car),
+				X:       int64(r.Intn(160)),
+				Y:       int64(r.Intn(50)),
+				Speed:   int64(40 + r.Intn(40)),
+				Highway: int64(car % 10),
+			}
+			m.Reset()
+			m.MustSet("car_id", camus.IntVal(rep.CarID))
+			m.MustSet("x", camus.IntVal(rep.X))
+			m.MustSet("y", camus.IntVal(rep.Y))
+			m.MustSet("spd", camus.IntVal(rep.Speed))
+			m.MustSet("highway", camus.IntVal(rep.Highway))
+			reports++
+			if !sw.EvalMessage(m, 0).IsEmpty() {
+				violations++
+			}
+		}
+	}
+	fmt.Printf("position reports processed: %d\n", reports)
+	fmt.Printf("violations forwarded to monitors: %d (%.2f%%)\n",
+		violations, 100*float64(violations)/float64(reports))
+	fmt.Println("\nall five predicates evaluate in one pipeline pass — no recirculation.")
+}

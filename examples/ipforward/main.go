@@ -1,0 +1,68 @@
+// Command ipforward runs the "Traditional IP" application (§VIII-C8):
+// packet subscriptions generalize ordinary forwarding rules, so plain
+// destination-based IPv4 forwarding is just one subscription per host —
+// assigned by the application, not by the network.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"camus/camus"
+	"camus/internal/formats"
+)
+
+func main() {
+	app, err := camus.NewAppFromSpec(formats.NetBase)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := camus.FatTree(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Each host subscribes to its own address: exactly classic IP
+	// forwarding, expressed as filters.
+	subs := make([][]camus.Expr, len(net.Hosts))
+	for h := range net.Hosts {
+		f, err := app.ParseFilter(fmt.Sprintf("dst == 10.0.0.%d", h+1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		subs[h] = []camus.Expr{f}
+	}
+	d, err := app.Deploy(net, subs, camus.DeployOptions{Policy: camus.TrafficReduction})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := camus.Simulate(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	send := func(from, to int) {
+		wire, err := formats.EncodeFrame(
+			formats.IPv4(10, 0, 0, from+1), formats.IPv4(10, 0, 0, to+1),
+			1234, 80, []byte("GET /"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := app.NewMessage()
+		if _, err := formats.DecodeFrame(wire, m); err != nil {
+			log.Fatal(err)
+		}
+		out := sim.Publish(from, []*camus.Message{m}, len(wire))
+		if len(out) == 1 && out[0].Host == to {
+			fmt.Printf("h%-2d → h%-2d delivered in %d hops (%v)\n",
+				from, to, out[0].Hops, out[0].Latency)
+			return
+		}
+		fmt.Printf("h%-2d → h%-2d FAILED: %+v\n", from, to, out)
+	}
+	send(0, 1)  // same rack
+	send(0, 3)  // same pod
+	send(0, 15) // across the core
+	send(9, 0)
+	fmt.Println("\nIP forwarding is one packet subscription per host — the")
+	fmt.Println("network imposed no addressing; the application chose it.")
+}

@@ -1,0 +1,72 @@
+// Command pubsub runs the Kafka-shim application (§VIII-C7): an
+// API-compatible topic pub/sub where the switch, not a broker cluster,
+// routes messages to subscribers — including hierarchical topic
+// prefixes and partition filters.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"camus/camus"
+	"camus/internal/formats"
+)
+
+func main() {
+	app, err := camus.NewAppFromSpec(formats.Kafka)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := camus.FatTree(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	consumers := map[int]string{
+		1:  `topic prefix "metrics/"`,                  // all metrics
+		4:  `topic == "metrics/cpu"`,                   // one topic
+		7:  `topic prefix "logs/" and partition == 3`,  // one partition
+		10: `topic == "orders" and key_hash >= 0x8000`, // keyspace shard
+	}
+	subs := make([][]camus.Expr, len(net.Hosts))
+	for host, src := range consumers {
+		f, err := app.ParseFilter(src)
+		if err != nil {
+			log.Fatalf("host %d: %v", host, err)
+		}
+		subs[host] = []camus.Expr{f}
+		fmt.Printf("consumer h%-2d: %s\n", host, src)
+	}
+	d, err := app.Deploy(net, subs, camus.DeployOptions{Policy: camus.TrafficReduction})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := camus.Simulate(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	publish := func(producer int, msg *formats.KafkaMessage) {
+		wire, err := formats.EncodeKafka(msg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		decoded, payload, err := formats.DecodeKafka(wire)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out := sim.Publish(producer, []*camus.Message{decoded}, len(wire))
+		fmt.Printf("\nproduce topic=%q partition=%d payload=%q:\n",
+			msg.Topic, msg.Partition, payload)
+		if len(out) == 0 {
+			fmt.Println("  (no consumers)")
+		}
+		for _, dl := range out {
+			fmt.Printf("  → consumer h%d (%v)\n", dl.Host, dl.Latency)
+		}
+	}
+	publish(0, &formats.KafkaMessage{Topic: "metrics/cpu", Partition: 1, Payload: []byte(`{"load":0.7}`)})
+	publish(0, &formats.KafkaMessage{Topic: "metrics/mem", Partition: 2, Payload: []byte(`{"rss":123}`)})
+	publish(0, &formats.KafkaMessage{Topic: "logs/app", Partition: 3, Payload: []byte("panic!")})
+	publish(0, &formats.KafkaMessage{Topic: "orders", Partition: 0, KeyHash: 0x9999, Payload: []byte("buy")})
+	publish(0, &formats.KafkaMessage{Topic: "chatter", Partition: 0, Payload: []byte("nobody listens")})
+}

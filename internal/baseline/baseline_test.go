@@ -1,0 +1,165 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"camus/internal/compiler"
+	"camus/internal/spec"
+	"camus/internal/subscription"
+	"camus/internal/workload"
+)
+
+var testSpec = spec.MustParse("itch", `
+header itch_order {
+    shares : u32 @field;
+    price : u32 @field;
+    stock : str8 @field_exact;
+}
+`)
+
+// TestBigTableExplodes: the naive one-big-table representation grows
+// multiplicatively with overlapping queries while the BDD compiler grows
+// gently — the Fig. 12 relationship.
+func TestBigTableExplodes(t *testing.T) {
+	for _, n := range []int{50, 200} {
+		rules, err := workload.SienaRules(workload.SienaConfig{
+			Spec: testSpec, Filters: n, MinPredicates: 2, MaxPredicates: 3, Seed: 17,
+		}, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		big := BigTableEntries(testSpec, rules, 1<<40)
+		prog, err := compiler.Compile(testSpec, rules, compiler.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		camus := prog.TotalEntries()
+		if big <= camus {
+			t.Errorf("n=%d: big table (%d) not larger than Camus (%d)", n, big, camus)
+		}
+		if big < 10*camus {
+			t.Errorf("n=%d: big table (%d) should dwarf Camus (%d)", n, big, camus)
+		}
+	}
+}
+
+func TestBigTableCap(t *testing.T) {
+	rules, err := workload.SienaRules(workload.SienaConfig{
+		Spec: testSpec, Filters: 500, MinPredicates: 3, MaxPredicates: 3, Seed: 1,
+	}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := BigTableEntries(testSpec, rules, 1000); got != 1000 {
+		t.Errorf("cap not applied: %d", got)
+	}
+}
+
+func TestBigTableSingleRule(t *testing.T) {
+	p := subscription.NewParser(testSpec)
+	r, err := p.ParseRule("price > 10: fwd(1)", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One ordering constant on one field: 2·1+1 = 3 regions.
+	if got := BigTableEntries(testSpec, []*subscription.Rule{r}, 0); got != 3 {
+		t.Errorf("entries = %d, want 3", got)
+	}
+}
+
+// TestSoftwareFilterShape reproduces the Fig. 9 relationships: DPDK ≈16
+// Mpps with few filters, well above C userspace, far below line rate;
+// throughput collapses past the 10k-filter cache knee.
+func TestSoftwareFilterShape(t *testing.T) {
+	dpdk, c := DPDK(), CUserspace()
+	if got := dpdk.ThroughputMpps(0); got < 15 || got > 17 {
+		t.Errorf("DPDK zero-filter throughput = %.1f Mpps, want ≈16", got)
+	}
+	if c.ThroughputMpps(10) >= dpdk.ThroughputMpps(10) {
+		t.Error("C userspace should be slower than DPDK")
+	}
+	line := CamusSwitchMpps(100, 84)
+	if line < 140 || line > 155 {
+		t.Errorf("100G line rate = %.1f Mpps, want ≈148.8", line)
+	}
+	if dpdk.ThroughputMpps(10) >= line {
+		t.Error("DPDK should be below line rate")
+	}
+	// Cache knee: going 1k → 100k filters must cost more than 10×.
+	t1k, t100k := dpdk.ServiceTime(1000), dpdk.ServiceTime(100000)
+	if t100k < 10*t1k {
+		t.Errorf("no cache knee: %v vs %v", t1k, t100k)
+	}
+	// Monotonicity.
+	prev := time.Duration(0)
+	for _, n := range []int{0, 10, 100, 1000, 10000, 20000, 100000} {
+		st := dpdk.ServiceTime(n)
+		if st < prev {
+			t.Errorf("service time not monotone at %d filters", n)
+		}
+		prev = st
+	}
+}
+
+func TestQueueSim(t *testing.T) {
+	var q QueueSim
+	// Idle server: latency == service time.
+	_, s1 := q.Process(0, 100)
+	if s1 != 100 {
+		t.Errorf("sojourn = %v", s1)
+	}
+	// Back-to-back arrival queues behind the first.
+	_, s2 := q.Process(10, 100)
+	if s2 != 190 { // waits 90, then 100 service
+		t.Errorf("sojourn = %v, want 190", s2)
+	}
+	// Late arrival sees an idle server again.
+	_, s3 := q.Process(10000, 100)
+	if s3 != 100 {
+		t.Errorf("sojourn = %v, want 100", s3)
+	}
+	q.Reset()
+	if _, s := q.Process(0, 1); s != 1 {
+		t.Errorf("reset failed: %v", s)
+	}
+}
+
+// TestQueueSaturation: arrivals above the service rate grow the queue
+// (tail latency explodes) while arrivals below it stay bounded — the
+// mechanism behind the Fig. 8 baseline tail.
+func TestQueueSaturation(t *testing.T) {
+	service := time.Duration(100)
+	run := func(interarrival time.Duration) time.Duration {
+		var q QueueSim
+		var last time.Duration
+		for i := 0; i < 10000; i++ {
+			_, s := q.Process(time.Duration(i)*interarrival, service)
+			last = s
+		}
+		return last
+	}
+	under := run(110) // 90% load
+	over := run(90)   // 111% load
+	if over < 100*under {
+		t.Errorf("overload tail (%v) should dwarf underload tail (%v)", over, under)
+	}
+}
+
+func TestHICNForwarder(t *testing.T) {
+	f := NewHICNForwarder(4)
+	lat, hit := f.Request(0, 2)
+	if !hit {
+		t.Error("hot content missed")
+	}
+	if lat <= 0 {
+		t.Error("zero latency")
+	}
+	latMiss, hit2 := f.Request(time.Millisecond, 999)
+	if hit2 {
+		t.Error("cold content hit")
+	}
+	if latMiss <= lat {
+		t.Error("miss should cost more than hit")
+	}
+}

@@ -1,0 +1,520 @@
+package bdd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"camus/internal/match"
+	"camus/internal/spec"
+	"camus/internal/subscription"
+)
+
+// Node is a BDD node. Non-terminal nodes test Pred and branch to Hi
+// (predicate true; the paper's solid arrow) or Lo (false; dashed arrow).
+// Terminal nodes carry the merged ActionSet of every rule whose
+// conjunction is satisfied along the path (multi-terminal BDD).
+type Node struct {
+	ID      int32
+	Pred    *Pred // nil for terminals
+	Hi, Lo  *Node
+	Actions subscription.ActionSet // terminals only
+}
+
+// IsTerminal reports whether the node is a terminal.
+func (n *Node) IsTerminal() bool { return n.Pred == nil }
+
+func (n *Node) String() string {
+	if n.IsTerminal() {
+		return fmt.Sprintf("t%d{%s}", n.ID, n.Actions)
+	}
+	return fmt.Sprintf("n%d{%s ? n%d : n%d}", n.ID, n.Pred, n.Hi.ID, n.Lo.ID)
+}
+
+// BDD is a compiled rule set: the variable universe plus the root node of
+// the reduced, ordered, multi-terminal decision diagram.
+type BDD struct {
+	Universe *Universe
+	Root     *Node
+	// DroppedRules counts rule disjuncts skipped because their
+	// conjunction was syntactically unsatisfiable.
+	DroppedRules int
+
+	nodes []*Node // every hash-consed node, by ID
+}
+
+// Options configure BDD construction.
+type Options struct {
+	// Order selects the field (variable) order heuristic.
+	Order FieldOrder
+	// DisablePruning turns off the domain-specific implication pruning
+	// (reduction iii) — used only by the ablation benchmarks.
+	DisablePruning bool
+	// MaxNodes aborts construction when the node table exceeds this size
+	// (0 = unlimited). Without reduction iii, range workloads can blow
+	// up combinatorially; the cap turns an out-of-memory into an error.
+	MaxNodes int
+}
+
+// ErrTooLarge is returned when construction exceeds Options.MaxNodes.
+var ErrTooLarge = fmt.Errorf("bdd: construction exceeded the node limit")
+
+// tooLarge is the panic sentinel carrying ErrTooLarge out of the
+// recursive builder.
+type tooLarge struct{}
+
+// Build compiles rules into a BDD. Rules are normalized to DNF first;
+// each disjunct becomes an independent conjunction chain OR-ed into the
+// diagram (§V-C).
+func Build(sp *spec.Spec, rules []*subscription.Rule, opts Options) (*BDD, error) {
+	var normalized []subscription.NormalizedRule
+	for _, r := range rules {
+		nrs, err := subscription.NormalizeRule(r)
+		if err != nil {
+			return nil, err
+		}
+		normalized = append(normalized, nrs...)
+	}
+	return BuildNormalized(sp, normalized, opts)
+}
+
+// BuildNormalized compiles already-normalized rules into a BDD.
+func BuildNormalized(sp *spec.Spec, rules []subscription.NormalizedRule, opts Options) (d *BDD, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(tooLarge); ok {
+				d, err = nil, ErrTooLarge
+				return
+			}
+			panic(r)
+		}
+	}()
+	u := NewUniverse(sp, rules, opts.Order)
+	b := newBuilder(u, !opts.DisablePruning)
+	b.maxNodes = opts.MaxNodes
+	dropped := 0
+	chains := make([]*Node, 0, len(rules))
+	seenChain := make(map[int32]bool, len(rules))
+	for _, nr := range rules {
+		chain, ok, err := b.chain(nr)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			dropped++
+			continue
+		}
+		// Hash-consing makes identical rules the same chain node;
+		// OR(x, x) = x, so duplicates are skipped outright.
+		if seenChain[chain.ID] {
+			continue
+		}
+		seenChain[chain.ID] = true
+		chains = append(chains, chain)
+	}
+	// Balanced pairwise merging: OR-ing similar-sized diagrams keeps
+	// intermediate results small and memo hit rates high, unlike a left
+	// fold that re-walks one ever-growing diagram per rule.
+	for len(chains) > 1 {
+		next := chains[:0]
+		for i := 0; i+1 < len(chains); i += 2 {
+			next = append(next, b.or(chains[i], chains[i+1]))
+		}
+		if len(chains)%2 == 1 {
+			next = append(next, chains[len(chains)-1])
+		}
+		chains = next
+	}
+	root := b.terminal(subscription.ActionSet{})
+	if len(chains) == 1 {
+		root = chains[0]
+	}
+	return &BDD{Universe: u, Root: root, DroppedRules: dropped, nodes: b.nodes}, nil
+}
+
+// builder holds the hash-consing tables during construction.
+//
+// Performance note: the or/apply hot path must not format strings. Path
+// contexts (per-field constraints) are interned to int32 IDs; context
+// refinement is memoized by (ctxID, predID, outcome), so a constraint's
+// canonical Key() is computed once per distinct refinement rather than
+// once per visit. Memoization keys are then small integer tuples.
+type builder struct {
+	u         *Universe
+	pruning   bool
+	nodes     []*Node
+	uniq      map[[3]int32]*Node
+	terminals map[string]*Node
+	memo      map[memoKey]*Node
+	termMemo  map[[2]int32]*Node
+
+	ctxs     []match.Constraint // interned contexts by ID
+	ctxField []int              // field index of each context
+	ctxByKey map[string]int32
+	freshIDs map[int]int32 // field index → top context ID
+	refined  map[refineKey]int32
+
+	// maxNodes aborts construction via a tooLarge panic when exceeded
+	// (0 = unlimited).
+	maxNodes int
+}
+
+type memoKey struct {
+	u, v, ctx int32
+}
+
+type refineKey struct {
+	ctx     int32
+	pred    int32
+	outcome bool
+}
+
+// noCtx marks "no context" (pruning disabled or not yet entered a field).
+const noCtx int32 = -1
+
+func newBuilder(u *Universe, pruning bool) *builder {
+	return &builder{
+		u:         u,
+		pruning:   pruning,
+		uniq:      make(map[[3]int32]*Node),
+		terminals: make(map[string]*Node),
+		memo:      make(map[memoKey]*Node),
+		termMemo:  make(map[[2]int32]*Node),
+		ctxByKey:  make(map[string]int32),
+		freshIDs:  make(map[int]int32),
+		refined:   make(map[refineKey]int32),
+	}
+}
+
+// internCtx returns the ID of a canonical (fieldIdx, constraint) pair.
+func (b *builder) internCtx(fieldIdx int, c match.Constraint) int32 {
+	full := fmt.Sprintf("%d|%s", fieldIdx, c.Key())
+	if id, ok := b.ctxByKey[full]; ok {
+		return id
+	}
+	id := int32(len(b.ctxs))
+	b.ctxs = append(b.ctxs, c)
+	b.ctxField = append(b.ctxField, fieldIdx)
+	b.ctxByKey[full] = id
+	return id
+}
+
+// freshCtx returns the unconstrained context for a predicate's field.
+func (b *builder) freshCtx(p *Pred) int32 {
+	if id, ok := b.freshIDs[p.FieldIdx]; ok {
+		return id
+	}
+	id := b.internCtx(p.FieldIdx, match.New(p.Ref.Type()))
+	b.freshIDs[p.FieldIdx] = id
+	return id
+}
+
+// refineCtx returns the context refined by a predicate outcome,
+// memoized on (ctx, pred, outcome).
+func (b *builder) refineCtx(ctx int32, p *Pred, outcome bool) int32 {
+	rk := refineKey{ctx: ctx, pred: int32(p.ID), outcome: outcome}
+	if id, ok := b.refined[rk]; ok {
+		return id
+	}
+	c := b.ctxs[ctx].With(p.Rel, p.Const, outcome)
+	id := b.internCtx(p.FieldIdx, c)
+	b.refined[rk] = id
+	return id
+}
+
+// terminal returns the hash-consed terminal for an action set
+// (reduction i for terminals: equal action sets share one node).
+func (b *builder) terminal(acts subscription.ActionSet) *Node {
+	key := acts.Key()
+	if n, ok := b.terminals[key]; ok {
+		return n
+	}
+	b.checkSize()
+	n := &Node{ID: int32(len(b.nodes)), Actions: acts}
+	b.nodes = append(b.nodes, n)
+	b.terminals[key] = n
+	return n
+}
+
+// checkSize enforces the node cap.
+func (b *builder) checkSize() {
+	if b.maxNodes > 0 && len(b.nodes) >= b.maxNodes {
+		panic(tooLarge{})
+	}
+}
+
+// mkNode returns the hash-consed internal node (reductions i and ii).
+func (b *builder) mkNode(p *Pred, hi, lo *Node) *Node {
+	if hi == lo {
+		return hi // reduction ii: both branches agree
+	}
+	key := [3]int32{int32(p.ID), hi.ID, lo.ID}
+	if n, ok := b.uniq[key]; ok {
+		return n // reduction i: isomorphic node exists
+	}
+	b.checkSize()
+	n := &Node{ID: int32(len(b.nodes)), Pred: p, Hi: hi, Lo: lo}
+	b.nodes = append(b.nodes, n)
+	b.uniq[key] = n
+	return n
+}
+
+// chain builds the BDD for one conjunction: a linear chain of predicate
+// nodes ordered by variable ID, terminating in the rule's action.
+// Returns ok=false when the conjunction is unsatisfiable (a predicate
+// used with both polarities, or a semantic per-field contradiction such
+// as price > 20 ∧ price < 10). Literals implied by the preceding ones on
+// the same field are elided.
+func (b *builder) chain(nr subscription.NormalizedRule) (*Node, bool, error) {
+	type lit struct {
+		pred     *Pred
+		positive bool
+	}
+	lits := make([]lit, 0, len(nr.Conj))
+	polarity := make(map[int]bool, len(nr.Conj))
+	seen := make(map[int]bool, len(nr.Conj))
+	for _, a := range nr.Conj {
+		p, pos, err := b.u.Lookup(a)
+		if err != nil {
+			return nil, false, err
+		}
+		if seen[p.ID] {
+			if polarity[p.ID] != pos {
+				return nil, false, nil // p and ¬p: unsatisfiable
+			}
+			continue
+		}
+		seen[p.ID] = true
+		polarity[p.ID] = pos
+		lits = append(lits, lit{pred: p, positive: pos})
+	}
+	sort.Slice(lits, func(i, j int) bool { return lits[i].pred.Less(lits[j].pred) })
+
+	// Per-field satisfiability and redundancy pass (mirrors reduction
+	// iii at the cheapest possible point).
+	if b.pruning {
+		kept := lits[:0]
+		ctxField := -1
+		var ctx match.Constraint
+		for _, l := range lits {
+			if l.pred.FieldIdx != ctxField {
+				ctxField = l.pred.FieldIdx
+				ctx = match.New(l.pred.Ref.Type())
+			}
+			switch ctx.Implies(l.pred.Rel, l.pred.Const) {
+			case match.True:
+				if !l.positive {
+					return nil, false, nil
+				}
+				continue // redundant literal
+			case match.False:
+				if l.positive {
+					return nil, false, nil
+				}
+				continue
+			}
+			ctx = ctx.With(l.pred.Rel, l.pred.Const, l.positive)
+			kept = append(kept, l)
+		}
+		lits = kept
+	}
+
+	var acts subscription.ActionSet
+	acts.Add(nr.Action)
+	node := b.terminal(acts)
+	empty := b.terminal(subscription.ActionSet{})
+	for i := len(lits) - 1; i >= 0; i-- {
+		if lits[i].positive {
+			node = b.mkNode(lits[i].pred, node, empty)
+		} else {
+			node = b.mkNode(lits[i].pred, empty, node)
+		}
+	}
+	return node, true, nil
+}
+
+// or computes the union of two diagrams: the resulting terminal action
+// sets are the merged action sets of both inputs (§V-D: overlapping rules
+// merge into multicast actions). Implication pruning happens here.
+//
+// The context argument is the interned within-field constraint: the
+// conjunction of predicate outcomes taken so far on the field currently
+// being tested. Constraints on earlier fields are irrelevant once the
+// variable order moves past them, so one field's context suffices (and
+// keeps memoization effective).
+func (b *builder) or(u, v *Node) *Node {
+	return b.orCtx(u, v, noCtx)
+}
+
+func (b *builder) orCtx(u, v *Node, ctx int32) *Node {
+	if u.IsTerminal() && v.IsTerminal() {
+		tk := [2]int32{u.ID, v.ID}
+		if u.ID > v.ID {
+			tk = [2]int32{v.ID, u.ID}
+		}
+		if n, ok := b.termMemo[tk]; ok {
+			return n
+		}
+		merged := u.Actions.Clone()
+		merged.Merge(v.Actions)
+		n := b.terminal(merged)
+		b.termMemo[tk] = n
+		return n
+	}
+	p := topPred(u, v)
+	if !b.pruning {
+		mk := memoKey{u: u.ID, v: v.ID, ctx: noCtx}
+		if n, ok := b.memo[mk]; ok {
+			return n
+		}
+		hi := b.orCtx(restrict(u, p, true), restrict(v, p, true), noCtx)
+		lo := b.orCtx(restrict(u, p, false), restrict(v, p, false), noCtx)
+		result := b.mkNode(p, hi, lo)
+		b.memo[mk] = result
+		return result
+	}
+
+	// Fast-forward every predicate the context already decides
+	// (reduction iii) in a tight loop: no memoization or allocation per
+	// skipped node. This is what keeps merging O(100k) equality chains
+	// (hICN-style workloads) tractable — a pinned field value otherwise
+	// walks the whole chain through the memo machinery.
+	if ctx == noCtx || b.ctxField[ctx] != p.FieldIdx {
+		ctx = b.freshCtx(p)
+	}
+	for {
+		switch b.ctxs[ctx].Implies(p.Rel, p.Const) {
+		case match.True:
+			u, v = restrict(u, p, true), restrict(v, p, true)
+		case match.False:
+			u, v = restrict(u, p, false), restrict(v, p, false)
+		default:
+			mk := memoKey{u: u.ID, v: v.ID, ctx: ctx}
+			if n, ok := b.memo[mk]; ok {
+				return n
+			}
+			hi := b.orCtx(restrict(u, p, true), restrict(v, p, true), b.refineCtx(ctx, p, true))
+			lo := b.orCtx(restrict(u, p, false), restrict(v, p, false), b.refineCtx(ctx, p, false))
+			result := b.mkNode(p, hi, lo)
+			b.memo[mk] = result
+			return result
+		}
+		if u.IsTerminal() && v.IsTerminal() {
+			return b.orCtx(u, v, ctx) // terminal merge path
+		}
+		p = topPred(u, v)
+		if b.ctxField[ctx] != p.FieldIdx {
+			ctx = b.freshCtx(p)
+		}
+	}
+}
+
+// topPred returns the smallest-ordered predicate tested at u or v.
+func topPred(u, v *Node) *Pred {
+	switch {
+	case u.IsTerminal():
+		return v.Pred
+	case v.IsTerminal():
+		return u.Pred
+	case v.Pred.Less(u.Pred):
+		return v.Pred
+	default:
+		return u.Pred
+	}
+}
+
+// restrict specializes a node to a known outcome of predicate p.
+func restrict(n *Node, p *Pred, outcome bool) *Node {
+	if n.IsTerminal() || n.Pred.ID != p.ID {
+		return n
+	}
+	if outcome {
+		return n.Hi
+	}
+	return n.Lo
+}
+
+// Eval walks the diagram for a message, returning the merged action set —
+// semantically identical to brute-force rule evaluation, in at most one
+// predicate test per node on a single root-to-terminal path.
+func (d *BDD) Eval(m *spec.Message, st subscription.StateReader) subscription.ActionSet {
+	n := d.Root
+	for !n.IsTerminal() {
+		if n.Pred.Eval(m, st) {
+			n = n.Hi
+		} else {
+			n = n.Lo
+		}
+	}
+	return n.Actions
+}
+
+// Reachable returns all nodes reachable from the root, in a deterministic
+// (DFS preorder, hi before lo) order.
+func (d *BDD) Reachable() []*Node {
+	var out []*Node
+	seen := make(map[int32]bool)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if seen[n.ID] {
+			return
+		}
+		seen[n.ID] = true
+		out = append(out, n)
+		if !n.IsTerminal() {
+			walk(n.Hi)
+			walk(n.Lo)
+		}
+	}
+	walk(d.Root)
+	return out
+}
+
+// Stats summarizes a BDD for the memory-efficiency evaluation (Fig. 12).
+type Stats struct {
+	// Nodes is the number of reachable nodes (internal + terminal).
+	Nodes int
+	// Internal is the number of reachable non-terminal nodes.
+	Internal int
+	// Terminals is the number of distinct reachable action sets.
+	Terminals int
+	// PerField maps field key → reachable node count in that component.
+	PerField map[string]int
+}
+
+// Stats computes reachable-node statistics.
+func (d *BDD) Stats() Stats {
+	s := Stats{PerField: make(map[string]int)}
+	for _, n := range d.Reachable() {
+		s.Nodes++
+		if n.IsTerminal() {
+			s.Terminals++
+		} else {
+			s.Internal++
+			s.PerField[d.Universe.Fields[n.Pred.FieldIdx].Key()]++
+		}
+	}
+	return s
+}
+
+// Dot renders the diagram in Graphviz format (solid = true branch,
+// dashed = false branch, mirroring the paper's Fig. 5).
+func (d *BDD) Dot() string {
+	var b strings.Builder
+	b.WriteString("digraph bdd {\n  rankdir=TB;\n")
+	for _, n := range d.Reachable() {
+		if n.IsTerminal() {
+			label := n.Actions.Key()
+			if n.Actions.IsEmpty() {
+				label = "drop"
+			}
+			fmt.Fprintf(&b, "  n%d [shape=box,label=%q];\n", n.ID, label)
+			continue
+		}
+		fmt.Fprintf(&b, "  n%d [shape=ellipse,label=%q];\n", n.ID, n.Pred.String())
+		fmt.Fprintf(&b, "  n%d -> n%d [style=solid];\n", n.ID, n.Hi.ID)
+		fmt.Fprintf(&b, "  n%d -> n%d [style=dashed];\n", n.ID, n.Lo.ID)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,129 @@
+package bdd
+
+import (
+	"sort"
+
+	"camus/internal/spec"
+	"camus/internal/subscription"
+)
+
+// Engine is the incremental BDD builder the paper sketches for highly
+// dynamic filter sets (§V: "Prior work has demonstrated that such
+// incremental algorithms are feasible. BDDs — our primary internal data
+// structure — can leverage memoization"). It keeps the hash-consing and
+// apply-memoization tables alive across subscription changes: adding or
+// removing a rule re-merges the per-rule chains, and every unchanged
+// subgraph is a cache hit, so recompilation cost tracks the size of the
+// change rather than the size of the rule set. Node IDs are stable
+// across rebuilds, which downstream table diffing relies on (§V's
+// "table entry re-use").
+type Engine struct {
+	u       *Universe
+	b       *builder
+	chains  map[int][]*Node // rule ID → chain nodes (one per disjunct)
+	order   []int           // rule IDs in insertion order (deterministic merges)
+	dropped int
+}
+
+// NewEngine creates an empty incremental engine for a spec. The variable
+// order grows as rules introduce fields and predicates (arrival order
+// within each field), so opts.Order is not used; pruning follows
+// opts.DisablePruning.
+func NewEngine(sp *spec.Spec, opts Options) *Engine {
+	u := NewUniverse(sp, nil, opts.Order)
+	return &Engine{
+		u:      u,
+		b:      newBuilder(u, !opts.DisablePruning),
+		chains: make(map[int][]*Node),
+	}
+}
+
+// Universe exposes the growing predicate universe.
+func (e *Engine) Universe() *Universe { return e.u }
+
+// Add inserts normalized rules. Disjuncts of existing rule IDs
+// accumulate (a rule may be added piecewise).
+func (e *Engine) Add(rules ...subscription.NormalizedRule) error {
+	for _, nr := range rules {
+		chain, ok, err := e.chainExtend(nr)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			e.dropped++
+			continue
+		}
+		if _, exists := e.chains[nr.RuleID]; !exists {
+			e.order = append(e.order, nr.RuleID)
+		}
+		e.chains[nr.RuleID] = append(e.chains[nr.RuleID], chain)
+	}
+	return nil
+}
+
+// Remove deletes every disjunct of a rule ID. It reports whether the
+// rule existed.
+func (e *Engine) Remove(ruleID int) bool {
+	if _, ok := e.chains[ruleID]; !ok {
+		return false
+	}
+	delete(e.chains, ruleID)
+	for i, id := range e.order {
+		if id == ruleID {
+			e.order = append(e.order[:i], e.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Rules returns the live rule IDs.
+func (e *Engine) Rules() []int {
+	out := append([]int(nil), e.order...)
+	sort.Ints(out)
+	return out
+}
+
+// Build merges the live chains into a BDD. Thanks to the persistent
+// memo tables, unchanged prefixes of the merge tree are cache hits.
+func (e *Engine) Build() *BDD {
+	var chains []*Node
+	seen := make(map[int32]bool)
+	for _, id := range e.order {
+		for _, c := range e.chains[id] {
+			if seen[c.ID] {
+				continue
+			}
+			seen[c.ID] = true
+			chains = append(chains, c)
+		}
+	}
+	for len(chains) > 1 {
+		next := chains[:0]
+		for i := 0; i+1 < len(chains); i += 2 {
+			next = append(next, e.b.or(chains[i], chains[i+1]))
+		}
+		if len(chains)%2 == 1 {
+			next = append(next, chains[len(chains)-1])
+		}
+		chains = next
+	}
+	root := e.b.terminal(subscription.ActionSet{})
+	if len(chains) == 1 {
+		root = chains[0]
+	}
+	return &BDD{Universe: e.u, Root: root, DroppedRules: e.dropped, nodes: e.b.nodes}
+}
+
+// CacheSize reports the persistent table sizes (for Compact decisions).
+func (e *Engine) CacheSize() (nodes, memoEntries int) {
+	return len(e.b.nodes), len(e.b.memo)
+}
+
+// chainExtend is chain() against the growable universe.
+func (e *Engine) chainExtend(nr subscription.NormalizedRule) (*Node, bool, error) {
+	for _, a := range nr.Conj {
+		e.u.Extend(a) // ensure predicates exist before ordering literals
+	}
+	return e.b.chain(nr)
+}

@@ -1,0 +1,196 @@
+package bdd
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"camus/internal/spec"
+	"camus/internal/subscription"
+)
+
+func normalize(t testing.TB, sp *spec.Spec, src string, id int) []subscription.NormalizedRule {
+	t.Helper()
+	r, err := subscription.NewParser(sp).ParseRule(src, id)
+	if err != nil {
+		t.Fatalf("ParseRule(%q): %v", src, err)
+	}
+	nrs, err := subscription.NormalizeRule(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nrs
+}
+
+func TestEngineAddRemove(t *testing.T) {
+	sp := testSpec(t)
+	e := NewEngine(sp, Options{})
+
+	if err := e.Add(normalize(t, sp, "stock == GOOGL: fwd(1)", 1)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Add(normalize(t, sp, "price > 50: fwd(2)", 2)...); err != nil {
+		t.Fatal(err)
+	}
+	d := e.Build()
+	m := spec.NewMessage(sp)
+	m.MustSet("stock", spec.StrVal("GOOGL"))
+	m.MustSet("price", spec.IntVal(60))
+	m.MustSet("shares", spec.IntVal(1))
+	m.MustSet("name", spec.StrVal("x"))
+	if got := d.Eval(m, nil).Key(); got != "fwd(1,2)" {
+		t.Fatalf("eval = %s", got)
+	}
+
+	if !e.Remove(1) {
+		t.Fatal("Remove(1) = false")
+	}
+	if e.Remove(1) {
+		t.Fatal("double remove succeeded")
+	}
+	d2 := e.Build()
+	if got := d2.Eval(m, nil).Key(); got != "fwd(2)" {
+		t.Fatalf("after remove: %s", got)
+	}
+	if ids := e.Rules(); len(ids) != 1 || ids[0] != 2 {
+		t.Fatalf("Rules = %v", ids)
+	}
+	nodes, memo := e.CacheSize()
+	if nodes == 0 || memo == 0 {
+		t.Errorf("caches empty: %d %d", nodes, memo)
+	}
+}
+
+// TestEngineUniverseGrowth: predicates appended by later rules keep
+// earlier nodes' variable order valid.
+func TestEngineUniverseGrowth(t *testing.T) {
+	sp := testSpec(t)
+	e := NewEngine(sp, Options{})
+	srcs := []string{
+		"price > 50: fwd(1)",
+		"price > 10 and stock == MSFT: fwd(2)", // new pred on existing field + new field
+		"shares < 5: fwd(3)",                   // new field ordered before price in spec
+		"price == 30: fwd(4)",
+	}
+	for i, src := range srcs {
+		if err := e.Add(normalize(t, sp, src, i)...); err != nil {
+			t.Fatal(err)
+		}
+		d := e.Build()
+		// Order invariant along every path.
+		for _, n := range d.Reachable() {
+			if n.IsTerminal() {
+				continue
+			}
+			for _, next := range []*Node{n.Hi, n.Lo} {
+				if !next.IsTerminal() && !n.Pred.Less(next.Pred) {
+					t.Fatalf("after rule %d: order violated %v -> %v", i, n, next)
+				}
+			}
+		}
+	}
+	// Semantics against brute force.
+	p := subscription.NewParser(sp)
+	var rules []*subscription.Rule
+	for i, src := range srcs {
+		r, err := p.ParseRule(src, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rules = append(rules, r)
+	}
+	d := e.Build()
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		m := spec.NewMessage(sp)
+		m.MustSet("price", spec.IntVal(int64(r.Intn(70))))
+		m.MustSet("shares", spec.IntVal(int64(r.Intn(10))))
+		m.MustSet("stock", spec.StrVal([]string{"GOOGL", "MSFT"}[r.Intn(2)]))
+		m.MustSet("name", spec.StrVal("x"))
+		want := subscription.MatchActions(rules, m, nil).Key()
+		if got := d.Eval(m, nil).Key(); got != want {
+			t.Fatalf("engine mismatch on %s: %s vs %s", m, got, want)
+		}
+	}
+}
+
+// TestEngineNodeIDStability: node IDs of unchanged subgraphs survive
+// add/remove cycles (the basis of table-entry diffing).
+func TestEngineNodeIDStability(t *testing.T) {
+	sp := testSpec(t)
+	e := NewEngine(sp, Options{})
+	for i := 0; i < 20; i++ {
+		if err := e.Add(normalize(t, sp, fmt.Sprintf("stock == S%02d: fwd(%d)", i, i%4), i)...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := e.Build()
+	if err := e.Add(normalize(t, sp, "stock == EXTRA: fwd(9)", 99)...); err != nil {
+		t.Fatal(err)
+	}
+	e.Remove(99)
+	after := e.Build()
+	if before.Root.ID != after.Root.ID {
+		t.Errorf("root ID changed across add/remove: %d vs %d", before.Root.ID, after.Root.ID)
+	}
+}
+
+func TestUniverseExtend(t *testing.T) {
+	sp := testSpec(t)
+	u := NewUniverse(sp, nil, SpecOrder)
+	p := subscription.NewParser(sp)
+	e1, err := p.ParseFilter("price > 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1 := e1.(*subscription.Atom)
+	p1, pos := u.Extend(a1)
+	if !pos || p1.Rel != subscription.GT {
+		t.Fatalf("Extend: %v %v", p1, pos)
+	}
+	// Same atom: same predicate.
+	p1b, _ := u.Extend(a1)
+	if p1b != p1 {
+		t.Error("Extend not idempotent")
+	}
+	// Negative-polarity canonicalization.
+	e2, err := p.ParseFilter("price <= 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, pos2 := u.Extend(e2.(*subscription.Atom))
+	if p2 != p1 || pos2 {
+		t.Errorf("price <= 5 should be ¬(price > 5): %v %v", p2, pos2)
+	}
+	// New field appends after existing ones.
+	e3, err := p.ParseFilter("stock == A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, _ := u.Extend(e3.(*subscription.Atom))
+	if !p1.Less(p3) {
+		t.Error("later field does not order after earlier field")
+	}
+	if len(u.Fields) != 2 || len(u.Preds) != 2 {
+		t.Errorf("universe: %d fields %d preds", len(u.Fields), len(u.Preds))
+	}
+}
+
+func TestBuildNormalizedNodeCap(t *testing.T) {
+	sp := testSpec(t)
+	var rules []*subscription.Rule
+	p := subscription.NewParser(sp)
+	for i := 0; i < 30; i++ {
+		r, err := p.ParseRule(fmt.Sprintf("price > %d and shares < %d: fwd(%d)", i*3, 100-i, i%8), i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rules = append(rules, r)
+	}
+	if _, err := Build(sp, rules, Options{MaxNodes: 10}); err != ErrTooLarge {
+		t.Errorf("node cap not enforced: %v", err)
+	}
+	if _, err := Build(sp, rules, Options{}); err != nil {
+		t.Errorf("uncapped build failed: %v", err)
+	}
+}

@@ -1,0 +1,296 @@
+package bdd
+
+import (
+	"fmt"
+	"sort"
+
+	"camus/internal/spec"
+	"camus/internal/subscription"
+)
+
+// Pred is one BDD variable: a canonical atomic predicate. Relations are
+// canonicalized to {EQ, LT, GT, PREFIX}; the complementary relations
+// (NE, GE, LE) are expressed as the negated branch of the canonical
+// predicate, which maximizes node sharing across rules.
+type Pred struct {
+	// ID is the global identity of the predicate (creation order). It is
+	// NOT the variable order — see Less.
+	ID int
+	// FieldIdx indexes the universe's field list; all predicates of a
+	// field are contiguous in the variable order, which is what lets the
+	// compiler slice the BDD into per-field components (§V-D).
+	FieldIdx int
+	// Seq is the predicate's position within its field group. The
+	// variable order (§V-C) is lexicographic (FieldIdx, Seq), which
+	// stays stable when an incremental engine appends new predicates.
+	Seq int
+	// Ref is the field (or aggregate) the predicate tests.
+	Ref subscription.FieldRef
+	// Rel is the canonical relation.
+	Rel subscription.Relation
+	// Const is the comparison constant.
+	Const spec.Value
+}
+
+// Less reports whether p precedes q in the fixed BDD variable order.
+func (p *Pred) Less(q *Pred) bool {
+	if p.FieldIdx != q.FieldIdx {
+		return p.FieldIdx < q.FieldIdx
+	}
+	return p.Seq < q.Seq
+}
+
+func (p *Pred) String() string {
+	return fmt.Sprintf("%s %s %s", p.Ref, p.Rel, p.Const)
+}
+
+func (p *Pred) key() string {
+	return fmt.Sprintf("%s %s %s", p.Ref.Key(), p.Rel, p.Const)
+}
+
+// Eval evaluates the predicate against a message + state.
+func (p *Pred) Eval(m *spec.Message, st subscription.StateReader) bool {
+	a := subscription.Atom{Ref: p.Ref, Rel: p.Rel, Const: p.Const}
+	return subscription.EvalAtom(&a, m, st)
+}
+
+// FieldVar is one field (or stateful aggregate) participating in the BDD
+// variable order.
+type FieldVar struct {
+	Index int
+	Ref   subscription.FieldRef
+	// Preds are the canonical predicates on this field, in variable order.
+	Preds []*Pred
+}
+
+// Key returns the field's canonical identity.
+func (f *FieldVar) Key() string { return f.Ref.Key() }
+
+// Type returns the field's value type.
+func (f *FieldVar) Type() spec.FieldType { return f.Ref.Type() }
+
+// FieldOrder selects the BDD variable order across fields. The paper
+// (§V-C) notes optimal ordering is NP-hard and fixed heuristic orders
+// work well; the default follows spec declaration order.
+type FieldOrder int
+
+const (
+	// SpecOrder orders packet fields by spec declaration order, then
+	// aggregates. The default, matching the paper's prototype.
+	SpecOrder FieldOrder = iota
+	// SelectivityOrder orders fields by decreasing predicate count, so
+	// the most discriminating fields are tested first (ablation).
+	SelectivityOrder
+	// ReverseSpecOrder reverses SpecOrder (worst-case ablation).
+	ReverseSpecOrder
+)
+
+// Universe is the set of BDD variables derived from a rule set: the
+// referenced fields in a fixed order and the canonical predicates on each.
+type Universe struct {
+	Spec   *spec.Spec
+	Fields []*FieldVar
+	Preds  []*Pred // global variable order
+
+	fieldByKey map[string]*FieldVar
+	predByKey  map[string]*Pred
+}
+
+// canonicalize maps an atom to its canonical predicate form plus the
+// polarity with which the atom uses it (false = the atom is the negation
+// of the canonical predicate).
+func canonicalize(a *subscription.Atom) (rel subscription.Relation, c spec.Value, positive bool) {
+	switch a.Rel {
+	case subscription.EQ, subscription.LT, subscription.GT, subscription.PREFIX:
+		return a.Rel, a.Const, true
+	case subscription.NE:
+		return subscription.EQ, a.Const, false
+	case subscription.GE: // v >= c  ≡  ¬(v < c)
+		return subscription.LT, a.Const, false
+	case subscription.LE: // v <= c  ≡  ¬(v > c)
+		return subscription.GT, a.Const, false
+	default:
+		panic("bdd: unknown relation " + a.Rel.String())
+	}
+}
+
+// NewUniverse builds the variable universe for a set of normalized rules.
+func NewUniverse(sp *spec.Spec, rules []subscription.NormalizedRule, order FieldOrder) *Universe {
+	u := &Universe{
+		Spec:       sp,
+		fieldByKey: make(map[string]*FieldVar),
+		predByKey:  make(map[string]*Pred),
+	}
+	// Collect referenced fields and raw predicates.
+	type rawPred struct {
+		ref  subscription.FieldRef
+		rel  subscription.Relation
+		c    spec.Value
+		key  string
+		fkey string
+	}
+	var raws []rawPred
+	seenPred := make(map[string]bool)
+	for _, nr := range rules {
+		for _, a := range nr.Conj {
+			rel, c, _ := canonicalize(a)
+			fkey := a.Ref.Key()
+			if u.fieldByKey[fkey] == nil {
+				u.fieldByKey[fkey] = &FieldVar{Ref: a.Ref}
+			}
+			key := fmt.Sprintf("%s %s %s", fkey, rel, c)
+			if seenPred[key] {
+				continue
+			}
+			seenPred[key] = true
+			raws = append(raws, rawPred{ref: a.Ref, rel: rel, c: c, key: key, fkey: fkey})
+		}
+	}
+	// Order fields.
+	fields := make([]*FieldVar, 0, len(u.fieldByKey))
+	for _, f := range u.fieldByKey {
+		fields = append(fields, f)
+	}
+	// Group order: header-validity bits first (set by the parser, so
+	// testable before any field), then packet fields in spec order, then
+	// stateful aggregates.
+	group := func(f *FieldVar) int {
+		switch f.Ref.Kind {
+		case subscription.ValidityRef:
+			return 0
+		case subscription.PacketRef:
+			return 1
+		default:
+			return 2
+		}
+	}
+	specIdx := func(f *FieldVar) int {
+		switch f.Ref.Kind {
+		case subscription.ValidityRef:
+			return sp.HeaderIndex(f.Ref.Header)
+		case subscription.PacketRef:
+			if i, ok := sp.SubscribableIndex(f.Ref.Field); ok {
+				return i
+			}
+		}
+		return len(sp.SubscribableFields())
+	}
+	sort.Slice(fields, func(i, j int) bool {
+		a, b := fields[i], fields[j]
+		if ga, gb := group(a), group(b); ga != gb {
+			return ga < gb
+		}
+		ai, bi := specIdx(a), specIdx(b)
+		if ai != bi {
+			return ai < bi
+		}
+		return a.Key() < b.Key()
+	})
+	switch order {
+	case ReverseSpecOrder:
+		for i, j := 0, len(fields)-1; i < j; i, j = i+1, j-1 {
+			fields[i], fields[j] = fields[j], fields[i]
+		}
+	case SelectivityOrder:
+		counts := make(map[string]int)
+		for _, rp := range raws {
+			counts[rp.fkey]++
+		}
+		sort.SliceStable(fields, func(i, j int) bool {
+			return counts[fields[i].Key()] > counts[fields[j].Key()]
+		})
+	}
+	for i, f := range fields {
+		f.Index = i
+	}
+	u.Fields = fields
+
+	// Order predicates within each field deterministically, then assign
+	// global IDs in field order.
+	perField := make(map[string][]rawPred)
+	for _, rp := range raws {
+		perField[rp.fkey] = append(perField[rp.fkey], rp)
+	}
+	for _, f := range fields {
+		rps := perField[f.Key()]
+		sort.Slice(rps, func(i, j int) bool {
+			a, b := rps[i], rps[j]
+			if a.rel != b.rel {
+				return a.rel < b.rel
+			}
+			if a.c.Kind == spec.StringField {
+				return a.c.Str < b.c.Str
+			}
+			return a.c.Int < b.c.Int
+		})
+		for _, rp := range rps {
+			p := &Pred{
+				ID:       len(u.Preds),
+				FieldIdx: f.Index,
+				Seq:      len(f.Preds),
+				Ref:      rp.ref,
+				Rel:      rp.rel,
+				Const:    rp.c,
+			}
+			u.Preds = append(u.Preds, p)
+			u.predByKey[rp.key] = p
+			f.Preds = append(f.Preds, p)
+		}
+	}
+	return u
+}
+
+// Extend adds any predicates (and fields) of the atom that the universe
+// does not yet know, returning the atom's canonical predicate and
+// polarity. New fields append after all existing fields; new predicates
+// append after their field's existing predicates, so the variable order
+// of previously built nodes is preserved — the basis of incremental
+// compilation (§V: "BDDs can leverage memoization").
+func (u *Universe) Extend(a *subscription.Atom) (*Pred, bool) {
+	rel, c, positive := canonicalize(a)
+	key := fmt.Sprintf("%s %s %s", a.Ref.Key(), rel, c)
+	if p, ok := u.predByKey[key]; ok {
+		return p, positive
+	}
+	fkey := a.Ref.Key()
+	f, ok := u.fieldByKey[fkey]
+	if !ok {
+		f = &FieldVar{Index: len(u.Fields), Ref: a.Ref}
+		u.fieldByKey[fkey] = f
+		u.Fields = append(u.Fields, f)
+	}
+	p := &Pred{
+		ID:       len(u.Preds),
+		FieldIdx: f.Index,
+		Seq:      len(f.Preds),
+		Ref:      a.Ref,
+		Rel:      rel,
+		Const:    c,
+	}
+	u.Preds = append(u.Preds, p)
+	u.predByKey[key] = p
+	f.Preds = append(f.Preds, p)
+	return p, positive
+}
+
+// Lookup resolves an atom to its canonical predicate and polarity.
+func (u *Universe) Lookup(a *subscription.Atom) (*Pred, bool, error) {
+	rel, c, positive := canonicalize(a)
+	key := fmt.Sprintf("%s %s %s", a.Ref.Key(), rel, c)
+	p, ok := u.predByKey[key]
+	if !ok {
+		return nil, false, fmt.Errorf("bdd: predicate %q not in universe", key)
+	}
+	return p, positive, nil
+}
+
+// AggregateFields returns the stateful (aggregate) field variables.
+func (u *Universe) AggregateFields() []*FieldVar {
+	var out []*FieldVar
+	for _, f := range u.Fields {
+		if f.Ref.Kind == subscription.AggregateRef {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,446 @@
+package compiler
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"camus/internal/bdd"
+	"camus/internal/spec"
+	"camus/internal/subscription"
+)
+
+// The test spec splits fields across headers so header-absence paths
+// (validity guards) get exercised; a decoded header always yields all of
+// its fields.
+const testSpecSrc = `
+header ord_qty {
+    shares : u32 @field;
+    price : u32 @field;
+}
+header ord_sym {
+    stock : str8 @field_exact;
+    name : str16 @field;
+}
+`
+
+func testSpec(t testing.TB) *spec.Spec {
+	t.Helper()
+	return spec.MustParse("test", testSpecSrc)
+}
+
+func compile(t testing.TB, sp *spec.Spec, src string, opts Options) *Program {
+	t.Helper()
+	rules, err := subscription.NewParser(sp).ParseRules(src)
+	if err != nil {
+		t.Fatalf("ParseRules: %v", err)
+	}
+	p, err := Compile(sp, rules, opts)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return p
+}
+
+// TestPaperFigure6 checks the three-stage pipeline (Shares, Stock, Leaf)
+// produced for the running example and its evaluation semantics.
+func TestPaperFigure6(t *testing.T) {
+	sp := testSpec(t)
+	p := compile(t, sp, `
+shares < 100 and stock == GOOGL: fwd(1)
+shares < 100 and stock == GOOGL: fwd(2)
+shares >= 100 and stock == MSFT: fwd(3)
+`, Options{})
+
+	// Stages: validity guards first, then shares then stock (spec
+	// order), plus the leaf.
+	var names []string
+	for _, st := range p.Stages {
+		names = append(names, st.Name())
+	}
+	want := []string{"valid(ord_qty)", "valid(ord_sym)", "ord_qty.shares", "ord_sym.stock"}
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Fatalf("stage order = %v, want %v", names, want)
+	}
+	// Overlapping rules must merge into one multicast action fwd(1,2).
+	eval := func(shares int64, stock string) string {
+		m := spec.NewMessage(sp)
+		m.MustSet("shares", spec.IntVal(shares))
+		m.MustSet("stock", spec.StrVal(stock))
+		return p.Eval(m, nil).Key()
+	}
+	if got := eval(50, "GOOGL"); got != "fwd(1,2)" {
+		t.Errorf("GOOGL/50 = %s, want fwd(1,2)", got)
+	}
+	if got := eval(150, "MSFT"); got != "fwd(3)" {
+		t.Errorf("MSFT/150 = %s, want fwd(3)", got)
+	}
+	if got := eval(150, "GOOGL"); got != "fwd()" {
+		t.Errorf("GOOGL/150 = %s, want drop", got)
+	}
+	// One multicast group for {1,2}.
+	if len(p.Groups) != 1 || fmt.Sprint(p.Groups[0].Ports) != "[1 2]" {
+		t.Errorf("groups = %+v, want one group [1 2]", p.Groups)
+	}
+}
+
+// TestEntriesBoundedQuadratically verifies the consequence of the
+// paper's §V-D domain-specific reductions: paths through a field
+// component correspond to disjoint value regions, so each In node emits
+// at most 2k+1 entries for k predicates on the field (regions are
+// delimited by the predicate constants), and total stage entries are at
+// most |In| × (2k+1) — the "at most quadratic" bound.
+func TestEntriesBoundedQuadratically(t *testing.T) {
+	sp := testSpec(t)
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		var b strings.Builder
+		for i := 0; i < 12; i++ {
+			fmt.Fprintf(&b, "shares > %d and shares < %d and price > %d: fwd(%d)\n",
+				r.Intn(10), 10+r.Intn(10), r.Intn(10), r.Intn(5))
+		}
+		p := compile(t, sp, b.String(), Options{})
+		for _, st := range p.Stages {
+			k := len(st.Field.Preds)
+			perIn := make(map[int32]int)
+			for _, e := range st.Entries {
+				perIn[e.In]++
+			}
+			for in, n := range perIn {
+				if n > 2*k+1 {
+					t.Errorf("trial %d stage %s state %d: %d entries > 2k+1 = %d",
+						trial, st.Name(), in, n, 2*k+1)
+				}
+			}
+			if len(st.Entries) > len(perIn)*(2*k+1) {
+				t.Errorf("trial %d stage %s: %d entries exceed quadratic bound %d",
+					trial, st.Name(), len(st.Entries), len(perIn)*(2*k+1))
+			}
+		}
+	}
+}
+
+// TestEntriesPartitionDomain: for every stage and in-state, each concrete
+// field value matches exactly one entry.
+func TestEntriesPartitionDomain(t *testing.T) {
+	sp := testSpec(t)
+	p := compile(t, sp, `
+price > 10 and price < 30: fwd(1)
+price > 20 or price == 5: fwd(2)
+price != 7: fwd(3)
+`, Options{})
+	for _, st := range p.Stages {
+		byState := make(map[int32][]*Entry)
+		for _, e := range st.Entries {
+			byState[e.In] = append(byState[e.In], e)
+		}
+		for in, entries := range byState {
+			for v := int64(0); v < 40; v++ {
+				matched := 0
+				for _, e := range entries {
+					if e.Match.Matches(spec.IntVal(v)) {
+						matched++
+					}
+				}
+				if matched != 1 {
+					t.Errorf("stage %s state %d value %d matched %d entries",
+						st.Name(), in, v, matched)
+				}
+			}
+		}
+	}
+}
+
+func randomRules(r *rand.Rand, sp *spec.Spec, n int) []*subscription.Rule {
+	p := subscription.NewParser(sp)
+	stocks := []string{"GOOGL", "MSFT", "AAPL"}
+	rels := []string{"==", "!=", "<", "<=", ">", ">="}
+	var rules []*subscription.Rule
+	for i := 0; i < n; i++ {
+		var terms []string
+		for _, f := range []string{"shares", "price"} {
+			if r.Intn(2) == 0 {
+				terms = append(terms, fmt.Sprintf("%s %s %d", f, rels[r.Intn(len(rels))], r.Intn(8)))
+			}
+		}
+		if r.Intn(2) == 0 {
+			terms = append(terms, fmt.Sprintf("stock == %s", stocks[r.Intn(len(stocks))]))
+		}
+		if len(terms) == 0 {
+			terms = append(terms, fmt.Sprintf("price > %d", r.Intn(8)))
+		}
+		join := " and "
+		if r.Intn(3) == 0 {
+			join = " or "
+		}
+		src := fmt.Sprintf("%s: fwd(%d)", strings.Join(terms, join), r.Intn(6))
+		rule, err := p.ParseRule(src, i)
+		if err != nil {
+			panic(err)
+		}
+		rules = append(rules, rule)
+	}
+	return rules
+}
+
+// TestProgramEquivalence: the compiled pipeline, the BDD, and brute-force
+// rule evaluation agree on random workloads — including messages with
+// absent fields (the lo-walk defaults).
+func TestProgramEquivalence(t *testing.T) {
+	sp := testSpec(t)
+	r := rand.New(rand.NewSource(17))
+	stocks := []string{"GOOGL", "MSFT", "AAPL", "ZZZ"}
+	for trial := 0; trial < 40; trial++ {
+		rules := randomRules(r, sp, 1+r.Intn(10))
+		for _, opts := range []Options{{}, {DisableExactOpt: true}, {DisableCompression: true}} {
+			p, err := Compile(sp, rules, opts)
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			for i := 0; i < 50; i++ {
+				m := spec.NewMessage(sp)
+				if r.Intn(6) != 0 { // ord_qty header present or absent
+					m.MustSet("shares", spec.IntVal(int64(r.Intn(10))))
+					m.MustSet("price", spec.IntVal(int64(r.Intn(10))))
+				}
+				if r.Intn(6) != 0 { // ord_sym header present or absent
+					m.MustSet("stock", spec.StrVal(stocks[r.Intn(len(stocks))]))
+					m.MustSet("name", spec.StrVal("x"))
+				}
+				want := subscription.MatchActions(rules, m, nil).Key()
+				got := p.Eval(m, nil).Key()
+				if got != want {
+					t.Fatalf("trial %d: pipeline mismatch on %s:\n got %s want %s\nprogram:\n%s",
+						trial, m, got, want, p)
+				}
+			}
+		}
+	}
+}
+
+// TestStatefulLastHop: on a last-hop switch the aggregate gates
+// forwarding and the leaf entries carry update directives; on a non-last-
+// hop switch the stateful atom is erased (superset forwarding).
+func TestStatefulLastHop(t *testing.T) {
+	sp := testSpec(t)
+	src := "stock == GOOGL and avg(price) > 60: fwd(1)"
+
+	last := compile(t, sp, src, Options{LastHop: true})
+	m := spec.NewMessage(sp)
+	m.MustSet("stock", spec.StrVal("GOOGL"))
+	m.MustSet("price", spec.IntVal(100))
+
+	if got := last.Eval(m, nil).Key(); got != "fwd()" {
+		t.Errorf("last hop, zero state: %s, want drop", got)
+	}
+	le := last.Lookup(m, nil)
+	if le == nil || len(le.Updates) != 1 {
+		t.Fatalf("expected update directive on matching stateless context, got %+v", le)
+	}
+	aggKey := le.Updates[0]
+	st := subscription.MapState{aggKey: 61}
+	if got := last.Eval(m, st).Key(); got != "fwd(1)" {
+		t.Errorf("last hop, avg=61: %s, want fwd(1)", got)
+	}
+	// Non-matching stateless context must not update.
+	m2 := spec.NewMessage(sp)
+	m2.MustSet("stock", spec.StrVal("MSFT"))
+	if le2 := last.Lookup(m2, nil); le2 != nil && len(le2.Updates) != 0 {
+		t.Errorf("MSFT packet should not update GOOGL aggregate: %+v", le2)
+	}
+
+	up := compile(t, sp, src, Options{LastHop: false})
+	if got := up.Eval(m, nil).Key(); got != "fwd(1)" {
+		t.Errorf("upstream switch must forward superset: %s, want fwd(1)", got)
+	}
+	if regs := up.Resources.Registers; regs != 0 {
+		t.Errorf("upstream program allocated %d registers, want 0", regs)
+	}
+}
+
+func stageByName(t *testing.T, p *Program, name string) *Table {
+	t.Helper()
+	for _, st := range p.Stages {
+		if st.Name() == name {
+			return st
+		}
+	}
+	t.Fatalf("no stage %q in program:\n%s", name, p)
+	return nil
+}
+
+// TestExactMatchExtraction: equality-only stages classify as SRAM exact
+// tables; range stages with few constants compress; the ablation flag
+// forces TCAM.
+func TestExactMatchExtraction(t *testing.T) {
+	sp := testSpec(t)
+	p := compile(t, sp, `
+stock == GOOGL: fwd(1)
+stock == MSFT: fwd(2)
+`, Options{})
+	if st := stageByName(t, p, "ord_sym.stock"); st.Kind != ExactTable {
+		t.Errorf("stock stage = %v, want exact", st.Kind)
+	}
+	if p.Resources.TCAMBytes != 0 {
+		t.Errorf("exact program uses TCAM: %+v", p.Resources)
+	}
+
+	p2 := compile(t, sp, "price > 10 and price < 500: fwd(1)", Options{})
+	st2 := stageByName(t, p2, "ord_qty.price")
+	if st2.Kind != CompressedTable {
+		t.Errorf("price stage = %v, want compressed", st2.Kind)
+	}
+	if st2.MapEntries != 2*2+1 {
+		t.Errorf("map entries = %d, want 5", st2.MapEntries)
+	}
+
+	p3 := compile(t, sp, "price > 10 and price < 500: fwd(1)", Options{DisableCompression: true})
+	if st3 := stageByName(t, p3, "ord_qty.price"); st3.Kind != TernaryTable {
+		t.Errorf("uncompressed price stage = %v, want ternary", st3.Kind)
+	}
+	if p3.Resources.TCAMBytes == 0 {
+		t.Error("ternary stage consumed no TCAM")
+	}
+
+	p4 := compile(t, sp, "stock == GOOGL: fwd(1)", Options{DisableExactOpt: true})
+	if st4 := stageByName(t, p4, "ord_sym.stock"); st4.Kind != TernaryTable {
+		t.Errorf("DisableExactOpt: %v, want ternary", st4.Kind)
+	}
+}
+
+func TestResourcesSanity(t *testing.T) {
+	sp := testSpec(t)
+	var b strings.Builder
+	for i := 0; i < 100; i++ {
+		fmt.Fprintf(&b, "stock == S%02d and price > %d: fwd(%d)\n", i, i*10, i%32)
+	}
+	p := compile(t, sp, b.String(), Options{})
+	r := p.Resources
+	if r.Entries != p.TotalEntries() {
+		t.Errorf("Entries %d != TotalEntries %d", r.Entries, p.TotalEntries())
+	}
+	if r.Entries == 0 || r.SRAMBytes == 0 {
+		t.Errorf("degenerate resources: %+v", r)
+	}
+	if !r.Fits() {
+		t.Errorf("100-rule program should fit the switch: %s", r)
+	}
+	if r.Stages != len(p.Stages)+1 {
+		t.Errorf("stages = %d", r.Stages)
+	}
+}
+
+func TestMaxEntriesGuard(t *testing.T) {
+	sp := testSpec(t)
+	rules, err := subscription.NewParser(sp).ParseRules(`
+price > 1: fwd(1)
+price > 2: fwd(2)
+price > 3: fwd(3)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(sp, rules, Options{MaxEntries: 2}); err == nil {
+		t.Error("MaxEntries guard did not trip")
+	}
+}
+
+func TestStaticPipeline(t *testing.T) {
+	sp := testSpec(t)
+	st, err := GenerateStatic(sp, StaticOptions{})
+	if err != nil {
+		t.Fatalf("GenerateStatic: %v", err)
+	}
+	if len(st.StageFields) != 4 {
+		t.Errorf("stage fields = %d, want 4", len(st.StageFields))
+	}
+	if st.RegisterBlock != 64 || st.MaxParsedMessages != 4 || st.RecirculationPorts != 3 {
+		t.Errorf("defaults wrong: %+v", st)
+	}
+	p := compile(t, sp, "price > 5 and avg(shares) > 3: fwd(1)", Options{LastHop: true})
+	if err := st.Validate(p); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	other := spec.MustParse("other", "header h { x : u8 @field; }")
+	p2, err := Compile(other, mustRules(t, other, "x > 1: fwd(1)"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Validate(p2); err == nil {
+		t.Error("Validate accepted program for wrong spec")
+	}
+
+	empty := spec.MustParse("empty", "header h { x : u8; }")
+	if _, err := GenerateStatic(empty, StaticOptions{}); err == nil {
+		t.Error("GenerateStatic accepted spec with no subscribable fields")
+	}
+}
+
+func mustRules(t *testing.T, sp *spec.Spec, src string) []*subscription.Rule {
+	t.Helper()
+	rules, err := subscription.NewParser(sp).ParseRules(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rules
+}
+
+// TestFieldOrderAblation: all three order heuristics compile and agree
+// semantically (sizes may differ).
+func TestFieldOrderAblation(t *testing.T) {
+	sp := testSpec(t)
+	r := rand.New(rand.NewSource(23))
+	rules := randomRules(r, sp, 15)
+	var programs []*Program
+	for _, ord := range []bdd.FieldOrder{bdd.SpecOrder, bdd.SelectivityOrder, bdd.ReverseSpecOrder} {
+		p, err := Compile(sp, rules, Options{BDD: bdd.Options{Order: ord}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		programs = append(programs, p)
+	}
+	for i := 0; i < 60; i++ {
+		m := spec.NewMessage(sp)
+		m.MustSet("shares", spec.IntVal(int64(r.Intn(10))))
+		m.MustSet("price", spec.IntVal(int64(r.Intn(10))))
+		m.MustSet("stock", spec.StrVal([]string{"GOOGL", "MSFT", "AAPL"}[r.Intn(3)]))
+		want := programs[0].Eval(m, nil).Key()
+		for j, p := range programs[1:] {
+			if got := p.Eval(m, nil).Key(); got != want {
+				t.Fatalf("order %d disagrees on %s: %s vs %s", j+1, m, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkCompile500(b *testing.B) {
+	sp := testSpec(b)
+	r := rand.New(rand.NewSource(4))
+	rules := randomRules(r, sp, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(sp, rules, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	sp := testSpec(b)
+	r := rand.New(rand.NewSource(4))
+	rules := randomRules(r, sp, 500)
+	p, err := Compile(sp, rules, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := spec.NewMessage(sp)
+	m.MustSet("shares", spec.IntVal(5))
+	m.MustSet("price", spec.IntVal(3))
+	m.MustSet("stock", spec.StrVal("GOOGL"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Lookup(m, nil)
+	}
+}

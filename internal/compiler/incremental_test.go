@@ -1,0 +1,234 @@
+package compiler
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"camus/internal/spec"
+	"camus/internal/subscription"
+)
+
+func newInc(t *testing.T) (*Incremental, *subscription.Parser, *spec.Spec) {
+	t.Helper()
+	sp := testSpec(t)
+	inc, err := NewIncremental(sp, Options{})
+	if err != nil {
+		t.Fatalf("NewIncremental: %v", err)
+	}
+	return inc, subscription.NewParser(sp), sp
+}
+
+func TestIncrementalAddRemove(t *testing.T) {
+	inc, p, sp := newInc(t)
+	r1, err := p.ParseRule("stock == GOOGL and price > 50: fwd(1)", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := inc.Add(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.AddedEntries == 0 || up.RemovedEntries != 0 {
+		t.Errorf("first add: %+v", up)
+	}
+	m := spec.NewMessage(sp)
+	m.MustSet("stock", spec.StrVal("GOOGL"))
+	m.MustSet("price", spec.IntVal(60))
+	m.MustSet("shares", spec.IntVal(1))
+	if got := inc.Program().Eval(m, nil).Key(); got != "fwd(1)" {
+		t.Fatalf("after add: %s", got)
+	}
+
+	r2, err := p.ParseRule("stock == MSFT: fwd(2)", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up2, err := inc.Add(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up2.ReusedEntries == 0 {
+		t.Errorf("second add reused no entries: %+v", up2)
+	}
+	if got := inc.Program().Eval(m, nil).Key(); got != "fwd(1)" {
+		t.Errorf("rule 1 lost after adding rule 2: %s", got)
+	}
+
+	up3, err := inc.Remove(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up3.RemovedEntries == 0 {
+		t.Errorf("remove deleted no entries: %+v", up3)
+	}
+	if got := inc.Program().Eval(m, nil).Key(); got != "fwd()" {
+		t.Errorf("rule 1 still active after removal: %s", got)
+	}
+	if ids := inc.Rules(); len(ids) != 1 || ids[0] != 2 {
+		t.Errorf("rules = %v", ids)
+	}
+}
+
+func TestIncrementalErrors(t *testing.T) {
+	inc, p, _ := newInc(t)
+	r, err := p.ParseRule("price > 1: fwd(1)", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Add(r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Add(r); err == nil {
+		t.Error("duplicate rule ID accepted")
+	}
+	if _, err := inc.Remove(99); err == nil {
+		t.Error("removing unknown rule succeeded")
+	}
+}
+
+// TestIncrementalMatchesBatch: after any sequence of adds and removes,
+// the incremental program is semantically identical to a from-scratch
+// batch compile of the live rules.
+func TestIncrementalMatchesBatch(t *testing.T) {
+	inc, p, sp := newInc(t)
+	r := rand.New(rand.NewSource(31))
+	live := make(map[int]*subscription.Rule)
+	stocks := []string{"GOOGL", "MSFT", "AAPL"}
+	nextID := 0
+	for step := 0; step < 40; step++ {
+		if len(live) > 0 && r.Intn(3) == 0 {
+			// Remove a random live rule.
+			for id := range live {
+				if _, err := inc.Remove(id); err != nil {
+					t.Fatal(err)
+				}
+				delete(live, id)
+				break
+			}
+		} else {
+			src := fmt.Sprintf("stock == %s and price > %d: fwd(%d)",
+				stocks[r.Intn(3)], r.Intn(10), r.Intn(5))
+			rule, err := p.ParseRule(src, nextID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nextID++
+			if _, err := inc.Add(rule); err != nil {
+				t.Fatal(err)
+			}
+			live[rule.ID] = rule
+		}
+
+		// Compare against a fresh batch compile on random messages.
+		var rules []*subscription.Rule
+		for _, rr := range live {
+			rules = append(rules, rr)
+		}
+		batch, err := Compile(sp, rules, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			m := spec.NewMessage(sp)
+			m.MustSet("stock", spec.StrVal(stocks[r.Intn(3)]))
+			m.MustSet("price", spec.IntVal(int64(r.Intn(12))))
+			m.MustSet("shares", spec.IntVal(1))
+			want := batch.Eval(m, nil).Key()
+			got := inc.Program().Eval(m, nil).Key()
+			if got != want {
+				t.Fatalf("step %d: incremental %s != batch %s on %s", step, got, want, m)
+			}
+		}
+	}
+}
+
+// TestIncrementalReuse: adding one rule to a large set must reuse most
+// entries and be much faster than the initial build — the point of the
+// memoized engine.
+func TestIncrementalReuse(t *testing.T) {
+	inc, p, _ := newInc(t)
+	var rules []*subscription.Rule
+	for i := 0; i < 300; i++ {
+		src := fmt.Sprintf("stock == S%03d and price > %d: fwd(%d)", i%50, (i*13)%500, i%16)
+		r, err := p.ParseRule(src, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rules = append(rules, r)
+	}
+	start := time.Now()
+	if _, err := inc.Add(rules...); err != nil {
+		t.Fatal(err)
+	}
+	initial := time.Since(start)
+
+	extra, err := p.ParseRule("stock == ZZZZ and price > 123: fwd(7)", 10001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := inc.Add(extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := up.AddedEntries + up.ReusedEntries
+	if up.ReusedEntries < total*2/3 {
+		t.Errorf("single-rule add reused only %d of %d entries", up.ReusedEntries, total)
+	}
+	if up.Elapsed > initial {
+		t.Errorf("incremental add (%v) slower than initial 300-rule build (%v)", up.Elapsed, initial)
+	}
+
+	// Removing the rule restores the previous entry set.
+	before := entryKeys(inc.Program())
+	up2, err := inc.Remove(10001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = up2
+	// Re-adding produces the same program again (node IDs stable).
+	up3, err := inc.Add(extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := entryKeys(up3.Program)
+	if len(before) != len(after) {
+		t.Errorf("entry sets differ after remove/re-add: %d vs %d", len(before), len(after))
+	}
+	for k := range before {
+		if after[k] != before[k] {
+			t.Errorf("entry %q changed across remove/re-add", k)
+		}
+	}
+}
+
+func BenchmarkIncrementalAddOne(b *testing.B) {
+	sp := testSpec(b)
+	p := subscription.NewParser(sp)
+	inc, err := NewIncremental(sp, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		src := fmt.Sprintf("stock == S%03d and price > %d: fwd(%d)", i%50, (i*13)%500, i%16)
+		r, err := p.ParseRule(src, i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := inc.Add(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := 1000 + i
+		r, err := p.ParseRule(fmt.Sprintf("stock == X%d and price > %d: fwd(3)", i, i%997), id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := inc.Add(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package compiler
+
+import (
+	"fmt"
+
+	"camus/internal/subscription"
+)
+
+// Switch resource budgets modeling a Tofino-class programmable ASIC
+// pipeline (per pipe). Absolute sizes are a stand-in for the testbed
+// hardware; Table I compares *relative* usage, which these preserve.
+const (
+	// SRAMBudgetBytes is the exact-match (SRAM) budget.
+	SRAMBudgetBytes = 15 << 20 // 15 MiB
+	// TCAMBudgetBytes is the ternary (TCAM) budget.
+	TCAMBudgetBytes = 768 << 10 // 0.75 MiB
+	// MulticastGroupBudget is the number of multicast groups supported.
+	MulticastGroupBudget = 65536
+	// MaxPipelineStages is the number of match-action stages available.
+	MaxPipelineStages = 12
+	// stateBytes is the width of the BDD-state metadata carried between
+	// stages.
+	stateBytes = 4
+	// actionBytes is the per-entry action/next-state storage.
+	actionBytes = 4
+	// tcamOverheadFactor models TCAM cell cost relative to SRAM (value +
+	// mask storage).
+	tcamOverheadFactor = 2
+)
+
+// Resources summarizes the switch resources a compiled program consumes —
+// the columns of Table I.
+type Resources struct {
+	// Entries is the total number of control-plane entries installed.
+	Entries int
+	// SRAMBytes / TCAMBytes are the estimated memory footprints.
+	SRAMBytes int
+	TCAMBytes int
+	// SRAMPct / TCAMPct are percentages of the modeled budgets.
+	SRAMPct float64
+	TCAMPct float64
+	// MulticastGroups is the number of allocated replication groups.
+	MulticastGroups int
+	// Stages is the number of match-action stages used (fields + leaf).
+	Stages int
+	// Registers is the number of stateful registers allocated.
+	Registers int
+}
+
+// Fits reports whether the program fits the modeled switch.
+func (r Resources) Fits() bool {
+	return r.SRAMBytes <= SRAMBudgetBytes &&
+		r.TCAMBytes <= TCAMBudgetBytes &&
+		r.MulticastGroups <= MulticastGroupBudget
+}
+
+func (r Resources) String() string {
+	return fmt.Sprintf("entries=%d sram=%.2f%% tcam=%.2f%% mcast=%d stages=%d regs=%d",
+		r.Entries, r.SRAMPct, r.TCAMPct, r.MulticastGroups, r.Stages, r.Registers)
+}
+
+// estimate computes the resource footprint of a compiled program.
+func estimate(p *Program) Resources {
+	r := Resources{Stages: len(p.Stages) + 1}
+	for _, t := range p.Stages {
+		fieldBytes := 4
+		switch t.Field.Ref.Kind {
+		case subscription.PacketRef:
+			fieldBytes = t.Field.Ref.Field.Bytes()
+		case subscription.ValidityRef:
+			fieldBytes = 1
+		}
+		keyBytes := stateBytes + fieldBytes
+		bits := fieldBytes * 8
+		if t.Field.Ref.Kind == subscription.PacketRef {
+			bits = t.Field.Ref.Field.Bits
+		}
+		switch t.Kind {
+		case ExactTable:
+			// Residual entries are the table's default action, not rows.
+			stored := 0
+			for _, e := range t.Entries {
+				if _, ok := e.Match.Exact(); ok {
+					stored++
+				}
+			}
+			r.SRAMBytes += stored*(keyBytes+actionBytes) + (len(t.Entries)-stored)*(stateBytes+actionBytes)
+		case CompressedTable:
+			// Value map: TCAM ranges over the raw field producing an
+			// 8-bit code; main table: exact SRAM on (state, code).
+			r.TCAMBytes += t.MapEntries * (fieldBytes + 1 + actionBytes) * tcamOverheadFactor
+			r.SRAMBytes += len(t.Entries) * (stateBytes + 1 + actionBytes)
+		default: // TernaryTable
+			for _, e := range t.Entries {
+				r.TCAMBytes += e.Match.TCAMEntries(bits) * (keyBytes + actionBytes) * tcamOverheadFactor
+			}
+		}
+		// Absent-field defaults live in SRAM beside the stage.
+		r.SRAMBytes += len(t.Defaults) * (stateBytes + actionBytes)
+		r.Entries += len(t.Entries) + t.MapEntries + len(t.Defaults)
+	}
+	// Leaf table: exact match on state.
+	r.SRAMBytes += len(p.Leaf) * (stateBytes + 8)
+	r.Entries += len(p.Leaf)
+	r.MulticastGroups = len(p.Groups)
+	r.Registers = len(p.BDD.Universe.AggregateFields())
+	r.SRAMPct = 100 * float64(r.SRAMBytes) / float64(SRAMBudgetBytes)
+	r.TCAMPct = 100 * float64(r.TCAMBytes) / float64(TCAMBudgetBytes)
+	return r
+}

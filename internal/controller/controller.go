@@ -1,0 +1,150 @@
+// Package controller implements the logically centralized Camus
+// controller (paper §III, Fig. 2): it has a global view of the topology
+// and all end-point subscriptions, computes the global routing policy,
+// and invokes the compiler to produce each switch's configuration.
+package controller
+
+import (
+	"fmt"
+	"time"
+
+	"camus/internal/compiler"
+	"camus/internal/routing"
+	"camus/internal/spec"
+	"camus/internal/subscription"
+	"camus/internal/topology"
+)
+
+// Options configure a deployment.
+type Options struct {
+	// Routing selects the policy (MR/TR) and discretization α.
+	Routing routing.Options
+	// Compiler options applied to every switch; LastHop is forced per
+	// switch layer (stateful predicates run only at the ToR, §II).
+	Compiler compiler.Options
+}
+
+// SwitchCompileStat records the per-switch dynamic compilation cost —
+// the quantity Fig. 14 plots.
+type SwitchCompileStat struct {
+	Switch  string
+	Layer   topology.Layer
+	Rules   int
+	Entries int
+	Elapsed time.Duration
+}
+
+// Deployment is the controller's output: the computed routing policy and
+// one compiled program per switch.
+type Deployment struct {
+	Network  *topology.Network
+	Spec     *spec.Spec
+	Routing  *routing.Result
+	Static   *compiler.StaticPipeline
+	Programs []*compiler.Program // by switch ID
+	Stats    []SwitchCompileStat // by switch ID
+}
+
+// Deploy computes the routing policy for the subscriptions and compiles
+// every switch. subs is indexed by host ID.
+func Deploy(net *topology.Network, sp *spec.Spec, subs [][]subscription.Expr, opts Options) (*Deployment, error) {
+	res, err := routing.ComputeFatTree(net, subs, opts.Routing)
+	if err != nil {
+		return nil, fmt.Errorf("controller: routing: %w", err)
+	}
+	static, err := compiler.GenerateStatic(sp, compiler.StaticOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("controller: static pipeline: %w", err)
+	}
+	d := &Deployment{
+		Network:  net,
+		Spec:     sp,
+		Routing:  res,
+		Static:   static,
+		Programs: make([]*compiler.Program, len(net.Switches)),
+		Stats:    make([]SwitchCompileStat, len(net.Switches)),
+	}
+	if err := d.recompile(opts); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// recompile runs the dynamic compilation step for every switch.
+func (d *Deployment) recompile(opts Options) error {
+	for _, s := range d.Network.Switches {
+		copts := opts.Compiler
+		// Stateful predicates are evaluated only at the hop immediately
+		// before the subscriber (§II): rules forwarding to host-facing
+		// ports. Transit rules (up ports, switch-to-switch) are erased
+		// to their stateless superset.
+		sw := s
+		copts.LastHop = false
+		copts.LastHopPort = func(port int) bool {
+			return port >= 0 && port < len(sw.Ports) && sw.Ports[port].Kind == topology.PeerHost
+		}
+		rules := d.Routing.RulesForSwitch(s.ID)
+		start := time.Now()
+		prog, err := compiler.Compile(d.Spec, rules, copts)
+		if err != nil {
+			return fmt.Errorf("controller: compile %s: %w", s.Name, err)
+		}
+		d.Programs[s.ID] = prog
+		d.Stats[s.ID] = SwitchCompileStat{
+			Switch:  s.Name,
+			Layer:   s.Layer,
+			Rules:   len(rules),
+			Entries: prog.TotalEntries(),
+			Elapsed: time.Since(start),
+		}
+	}
+	return nil
+}
+
+// Resubscribe replaces the subscriptions and recompiles — a dynamic
+// reconfiguration event (§VIII-G3). It returns the total recompile time.
+func (d *Deployment) Resubscribe(subs [][]subscription.Expr, opts Options) (time.Duration, error) {
+	res, err := routing.ComputeFatTree(d.Network, subs, opts.Routing)
+	if err != nil {
+		return 0, err
+	}
+	d.Routing = res
+	start := time.Now()
+	if err := d.recompile(opts); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// LayerEntries sums compiled table entries per layer — the Fig. 13
+// metric.
+func (d *Deployment) LayerEntries() map[topology.Layer]int {
+	out := make(map[topology.Layer]int)
+	for _, st := range d.Stats {
+		out[st.Layer] += st.Entries
+	}
+	return out
+}
+
+// MaxLayerEntries returns the largest per-switch entry count within each
+// layer.
+func (d *Deployment) MaxLayerEntries() map[topology.Layer]int {
+	out := make(map[topology.Layer]int)
+	for _, st := range d.Stats {
+		if st.Entries > out[st.Layer] {
+			out[st.Layer] = st.Entries
+		}
+	}
+	return out
+}
+
+// CompileTime sums the per-switch dynamic compile times, total and by
+// layer (Fig. 14).
+func (d *Deployment) CompileTime() (total time.Duration, byLayer map[topology.Layer]time.Duration) {
+	byLayer = make(map[topology.Layer]time.Duration)
+	for _, st := range d.Stats {
+		total += st.Elapsed
+		byLayer[st.Layer] += st.Elapsed
+	}
+	return total, byLayer
+}

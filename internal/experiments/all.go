@@ -1,0 +1,20 @@
+package experiments
+
+// All runs every reproduced table and figure plus the ablations, in
+// paper order.
+func All(cfg Config) []*Result {
+	return []*Result{
+		Fig8(cfg),
+		Fig9(cfg),
+		Fig11(cfg),
+		Fig12(cfg),
+		Table1(cfg),
+		Fig13(cfg),
+		Fig13d(cfg),
+		Fig14(cfg),
+		Fig15(cfg),
+		AblationPruning(cfg),
+		AblationFieldOrder(cfg),
+		AblationExactMatch(cfg),
+	}
+}

@@ -1,0 +1,63 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VIII). Each function reproduces one result: it builds the
+// workload, runs the systems (Camus and baselines), and returns the rows
+// the paper plots. The bench harness (bench_test.go) and cmd/camus-bench
+// both call these.
+//
+// Absolute numbers reflect the simulated substrate, not the authors'
+// Tofino testbed; the *shape* — who wins, by roughly what factor, where
+// crossovers fall — is the reproduction target (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+
+	"camus/internal/stats"
+)
+
+// Config tunes experiment scale.
+type Config struct {
+	// Quick shrinks workloads for CI/bench runs; full scale reproduces
+	// the paper's axes (minutes of compute).
+	Quick bool
+	// Seed drives all generators.
+	Seed int64
+}
+
+// DefaultConfig is the quick configuration used by `go test -bench`.
+func DefaultConfig() Config { return Config{Quick: true, Seed: 1} }
+
+// Result is one reproduced table or figure.
+type Result struct {
+	// ID is the paper reference ("Fig. 8", "Table I", ...).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Tables hold the series the paper plots.
+	Tables []*stats.Table
+	// Findings are the headline comparisons (paper claim vs. measured).
+	Findings []string
+}
+
+func (r *Result) String() string {
+	out := fmt.Sprintf("=== %s — %s ===\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		out += t.String() + "\n"
+	}
+	for _, f := range r.Findings {
+		out += "* " + f + "\n"
+	}
+	return out
+}
+
+func (r *Result) addFinding(format string, args ...interface{}) {
+	r.Findings = append(r.Findings, fmt.Sprintf(format, args...))
+}
+
+// scale picks between quick and full experiment sizes.
+func (c Config) scale(quick, full int) int {
+	if c.Quick {
+		return quick
+	}
+	return full
+}

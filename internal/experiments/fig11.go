@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"camus/internal/baseline"
+	"camus/internal/stats"
+	"camus/internal/workload"
+)
+
+// Fig11 reproduces the hICN video-streaming experiment (§VIII-E3,
+// Fig. 11): two clients stream hot content while a third pulls many cold
+// identifiers.
+//
+//   - baseline: every request passes through the software hICN forwarder
+//     (a ~3.5 Gbps VPP/DPDK process): cold requests queue behind hot
+//     traffic and pay a cache-miss penalty before going upstream;
+//   - Camus: the switch's stateful meter routes only hot requests to the
+//     forwarder; cold requests bypass it straight toward the origin.
+//
+// Paper result: 95th-percentile latency for uncached content drops by
+// ≈21%, and the forwarder streams hot content ≈3% faster.
+func Fig11(cfg Config) *Result {
+	res := &Result{
+		ID:    "Fig. 11",
+		Title: "hICN: lower tail latency for uncached content via stateful bypass",
+	}
+	requests := cfg.scale(60000, 600000)
+	const hotIDs = 4
+
+	stream := workload.HICNStream(workload.HICNConfig{
+		Requests: requests, HotIDs: hotIDs, HotFraction: 0.8, Seed: cfg.Seed,
+	})
+
+	// Request arrivals keep the forwarder near (but under) saturation —
+	// the paper's forwarder runs close to its 3.5 Gbps limit. Effective
+	// mixed service = 0.8·hit + 0.2·miss; target utilization ≈ 0.95.
+	fwd := baseline.NewHICNForwarder(hotIDs)
+	meanService := 0.8*fwd.ServiceNS + 0.2*(fwd.ServiceNS+fwd.MissPenaltyNS)
+	meanIA := time.Duration(meanService / 0.95)
+	// Upstream (origin) round trip for content not served by the cache:
+	// an edge-to-origin fetch. Queueing at the forwarder is then a
+	// ≈20–25% overhead on cold requests, the paper's Fig. 11 regime.
+	originRTT := 500 * time.Microsecond
+	switchLatency := 600 * time.Nanosecond
+
+	type outcome struct {
+		cold, hot  stats.Sample
+		hotServed  int
+		horizonEnd time.Duration
+	}
+	run := func(bypass bool) *outcome {
+		// Identical arrival sequence for both systems.
+		r := rand.New(rand.NewSource(cfg.Seed + 3))
+		fwd.Reset()
+		o := &outcome{}
+		now := time.Duration(0)
+		for _, req := range stream {
+			now += time.Duration(r.ExpFloat64() * float64(meanIA))
+			hot := req.ContentID < hotIDs
+			switch {
+			case hot:
+				// Hot content always goes to the forwarder cache.
+				lat, _ := fwd.Request(now, req.ContentID)
+				o.hot.AddDuration(switchLatency + lat)
+				o.hotServed++
+			case bypass:
+				// Camus: the meter detects a cold identifier (request
+				// rate below threshold) and routes upstream directly.
+				o.cold.AddDuration(switchLatency + originRTT)
+			default:
+				// Baseline: cold requests queue at the forwarder, miss,
+				// then fetch upstream.
+				lat, _ := fwd.Request(now, req.ContentID)
+				o.cold.AddDuration(switchLatency + lat + originRTT)
+			}
+		}
+		o.horizonEnd = now
+		return o
+	}
+
+	base := run(false)
+	camus := run(true)
+
+	tbl := &stats.Table{
+		Title:  "uncached (cold) content latency (µs)",
+		Header: []string{"system", "P50", "P95", "P99", "requests"},
+	}
+	us := func(s *stats.Sample, p float64) float64 { return s.Percentile(p) / 1000 }
+	tbl.AddRow("baseline (all via forwarder)", us(&base.cold, 50), us(&base.cold, 95), us(&base.cold, 99), base.cold.N())
+	tbl.AddRow("camus (stateful bypass)", us(&camus.cold, 50), us(&camus.cold, 95), us(&camus.cold, 99), camus.cold.N())
+
+	hotTbl := &stats.Table{
+		Title:  "hot content at the forwarder",
+		Header: []string{"system", "P95 latency (µs)", "mean (µs)", "served"},
+	}
+	hotTbl.AddRow("baseline", us(&base.hot, 95), base.hot.Mean()/1000, base.hotServed)
+	hotTbl.AddRow("camus", us(&camus.hot, 95), camus.hot.Mean()/1000, camus.hotServed)
+	res.Tables = []*stats.Table{tbl, hotTbl}
+
+	p95Base, p95Camus := base.cold.Percentile(95), camus.cold.Percentile(95)
+	reduction := 100 * (p95Base - p95Camus) / p95Base
+	res.addFinding("cold-content P95 reduced by %.1f%% (paper: ≈21%%)", reduction)
+	hotGain := 100 * (base.hot.Mean() - camus.hot.Mean()) / base.hot.Mean()
+	res.addFinding("hot mean forwarder latency improved %.1f%% with cold load removed (paper: ≈3%% more hot throughput)", hotGain)
+	return res
+}

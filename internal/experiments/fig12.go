@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"camus/internal/baseline"
+	"camus/internal/compiler"
+	"camus/internal/formats"
+	"camus/internal/stats"
+	"camus/internal/workload"
+)
+
+// Fig12 reproduces the compiler memory-efficiency experiment (§VIII-F2,
+// Fig. 12): total table entries for Camus's BDD compiler vs. the naive
+// one-big-table baseline, sweeping (a) the number of subscriptions and
+// (b) the selectiveness (predicates per filter). Workloads come from the
+// Siena-style synthetic generator the paper uses.
+func Fig12(cfg Config) *Result {
+	res := &Result{
+		ID:    "Fig. 12",
+		Title: "Compiler BDD memory efficiency vs. one-big-table baseline",
+	}
+	const bigCap = 1 << 40
+
+	// (a) Sweep number of subscriptions, 3 predicates per filter.
+	subsSweep := []int{50, 100, 200, 400}
+	if !cfg.Quick {
+		subsSweep = append(subsSweep, 800, 1600, 3200)
+	}
+	ta := &stats.Table{
+		Title:  "(a) table entries vs. #subscriptions (3 predicates each)",
+		Header: []string{"#subs", "camus entries", "big-table entries", "ratio"},
+	}
+	var lastRatio float64
+	for _, n := range subsSweep {
+		rules, err := workload.SienaRules(workload.SienaConfig{
+			Spec: formats.ITCH, Filters: n,
+			MinPredicates: 3, MaxPredicates: 3, Seed: cfg.Seed,
+		}, 32)
+		if err != nil {
+			panic(err)
+		}
+		prog, err := compiler.Compile(formats.ITCH, rules, compiler.Options{})
+		if err != nil {
+			panic(err)
+		}
+		big := baseline.BigTableEntries(formats.ITCH, rules, bigCap)
+		lastRatio = float64(big) / float64(prog.TotalEntries())
+		ta.AddRow(n, prog.TotalEntries(), big, lastRatio)
+	}
+	res.addFinding("at %d subscriptions the big table needs %.0f× more entries than Camus",
+		subsSweep[len(subsSweep)-1], lastRatio)
+
+	// (b) Sweep predicates per filter at a fixed subscription count.
+	nFixed := cfg.scale(300, 1000)
+	tb := &stats.Table{
+		Title:  "(b) table entries vs. predicates per filter",
+		Header: []string{"#predicates", "camus entries", "big-table entries"},
+	}
+	var onePred, maxPred int
+	for _, k := range []int{1, 2, 3, 4} {
+		rules, err := workload.SienaRules(workload.SienaConfig{
+			Spec: formats.ITCH, Filters: nFixed,
+			MinPredicates: k, MaxPredicates: k, Seed: cfg.Seed + int64(k),
+		}, 32)
+		if err != nil {
+			panic(err)
+		}
+		prog, err := compiler.Compile(formats.ITCH, rules, compiler.Options{})
+		if err != nil {
+			panic(err)
+		}
+		entries := prog.TotalEntries()
+		if k == 1 {
+			onePred = entries
+		}
+		maxPred = entries
+		tb.AddRow(k, entries, baseline.BigTableEntries(formats.ITCH, rules, bigCap))
+	}
+	res.Tables = []*stats.Table{ta, tb}
+	if maxPred < onePred {
+		res.addFinding("more selective subscriptions need fewer entries: %d (1 pred) → %d (4 preds) — matches the paper ('more predicates per filter require fewer entries')",
+			onePred, maxPred)
+	} else {
+		res.addFinding("entries at 1 pred = %d vs 4 preds = %d", onePred, maxPred)
+	}
+	return res
+}

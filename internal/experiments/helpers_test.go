@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"camus/internal/formats"
+)
+
+// workloadOrder aliases the feed order type for test readability.
+type workloadOrder = formats.Order
+
+// sscan parses a float cell.
+func sscan(s string, v *float64) (int, error) {
+	return fmt.Sscanf(s, "%f", v)
+}
+
+// mustScan parses a float cell or fails the test.
+func mustScan(t *testing.T, s string, v *float64) {
+	t.Helper()
+	if _, err := fmt.Sscanf(s, "%f", v); err != nil {
+		t.Fatalf("cell %q is not numeric: %v", s, err)
+	}
+}

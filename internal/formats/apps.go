@@ -1,0 +1,301 @@
+package formats
+
+import (
+	"fmt"
+
+	"camus/internal/packet"
+	"camus/internal/spec"
+)
+
+// ---------------------------------------------------------------------
+// ILA — identifier-based routing (§VIII-C3). The IPv6 destination is
+// split into a 64-bit locator and a 64-bit identifier (Facebook's ILA);
+// services subscribe to their identifier, and migrating a service is one
+// subscription update.
+// ---------------------------------------------------------------------
+
+// ILA is the identifier-locator addressing application spec.
+var ILA = spec.MustParse("ila", `
+header ipv6 {
+    version : u4;
+    traffic_class : u8;
+    flow_label : u20;
+    payload_len : u16;
+    next_hdr : u8;
+    hop_limit : u8;
+    src_hi : u64;
+    src_lo : u64;
+    dst_locator : u64 @field;
+    dst_identifier : u64 @field_exact;
+}
+`)
+
+var ilaCodec = packet.MustHeaderCodec(ILA, "ipv6")
+
+// ILAPacket is one identifier-addressed packet.
+type ILAPacket struct {
+	Locator    int64
+	Identifier int64
+	SrcHi      int64
+	SrcLo      int64
+}
+
+// Message builds the decoded form.
+func (p *ILAPacket) Message() *spec.Message {
+	m := spec.NewMessage(ILA)
+	m.MustSet("dst_locator", spec.IntVal(p.Locator))
+	m.MustSet("dst_identifier", spec.IntVal(p.Identifier))
+	return m
+}
+
+// EncodeILA encodes one IPv6/ILA header.
+func EncodeILA(p *ILAPacket) ([]byte, error) {
+	return ilaCodec.Append(nil, packet.V(
+		"version", 6, "hop_limit", 64,
+		"src_hi", p.SrcHi, "src_lo", p.SrcLo,
+		"dst_locator", p.Locator, "dst_identifier", p.Identifier,
+	))
+}
+
+// DecodeILA parses one IPv6/ILA header.
+func DecodeILA(data []byte) (*spec.Message, error) {
+	m := spec.NewMessage(ILA)
+	if _, err := ilaCodec.Decode(data, m); err != nil {
+		return nil, fmt.Errorf("formats: ILA: %w", err)
+	}
+	return m, nil
+}
+
+// ---------------------------------------------------------------------
+// hICN — video streaming with hybrid ICN (§VIII-C4). A content name is
+// embedded in the address; Camus routes "hot" requests (meter above
+// threshold) to the software forwarder cache and cold requests upstream.
+// ---------------------------------------------------------------------
+
+// HICN is the hybrid-ICN video streaming application spec.
+var HICN = spec.MustParse("hicn", `
+header hicn_request {
+    name_prefix : str16 @field;
+    content_id : u64 @field;
+    segment : u32 @field;
+    lifetime_ms : u16;
+    @counter(content_meter, 10ms)
+}
+`)
+
+var hicnCodec = packet.MustHeaderCodec(HICN, "hicn_request")
+
+// HICNRequest is one content interest packet.
+type HICNRequest struct {
+	NamePrefix string
+	ContentID  int64
+	Segment    int64
+}
+
+// Message builds the decoded form.
+func (r *HICNRequest) Message() *spec.Message {
+	m := spec.NewMessage(HICN)
+	m.MustSet("name_prefix", spec.StrVal(r.NamePrefix))
+	m.MustSet("content_id", spec.IntVal(r.ContentID))
+	m.MustSet("segment", spec.IntVal(r.Segment))
+	return m
+}
+
+// EncodeHICN encodes one request.
+func EncodeHICN(r *HICNRequest) ([]byte, error) {
+	return hicnCodec.Append(nil, packet.V(
+		"name_prefix", r.NamePrefix, "content_id", r.ContentID,
+		"segment", r.Segment, "lifetime_ms", 1000,
+	))
+}
+
+// DecodeHICN parses one request.
+func DecodeHICN(data []byte) (*spec.Message, error) {
+	m := spec.NewMessage(HICN)
+	if _, err := hicnCodec.Decode(data, m); err != nil {
+		return nil, fmt.Errorf("formats: hICN: %w", err)
+	}
+	return m, nil
+}
+
+// ---------------------------------------------------------------------
+// DNS — the in-network resolver (§VIII-C5). A subscription per DNS entry
+// answers queries from the switch via the custom answerDNS action.
+// ---------------------------------------------------------------------
+
+// DNS is the resolver application spec.
+var DNS = spec.MustParse("dns", `
+header dns_query {
+    txid : u16;
+    flags : u16;
+    qtype : u16 @field_exact;
+    name : str32 @field_exact;
+}
+`)
+
+var dnsCodec = packet.MustHeaderCodec(DNS, "dns_query")
+
+// QTypeA is the IPv4 address query type.
+const QTypeA = 1
+
+// DNSQuery is one query.
+type DNSQuery struct {
+	TxID  int64
+	QType int64
+	Name  string
+}
+
+// Message builds the decoded form.
+func (q *DNSQuery) Message() *spec.Message {
+	m := spec.NewMessage(DNS)
+	m.MustSet("qtype", spec.IntVal(q.QType))
+	m.MustSet("name", spec.StrVal(q.Name))
+	return m
+}
+
+// EncodeDNS encodes one query.
+func EncodeDNS(q *DNSQuery) ([]byte, error) {
+	return dnsCodec.Append(nil, packet.V(
+		"txid", q.TxID, "qtype", q.QType, "name", q.Name,
+	))
+}
+
+// DecodeDNS parses one query.
+func DecodeDNS(data []byte) (*spec.Message, error) {
+	m := spec.NewMessage(DNS)
+	if _, err := dnsCodec.Decode(data, m); err != nil {
+		return nil, fmt.Errorf("formats: DNS: %w", err)
+	}
+	return m, nil
+}
+
+// ---------------------------------------------------------------------
+// Highway — IoT motor-highway monitoring (§VIII-C6), Linear-Road style:
+// cars emit position reports; subscriptions select speeders inside
+// lat/long boxes, e.g. x > 10 and x < 20 and y > 30 and y < 40 and
+// spd > 55: fwd(1).
+// ---------------------------------------------------------------------
+
+// Highway is the motor-highway monitoring application spec.
+var Highway = spec.MustParse("highway", `
+header position_report {
+    car_id : u32 @field;
+    x : u16 @field;
+    y : u16 @field;
+    spd : u16 @field;
+    dir : u8;
+    highway : u8 @field;
+    lane : u8;
+}
+`)
+
+var highwayCodec = packet.MustHeaderCodec(Highway, "position_report")
+
+// PositionReport is one car position report (10 per second per car).
+type PositionReport struct {
+	CarID   int64
+	X, Y    int64
+	Speed   int64
+	Highway int64
+}
+
+// Message builds the decoded form.
+func (p *PositionReport) Message() *spec.Message {
+	m := spec.NewMessage(Highway)
+	m.MustSet("car_id", spec.IntVal(p.CarID))
+	m.MustSet("x", spec.IntVal(p.X))
+	m.MustSet("y", spec.IntVal(p.Y))
+	m.MustSet("spd", spec.IntVal(p.Speed))
+	m.MustSet("highway", spec.IntVal(p.Highway))
+	return m
+}
+
+// EncodeHighway encodes one report.
+func EncodeHighway(p *PositionReport) ([]byte, error) {
+	return highwayCodec.Append(nil, packet.V(
+		"car_id", p.CarID, "x", p.X, "y", p.Y,
+		"spd", p.Speed, "highway", p.Highway,
+	))
+}
+
+// DecodeHighway parses one report.
+func DecodeHighway(data []byte) (*spec.Message, error) {
+	m := spec.NewMessage(Highway)
+	if _, err := highwayCodec.Decode(data, m); err != nil {
+		return nil, fmt.Errorf("formats: highway: %w", err)
+	}
+	return m, nil
+}
+
+// ---------------------------------------------------------------------
+// Kafka shim — API-compatible pub/sub replacement (§VIII-C7): topic-keyed
+// messages up to 512 bytes routed by the switch instead of broker
+// servers. Topic matching supports prefixes (hierarchical topics).
+// ---------------------------------------------------------------------
+
+// Kafka is the pub/sub shim application spec.
+var Kafka = spec.MustParse("kafka", `
+header kafka_msg {
+    topic : str32 @field;
+    partition : u16 @field;
+    key_hash : u32 @field;
+    payload_len : u16;
+}
+`)
+
+var kafkaCodec = packet.MustHeaderCodec(Kafka, "kafka_msg")
+
+// KafkaMaxPayload is the shim's message size limit (§VIII-C7: 512 bytes,
+// the typical JSON message size, within the MTU).
+const KafkaMaxPayload = 512
+
+// KafkaMessage is one pub/sub message.
+type KafkaMessage struct {
+	Topic     string
+	Partition int64
+	KeyHash   int64
+	Payload   []byte
+}
+
+// Message builds the decoded form.
+func (k *KafkaMessage) Message() *spec.Message {
+	m := spec.NewMessage(Kafka)
+	m.MustSet("topic", spec.StrVal(k.Topic))
+	m.MustSet("partition", spec.IntVal(k.Partition))
+	m.MustSet("key_hash", spec.IntVal(k.KeyHash))
+	return m
+}
+
+// EncodeKafka encodes one message (header + payload).
+func EncodeKafka(k *KafkaMessage) ([]byte, error) {
+	if len(k.Payload) > KafkaMaxPayload {
+		return nil, fmt.Errorf("formats: kafka payload %d exceeds %d-byte shim limit",
+			len(k.Payload), KafkaMaxPayload)
+	}
+	buf, err := kafkaCodec.Append(nil, packet.V(
+		"topic", k.Topic, "partition", k.Partition,
+		"key_hash", k.KeyHash, "payload_len", len(k.Payload),
+	))
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, k.Payload...), nil
+}
+
+// DecodeKafka parses one message, returning the payload too.
+func DecodeKafka(data []byte) (*spec.Message, []byte, error) {
+	m := spec.NewMessage(Kafka)
+	rest, err := kafkaCodec.Decode(data, m)
+	if err != nil {
+		return nil, nil, fmt.Errorf("formats: kafka: %w", err)
+	}
+	vals, _, err := kafkaCodec.DecodeAll(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := int(vals["payload_len"].Int)
+	if n > len(rest) {
+		return nil, nil, fmt.Errorf("formats: kafka payload truncated: %d > %d", n, len(rest))
+	}
+	return m, rest[:n], nil
+}

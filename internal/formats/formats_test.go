@@ -1,0 +1,412 @@
+package formats
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"camus/internal/compiler"
+	"camus/internal/spec"
+	"camus/internal/subscription"
+)
+
+func TestITCHFeedRoundTrip(t *testing.T) {
+	orders := []*Order{
+		{Stock: "GOOGL", Price: 52, Shares: 100, Buy: true, RefNum: 1},
+		{Stock: "MSFT", Price: 31, Shares: 200, Buy: false, RefNum: 2},
+		{Stock: "AAPL", Price: 99, Shares: 50, Buy: true, RefNum: 3},
+	}
+	data, err := EncodeITCHFeed("SESSION01", 42, orders)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	wantLen := moldCodec.Size() + 3*ITCHOrderBytes
+	if len(data) != wantLen {
+		t.Errorf("encoded %d bytes, want %d", len(data), wantLen)
+	}
+	msgs, err := DecodeITCHFeed(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(msgs) != 3 {
+		t.Fatalf("decoded %d messages, want 3", len(msgs))
+	}
+	for i, o := range orders {
+		if v, _ := msgs[i].GetRef("stock"); v.Str != o.Stock {
+			t.Errorf("msg %d stock = %q, want %q", i, v.Str, o.Stock)
+		}
+		if v, _ := msgs[i].GetRef("price"); v.Int != o.Price {
+			t.Errorf("msg %d price = %d, want %d", i, v.Int, o.Price)
+		}
+		if v, _ := msgs[i].GetRef("shares"); v.Int != o.Shares {
+			t.Errorf("msg %d shares = %d, want %d", i, v.Int, o.Shares)
+		}
+	}
+	// Wire-decoded messages must drive the compiled pipeline just like
+	// builder-made ones.
+	rules, err := subscription.NewParser(ITCH).ParseRules("stock == GOOGL and price > 50: fwd(1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := compiler.Compile(ITCH, rules, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prog.Eval(msgs[0], nil).Key(); got != "fwd(1)" {
+		t.Errorf("GOOGL order eval = %s", got)
+	}
+	if got := prog.Eval(msgs[1], nil).Key(); got != "fwd()" {
+		t.Errorf("MSFT order eval = %s", got)
+	}
+}
+
+func TestITCHFeedErrors(t *testing.T) {
+	if _, err := DecodeITCHFeed([]byte{1, 2, 3}); err == nil {
+		t.Error("short datagram decoded")
+	}
+	data, err := EncodeITCHFeed("S", 1, []*Order{{Stock: "A", Price: 1, Shares: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeITCHFeed(data[:len(data)-4]); err == nil {
+		t.Error("truncated order decoded")
+	}
+}
+
+func TestITCHOrderMessageReuse(t *testing.T) {
+	m := spec.NewMessage(ITCH)
+	o1 := &Order{Stock: "GOOGL", Price: 10, Shares: 5, Buy: true}
+	o1.FillMessage(m)
+	if v, _ := m.GetRef("buy_sell"); v.Int != 'B' {
+		t.Errorf("buy_sell = %d", v.Int)
+	}
+	o2 := &Order{Stock: "MSFT", Price: 20, Shares: 6}
+	o2.FillMessage(m)
+	if v, _ := m.GetRef("stock"); v.Str != "MSFT" {
+		t.Errorf("reused message stock = %q", v.Str)
+	}
+	if v, _ := m.GetRef("buy_sell"); v.Int != 'S' {
+		t.Errorf("reused buy_sell = %d", v.Int)
+	}
+}
+
+func TestINTRoundTrip(t *testing.T) {
+	r := &INTReport{FlowID: 9, SwitchID: 2, HopLatency: 150, QueueDepth: 7, EgressPort: 3, TstampNS: 12345}
+	data, err := EncodeINT(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != INTReportBytes {
+		t.Errorf("size = %d, want %d", len(data), INTReportBytes)
+	}
+	m, err := DecodeINT(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.GetRef("switch_id"); v.Int != 2 {
+		t.Errorf("switch_id = %d", v.Int)
+	}
+	if v, _ := m.GetRef("hop_latency"); v.Int != 150 {
+		t.Errorf("hop_latency = %d", v.Int)
+	}
+	// The paper's example filter.
+	rules, err := subscription.NewParser(INT).ParseRules(
+		"switch_id == 2 and hop_latency > 100: fwd(1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := compiler.Compile(INT, rules, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prog.Eval(m, nil).Key(); got != "fwd(1)" {
+		t.Errorf("eval = %s", got)
+	}
+}
+
+func TestILARoundTrip(t *testing.T) {
+	p := &ILAPacket{Locator: 0x2001, Identifier: 0xBEEF, SrcHi: 1, SrcLo: 2}
+	data, err := EncodeILA(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 40 { // standard IPv6 header length
+		t.Errorf("IPv6 header = %d bytes, want 40", len(data))
+	}
+	m, err := DecodeILA(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.GetRef("dst_identifier"); v.Int != 0xBEEF {
+		t.Errorf("identifier = %#x", v.Int)
+	}
+	if v, _ := m.GetRef("dst_locator"); v.Int != 0x2001 {
+		t.Errorf("locator = %#x", v.Int)
+	}
+}
+
+func TestHICNRoundTrip(t *testing.T) {
+	r := &HICNRequest{NamePrefix: "video/cats", ContentID: 77, Segment: 3}
+	data, err := EncodeHICN(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := DecodeHICN(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.GetRef("name_prefix"); v.Str != "video/cats" {
+		t.Errorf("name = %q", v.Str)
+	}
+	// Prefix subscriptions on names.
+	rules, err := subscription.NewParser(HICN).ParseRules(`name_prefix prefix "video/": fwd(1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := compiler.Compile(HICN, rules, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prog.Eval(m, nil).Key(); got != "fwd(1)" {
+		t.Errorf("eval = %s", got)
+	}
+}
+
+func TestDNSRoundTrip(t *testing.T) {
+	q := &DNSQuery{TxID: 99, QType: QTypeA, Name: "h105"}
+	data, err := EncodeDNS(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := DecodeDNS(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.GetRef("name"); v.Str != "h105" {
+		t.Errorf("name = %q", v.Str)
+	}
+	if v, _ := m.GetRef("qtype"); v.Int != QTypeA {
+		t.Errorf("qtype = %d", v.Int)
+	}
+}
+
+func TestHighwayRoundTrip(t *testing.T) {
+	p := &PositionReport{CarID: 1001, X: 15, Y: 35, Speed: 60, Highway: 2}
+	data, err := EncodeHighway(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := DecodeHighway(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's speeding filter (§VIII-C6).
+	rules, err := subscription.NewParser(Highway).ParseRules(
+		"x > 10 and x < 20 and y > 30 and y < 40 and spd > 55: fwd(1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := compiler.Compile(Highway, rules, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prog.Eval(m, nil).Key(); got != "fwd(1)" {
+		t.Errorf("speeder not detected: %s", got)
+	}
+	slow := &PositionReport{CarID: 1002, X: 15, Y: 35, Speed: 50, Highway: 2}
+	if got := prog.Eval(slow.Message(), nil).Key(); got != "fwd()" {
+		t.Errorf("slow car matched: %s", got)
+	}
+}
+
+func TestKafkaRoundTrip(t *testing.T) {
+	k := &KafkaMessage{Topic: "metrics/cpu", Partition: 3, KeyHash: 0xABCD, Payload: []byte(`{"v":1}`)}
+	data, err := EncodeKafka(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, payload, err := DecodeKafka(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(payload) != `{"v":1}` {
+		t.Errorf("payload = %q", payload)
+	}
+	if v, _ := m.GetRef("topic"); v.Str != "metrics/cpu" {
+		t.Errorf("topic = %q", v.Str)
+	}
+	big := &KafkaMessage{Topic: "t", Payload: make([]byte, KafkaMaxPayload+1)}
+	if _, err := EncodeKafka(big); err == nil {
+		t.Error("oversized payload encoded")
+	}
+}
+
+func TestNetBaseFrame(t *testing.T) {
+	payload := []byte("hello")
+	data, err := EncodeFrame(IPv4(10, 0, 0, 1), IPv4(192, 168, 0, 1), 4000, 5000, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != FrameOverheadBytes+len(payload) {
+		t.Errorf("frame = %d bytes, want %d", len(data), FrameOverheadBytes+len(payload))
+	}
+	m := spec.NewMessage(NetBase)
+	rest, err := DecodeFrame(data, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rest) != "hello" {
+		t.Errorf("payload = %q", rest)
+	}
+	if v, _ := m.GetRef("dst"); v.Int != IPv4(192, 168, 0, 1) {
+		t.Errorf("dst = %#x", v.Int)
+	}
+	// The paper's §II example subscription works against the base stack.
+	rules, err := subscription.NewParser(NetBase).ParseRules("dst == 192.168.0.1: fwd(1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := compiler.Compile(NetBase, rules, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prog.Eval(m, nil).Key(); got != "fwd(1)" {
+		t.Errorf("eval = %s", got)
+	}
+}
+
+// TestFeedRoundTripProperty: random batches of random orders round-trip
+// through the wire encoding (testing/quick).
+func TestFeedRoundTripProperty(t *testing.T) {
+	stocks := []string{"GOOGL", "MSFT", "AAPL", "FB", "NFLX"}
+	r := rand.New(rand.NewSource(1))
+	f := func(n uint8, seed int64) bool {
+		count := int(n%16) + 1
+		rr := rand.New(rand.NewSource(seed))
+		orders := make([]*Order, count)
+		for i := range orders {
+			orders[i] = &Order{
+				Stock:  stocks[rr.Intn(len(stocks))],
+				Price:  int64(rr.Intn(100000)),
+				Shares: int64(rr.Intn(100000)),
+				Buy:    rr.Intn(2) == 0,
+				RefNum: rr.Uint64() >> 1,
+			}
+		}
+		data, err := EncodeITCHFeed("S", uint64(r.Uint32()), orders)
+		if err != nil {
+			return false
+		}
+		msgs, err := DecodeITCHFeed(data)
+		if err != nil || len(msgs) != count {
+			return false
+		}
+		for i, o := range orders {
+			stock, _ := msgs[i].GetRef("stock")
+			price, _ := msgs[i].GetRef("price")
+			shares, _ := msgs[i].GetRef("shares")
+			if stock.Str != o.Stock || price.Int != o.Price || shares.Int != o.Shares {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeITCHPass: the Fig. 7 budgeted multi-pass parse yields exactly
+// the one-shot parse, pass boundaries included.
+func TestDecodeITCHPass(t *testing.T) {
+	orders := make([]*Order, 11)
+	for i := range orders {
+		orders[i] = &Order{Stock: fmt.Sprintf("S%02d", i), Price: int64(i), Shares: int64(i * 2)}
+	}
+	data, err := EncodeITCHFeed("S", 1, orders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneShot, err := DecodeITCHFeed(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int{1, 3, 4, 11, 100} {
+		var all []*spec.Message
+		passes := 0
+		for start := 0; start != -1; {
+			msgs, next, err := DecodeITCHPass(data, start, budget)
+			if err != nil {
+				t.Fatalf("budget %d pass at %d: %v", budget, start, err)
+			}
+			all = append(all, msgs...)
+			start = next
+			passes++
+			if passes > 20 {
+				t.Fatalf("budget %d: parser did not terminate", budget)
+			}
+		}
+		if len(all) != len(oneShot) {
+			t.Fatalf("budget %d: %d messages, want %d", budget, len(all), len(oneShot))
+		}
+		for i := range all {
+			a, _ := all[i].GetRef("stock")
+			b, _ := oneShot[i].GetRef("stock")
+			if a.Str != b.Str {
+				t.Fatalf("budget %d msg %d: %q != %q", budget, i, a.Str, b.Str)
+			}
+		}
+		wantPasses := (len(orders) + budget - 1) / budget
+		if budget >= len(orders) {
+			wantPasses = 1
+		}
+		if passes != wantPasses {
+			t.Errorf("budget %d: %d passes, want %d", budget, passes, wantPasses)
+		}
+	}
+	// Out-of-range start terminates immediately.
+	if msgs, next, err := DecodeITCHPass(data, 50, 4); err != nil || next != -1 || len(msgs) != 0 {
+		t.Errorf("past-end pass: %v %d %v", msgs, next, err)
+	}
+}
+
+// TestMergedSpecs: ITCH and INT co-exist on a merged spec (§VIII-D1) and
+// rules written against either application dispatch on header validity.
+func TestMergedSpecs(t *testing.T) {
+	merged, err := spec.Merge("itch+int", ITCH, INT)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	p := subscription.NewParser(merged)
+	rules, err := p.ParseRules(`
+stock == GOOGL: fwd(1)
+switch_id == 2 and hop_latency > 100: fwd(2)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := compiler.Compile(merged, rules, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An ITCH packet must only match ITCH rules.
+	itchMsg := spec.NewMessage(merged)
+	itchMsg.MustSet("stock", spec.StrVal("GOOGL"))
+	itchMsg.MustSet("price", spec.IntVal(1))
+	itchMsg.MustSet("shares", spec.IntVal(1))
+	itchMsg.MustSet("buy_sell", spec.IntVal('B'))
+	if got := prog.Eval(itchMsg, nil).Key(); got != "fwd(1)" {
+		t.Errorf("ITCH packet eval = %s", got)
+	}
+	// An INT packet with values that would confuse unguarded matching.
+	intMsg := spec.NewMessage(merged)
+	intMsg.MustSet("switch_id", spec.IntVal(2))
+	intMsg.MustSet("hop_latency", spec.IntVal(150))
+	intMsg.MustSet("flow_id", spec.IntVal(0))
+	intMsg.MustSet("queue_depth", spec.IntVal(0))
+	intMsg.MustSet("egress_port", spec.IntVal(0))
+	if got := prog.Eval(intMsg, nil).Key(); got != "fwd(2)" {
+		t.Errorf("INT packet eval = %s", got)
+	}
+}

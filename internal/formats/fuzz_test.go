@@ -1,0 +1,31 @@
+package formats
+
+import "testing"
+
+// FuzzDecodeITCH feeds arbitrary bytes to the batched ITCH decoder: it
+// must reject or accept without panicking, and never return more
+// messages than the declared count.
+func FuzzDecodeITCH(f *testing.F) {
+	good, _ := EncodeITCHFeed("SESSION", 7, []*Order{
+		{Stock: "GOOGL", Price: 50, Shares: 100},
+		{Stock: "MSFT", Price: 10, Shares: 5},
+	})
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x00, 0x01})
+	f.Add(good[:len(good)-3])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msgs, err := DecodeITCHFeed(data)
+		if err != nil {
+			return
+		}
+		for _, m := range msgs {
+			if m == nil {
+				t.Fatal("nil message from successful decode")
+			}
+			if !m.HeaderPresent("itch_order") {
+				t.Fatal("decoded message missing header validity")
+			}
+		}
+	})
+}

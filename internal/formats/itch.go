@@ -1,0 +1,172 @@
+package formats
+
+import (
+	"fmt"
+
+	"camus/internal/packet"
+	"camus/internal/spec"
+)
+
+// ITCH is the Nasdaq market-data application (§VIII-C1): a MoldUDP64
+// datagram carrying a count of fixed-width ITCH add-order messages. The
+// annotated fields mirror the paper's Fig. 4.
+var ITCH = spec.MustParse("itch", `
+header moldudp {
+    session : str10;
+    sequence : u64;
+    count : u16;
+}
+header itch_order {
+    msg_type : u8;
+    stock_locate : u16;
+    tracking : u16;
+    timestamp : u48;
+    order_ref : u64;
+    buy_sell : u8 @field_exact;
+    shares : u32 @field;
+    price : u32 @field;
+    stock : str8 @field_exact;
+    @counter(my_counter, 100us)
+}
+`)
+
+var (
+	moldCodec  = packet.MustHeaderCodec(ITCH, "moldudp")
+	orderCodec = packet.MustHeaderCodec(ITCH, "itch_order")
+)
+
+// ITCHOrderBytes is the wire size of one add-order message.
+var ITCHOrderBytes = orderCodec.Size()
+
+// Order is one ITCH add-order message.
+type Order struct {
+	Seq    uint64
+	Stock  string
+	Price  int64
+	Shares int64
+	Buy    bool
+	RefNum uint64
+	TimeNS int64
+	Locate int
+}
+
+// Message builds the decoded form of the order for direct pipeline
+// injection (bypassing wire encoding on simulator hot paths).
+func (o *Order) Message() *spec.Message {
+	m := spec.NewMessage(ITCH)
+	o.FillMessage(m)
+	return m
+}
+
+// FillMessage populates a caller-owned message (zero-alloc hot path).
+func (o *Order) FillMessage(m *spec.Message) {
+	m.Reset()
+	bs := int64('S')
+	if o.Buy {
+		bs = int64('B')
+	}
+	m.MustSet("buy_sell", spec.IntVal(bs))
+	m.MustSet("shares", spec.IntVal(o.Shares))
+	m.MustSet("price", spec.IntVal(o.Price))
+	m.MustSet("stock", spec.StrVal(o.Stock))
+	m.MarkHeader("moldudp")
+}
+
+// EncodeITCHFeed encodes a MoldUDP datagram carrying the given orders.
+func EncodeITCHFeed(session string, seq uint64, orders []*Order) ([]byte, error) {
+	buf := make([]byte, 0, moldCodec.Size()+len(orders)*orderCodec.Size())
+	buf, err := moldCodec.Append(buf, packet.V(
+		"session", session, "sequence", seq, "count", len(orders)))
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range orders {
+		bs := "S"
+		if o.Buy {
+			bs = "B"
+		}
+		buf, err = orderCodec.Append(buf, packet.V(
+			"msg_type", int('A'),
+			"stock_locate", o.Locate,
+			"timestamp", o.TimeNS&0xFFFFFFFFFFFF,
+			"order_ref", o.RefNum,
+			"buy_sell", int(bs[0]),
+			"shares", o.Shares,
+			"price", o.Price,
+			"stock", o.Stock,
+		))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// DecodeITCHPass is the budgeted parser pass of the paper's Fig. 7: one
+// recirculation pass skips the first `startMsg` messages without
+// extracting them (the red counter loop), then extracts up to `maxMsgs`
+// messages (PHV budget), leaving the rest for the next pass. It returns
+// the decoded messages and the index of the next unparsed message, or
+// -1 when the batch is exhausted.
+func DecodeITCHPass(data []byte, startMsg, maxMsgs int) (msgs []*spec.Message, next int, err error) {
+	vals, rest, err := moldCodec.DecodeAll(data)
+	if err != nil {
+		return nil, -1, err
+	}
+	count := int(vals["count"].Int)
+	if count < 0 || count > 1024 {
+		return nil, -1, fmt.Errorf("formats: implausible ITCH count %d", count)
+	}
+	if startMsg >= count {
+		return nil, -1, nil
+	}
+	// Counter loop: shift the parse buffer past the skipped messages
+	// without writing them to the PHV.
+	skip := startMsg * orderCodec.Size()
+	if skip > len(rest) {
+		return nil, -1, fmt.Errorf("formats: ITCH batch truncated at message %d", startMsg)
+	}
+	rest = rest[skip:]
+	end := startMsg + maxMsgs
+	if maxMsgs <= 0 || end > count {
+		end = count
+	}
+	for i := startMsg; i < end; i++ {
+		m := spec.NewMessage(ITCH)
+		m.MarkHeader("moldudp")
+		rest, err = orderCodec.Decode(rest, m)
+		if err != nil {
+			return nil, -1, fmt.Errorf("formats: ITCH message %d/%d: %w", i+1, count, err)
+		}
+		msgs = append(msgs, m)
+	}
+	if end < count {
+		return msgs, end, nil
+	}
+	return msgs, -1, nil
+}
+
+// DecodeITCHFeed parses a MoldUDP datagram into one decoded message per
+// ITCH order — the deep-parsing path of §VI: the parser advances through
+// the batch, extracting each application message.
+func DecodeITCHFeed(data []byte) ([]*spec.Message, error) {
+	vals, rest, err := moldCodec.DecodeAll(data)
+	if err != nil {
+		return nil, err
+	}
+	count := int(vals["count"].Int)
+	if count < 0 || count > 1024 {
+		return nil, fmt.Errorf("formats: implausible ITCH count %d", count)
+	}
+	msgs := make([]*spec.Message, 0, count)
+	for i := 0; i < count; i++ {
+		m := spec.NewMessage(ITCH)
+		m.MarkHeader("moldudp")
+		rest, err = orderCodec.Decode(rest, m)
+		if err != nil {
+			return nil, fmt.Errorf("formats: ITCH message %d/%d: %w", i+1, count, err)
+		}
+		msgs = append(msgs, m)
+	}
+	return msgs, nil
+}

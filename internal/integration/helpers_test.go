@@ -1,0 +1,11 @@
+package integration
+
+import (
+	"camus/internal/packet"
+	"camus/internal/spec"
+)
+
+// newCodec builds a header codec against an arbitrary (e.g. merged) spec.
+func newCodec(sp *spec.Spec, header string) (*packet.HeaderCodec, error) {
+	return packet.NewHeaderCodec(sp, header)
+}

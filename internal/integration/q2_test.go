@@ -1,0 +1,246 @@
+// Package integration holds the cross-module experiments of §VIII-D
+// (Q2: architecture practicality): multiple applications co-existing on
+// one switch, packet subscriptions co-existing with traditional IP
+// traffic, and packet subscriptions generalizing IP. As the paper puts
+// it, "the main result is 'it works'".
+package integration
+
+import (
+	"fmt"
+	"testing"
+
+	"camus/internal/compiler"
+	"camus/internal/controller"
+	"camus/internal/formats"
+	"camus/internal/netsim"
+	"camus/internal/pipeline"
+	"camus/internal/routing"
+	"camus/internal/spec"
+	"camus/internal/subscription"
+	"camus/internal/topology"
+)
+
+// TestQ2MultipleApplications deploys ITCH and INT on the same switch
+// (§VIII-D1): one publisher sends both traffic types; two servers each
+// receive only their application's messages.
+func TestQ2MultipleApplications(t *testing.T) {
+	merged, err := spec.Merge("itch+int", formats.ITCH, formats.INT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := subscription.NewParser(merged)
+	rules, err := p.ParseRules(`
+stock == GOOGL: fwd(1)
+switch_id == 2 and hop_latency > 100: fwd(2)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := compiler.Compile(merged, rules, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := pipeline.New("shared", nil, prog, pipeline.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// ITCH traffic decoded from the wire, remapped onto the merged spec.
+	wire, err := formats.EncodeITCHFeed("S", 1, []*formats.Order{
+		{Stock: "GOOGL", Price: 10, Shares: 1},
+		{Stock: "MSFT", Price: 10, Shares: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	itchMsgs, err := formats.DecodeITCHFeed(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, src := range itchMsgs {
+		m := remap(t, src, merged)
+		out := sw.Process(&pipeline.Packet{In: 0, Msgs: []*spec.Message{m}}, 0)
+		if i == 0 && (len(out) != 1 || out[0].Port != 1) {
+			t.Errorf("GOOGL order: %+v", out)
+		}
+		if i == 1 && len(out) != 0 {
+			t.Errorf("MSFT order should drop: %+v", out)
+		}
+	}
+
+	// INT traffic on the same switch, same pipeline.
+	intWire, err := formats.EncodeINT(&formats.INTReport{SwitchID: 2, HopLatency: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	intMsg, err := formats.DecodeINT(intWire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sw.Process(&pipeline.Packet{In: 0, Msgs: []*spec.Message{remap(t, intMsg, merged)}}, 0)
+	if len(out) != 1 || out[0].Port != 2 {
+		t.Errorf("INT anomaly: %+v", out)
+	}
+	// An INT report that is not anomalous must not reach either app.
+	quiet, err := formats.DecodeINT(mustEncodeINT(t, &formats.INTReport{SwitchID: 2, HopLatency: 5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := sw.Process(&pipeline.Packet{In: 0, Msgs: []*spec.Message{remap(t, quiet, merged)}}, 0); len(out) != 0 {
+		t.Errorf("quiet INT report forwarded: %+v", out)
+	}
+}
+
+// TestQ2CoexistenceWithIP extends a basic L2/L3 switch with two packet
+// subscription applications (§VIII-D2): ITCH and INT subscriptions run
+// beside plain IPv4 forwarding rules, and the IP traffic is unaffected.
+func TestQ2CoexistenceWithIP(t *testing.T) {
+	merged, err := spec.Merge("ip+itch+int", formats.NetBase, formats.ITCH, formats.INT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := subscription.NewParser(merged)
+	// Kafka servers behind ports 5/6 via classic IP; app filters beside.
+	rules, err := p.ParseRules(`
+dst == 10.0.0.5: fwd(5)
+dst == 10.0.0.6: fwd(6)
+stock == GOOGL: fwd(1)
+switch_id == 2 and hop_latency > 100: fwd(2)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := compiler.Compile(merged, rules, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := pipeline.New("tor", nil, prog, pipeline.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Plain Kafka-over-IP traffic: forwarded by address, untouched by
+	// the subscription applications.
+	frame, err := formats.EncodeFrame(formats.IPv4(10, 0, 0, 9), formats.IPv4(10, 0, 0, 5), 1234, 9092, []byte("produce"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipMsg := spec.NewMessage(merged)
+	// Decode against merged spec: netbase headers resolve by name.
+	if _, err := decodeFrameInto(merged, frame, ipMsg); err != nil {
+		t.Fatal(err)
+	}
+	out := sw.Process(&pipeline.Packet{In: 0, Msgs: []*spec.Message{ipMsg}}, 0)
+	if len(out) != 1 || out[0].Port != 5 {
+		t.Fatalf("IP packet: %+v", out)
+	}
+
+	// Introducing ITCH traffic does not disturb IP forwarding.
+	googl := &formats.Order{Stock: "GOOGL", Price: 1, Shares: 1}
+	m := remap(t, googl.Message(), merged)
+	if out := sw.Process(&pipeline.Packet{In: 0, Msgs: []*spec.Message{m}}, 0); len(out) != 1 || out[0].Port != 1 {
+		t.Fatalf("ITCH packet: %+v", out)
+	}
+	if out := sw.Process(&pipeline.Packet{In: 0, Msgs: []*spec.Message{ipMsg}}, 0); len(out) != 1 || out[0].Port != 5 {
+		t.Fatalf("IP packet after ITCH traffic: %+v", out)
+	}
+}
+
+// TestQ2GeneralizingIP implements traditional IP forwarding purely with
+// packet subscriptions over a 4-server cluster (§VIII-D3).
+func TestQ2GeneralizingIP(t *testing.T) {
+	net := topology.MustFatTree(4)
+	subs := make([][]subscription.Expr, len(net.Hosts))
+	p := subscription.NewParser(formats.NetBase)
+	for h := 0; h < 4; h++ {
+		f, err := p.ParseFilter(fmt.Sprintf("dst == 10.0.0.%d", h+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[h] = []subscription.Expr{f}
+	}
+	d, err := controller.Deploy(net, formats.NetBase, subs, controller.Options{
+		Routing: routing.Options{Policy: routing.TrafficReduction},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := netsim.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for from := 0; from < 4; from++ {
+		for to := 0; to < 4; to++ {
+			if from == to {
+				continue
+			}
+			m := spec.NewMessage(formats.NetBase)
+			m.MustSet("dst", spec.IntVal(formats.IPv4(10, 0, 0, to+1)))
+			m.MustSet("src", spec.IntVal(formats.IPv4(10, 0, 0, from+1)))
+			m.MustSet("proto", spec.IntVal(6))
+			m.MustSet("dport", spec.IntVal(9092))
+			out := sim.Publish(from, []*spec.Message{m}, 64)
+			if len(out) != 1 || out[0].Host != to {
+				t.Fatalf("IP %d→%d: %+v", from, to, out)
+			}
+		}
+	}
+}
+
+// remap copies a message decoded against an application spec onto the
+// merged multi-application spec (matching fields by qualified name) —
+// what a shared parser does on a multi-app switch.
+func remap(t *testing.T, src *spec.Message, merged *spec.Spec) *spec.Message {
+	t.Helper()
+	dst := spec.NewMessage(merged)
+	for i, f := range src.Spec().SubscribableFields() {
+		v, ok := src.Get(i)
+		if !ok {
+			continue
+		}
+		if err := dst.Set(f.QName(), v); err != nil {
+			t.Fatalf("remap %s: %v", f.QName(), err)
+		}
+	}
+	// Propagate header validity for headers without subscribable fields.
+	for _, h := range src.Spec().Headers {
+		if src.HeaderPresent(h.Name) {
+			dst.MarkHeader(h.Name)
+		}
+	}
+	return dst
+}
+
+func mustEncodeINT(t *testing.T, r *formats.INTReport) []byte {
+	t.Helper()
+	b, err := formats.EncodeINT(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// decodeFrameInto decodes the netbase stack against a merged spec.
+func decodeFrameInto(merged *spec.Spec, data []byte, m *spec.Message) ([]byte, error) {
+	eth, err := newCodec(merged, "ethernet")
+	if err != nil {
+		return nil, err
+	}
+	ip, err := newCodec(merged, "ipv4")
+	if err != nil {
+		return nil, err
+	}
+	udp, err := newCodec(merged, "udp")
+	if err != nil {
+		return nil, err
+	}
+	rest, err := eth.Decode(data, m)
+	if err != nil {
+		return nil, err
+	}
+	rest, err = ip.Decode(rest, m)
+	if err != nil {
+		return nil, err
+	}
+	return udp.Decode(rest, m)
+}

@@ -1,0 +1,495 @@
+// Package match models value constraints over packet fields: the sets of
+// field values that satisfy a conjunction of canonical atomic predicates.
+//
+// Constraints serve three roles:
+//
+//   - in the BDD builder they are the per-field path contexts that drive
+//     the domain-specific implication pruning (paper §V-C reduction iii);
+//   - in the compiler they are the "range" column of the match-action
+//     entries produced by Algorithm 2 ((state, range) → state);
+//   - in the pipeline runtime they are the executable match expressions.
+//
+// Canonical relations are EQ, LT, GT for integers and EQ, PREFIX for
+// strings; the remaining relations are expressed as negated outcomes of
+// the canonical ones.
+package match
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"camus/internal/spec"
+	"camus/internal/subscription"
+)
+
+// Tri is a three-valued truth value returned by implication tests.
+type Tri int
+
+const (
+	Unknown Tri = iota
+	True
+	False
+)
+
+func (t Tri) String() string {
+	switch t {
+	case True:
+		return "true"
+	case False:
+		return "false"
+	default:
+		return "unknown"
+	}
+}
+
+// Constraint is the set of values a field may still take along a BDD path
+// or within one compiled table entry.
+type Constraint interface {
+	// Implies tests whether the constraint decides the canonical
+	// predicate (rel ∈ {EQ, LT, GT, PREFIX}).
+	Implies(rel subscription.Relation, c spec.Value) Tri
+	// With returns the constraint refined by the predicate outcome.
+	With(rel subscription.Relation, c spec.Value, outcome bool) Constraint
+	// Matches reports whether a concrete value satisfies the constraint.
+	Matches(v spec.Value) bool
+	// Exact returns the single satisfying value, if the constraint pins
+	// one — such entries compile to exact (SRAM) matches (§V-E).
+	Exact() (spec.Value, bool)
+	// IsResidual reports whether the constraint is the complement of a
+	// finite set of exact values (no range or prefix component). Residual
+	// entries realize as the default (miss) action of an exact table
+	// rather than stored entries.
+	IsResidual() bool
+	// TCAMEntries estimates how many TCAM entries realize the constraint
+	// on a field of the given bit width (range-to-prefix expansion).
+	TCAMEntries(bits int) int
+	// Key returns a canonical encoding (memoization / dedup key).
+	Key() string
+}
+
+// New returns the unconstrained ("match everything") constraint for a
+// field value type.
+func New(t spec.FieldType) Constraint {
+	if t == spec.StringField {
+		return &StrConstraint{}
+	}
+	return &IntConstraint{Lo: math.MinInt64, Hi: math.MaxInt64}
+}
+
+// maxExclusions caps the per-constraint exclusion lists. Workloads with
+// tens of thousands of equality predicates on one field (e.g. 1M hICN
+// content IDs) would otherwise build O(n)-sized lists copied O(n) times.
+// Dropping exclusions only loosens a constraint, which is sound:
+// implication tests lose a pruning opportunity, and compiled entries may
+// overlap a later residual entry — the pipeline takes the first match in
+// hi-before-lo path order, which is exactly BDD evaluation order, so
+// semantics are unchanged.
+const maxExclusions = 32
+
+// ---------------------------------------------------------------------
+// Integer constraints: an interval plus interior exclusions.
+// ---------------------------------------------------------------------
+
+// IntConstraint is [Lo,Hi] minus Excluded (sorted interior points).
+type IntConstraint struct {
+	Lo, Hi   int64
+	Excluded []int64
+}
+
+func (ic *IntConstraint) isExcluded(v int64) bool {
+	i := sort.Search(len(ic.Excluded), func(i int) bool { return ic.Excluded[i] >= v })
+	return i < len(ic.Excluded) && ic.Excluded[i] == v
+}
+
+func (ic *IntConstraint) singleton() (int64, bool) {
+	if ic.Lo == ic.Hi {
+		return ic.Lo, true
+	}
+	return 0, false
+}
+
+// Implies implements Constraint.
+func (ic *IntConstraint) Implies(rel subscription.Relation, c spec.Value) Tri {
+	v := c.Int
+	switch rel {
+	case subscription.EQ:
+		if p, ok := ic.singleton(); ok {
+			if p == v {
+				return True
+			}
+			return False
+		}
+		if v < ic.Lo || v > ic.Hi || ic.isExcluded(v) {
+			return False
+		}
+		return Unknown
+	case subscription.LT:
+		if ic.Hi < v {
+			return True
+		}
+		if ic.Lo >= v {
+			return False
+		}
+		return Unknown
+	case subscription.GT:
+		if ic.Lo > v {
+			return True
+		}
+		if ic.Hi <= v {
+			return False
+		}
+		return Unknown
+	default:
+		panic("match: non-canonical int relation " + rel.String())
+	}
+}
+
+// With implements Constraint.
+func (ic *IntConstraint) With(rel subscription.Relation, c spec.Value, outcome bool) Constraint {
+	v := c.Int
+	n := &IntConstraint{Lo: ic.Lo, Hi: ic.Hi, Excluded: ic.Excluded}
+	switch rel {
+	case subscription.EQ:
+		if outcome {
+			n.Lo, n.Hi = v, v
+			n.Excluded = nil
+		} else {
+			n.exclude(v)
+		}
+	case subscription.LT:
+		if outcome {
+			if v-1 < n.Hi {
+				n.Hi = v - 1
+			}
+		} else if v > n.Lo {
+			n.Lo = v
+		}
+	case subscription.GT:
+		if outcome {
+			if v+1 > n.Lo {
+				n.Lo = v + 1
+			}
+		} else if v < n.Hi {
+			n.Hi = v
+		}
+	default:
+		panic("match: non-canonical int relation " + rel.String())
+	}
+	n.normalize()
+	return n
+}
+
+func (ic *IntConstraint) exclude(v int64) {
+	if v < ic.Lo || v > ic.Hi {
+		return
+	}
+	i := sort.Search(len(ic.Excluded), func(i int) bool { return ic.Excluded[i] >= v })
+	if i < len(ic.Excluded) && ic.Excluded[i] == v {
+		return
+	}
+	if len(ic.Excluded) >= maxExclusions && v != ic.Lo && v != ic.Hi {
+		return // capacity: drop the exclusion (sound loosening)
+	}
+	out := make([]int64, 0, len(ic.Excluded)+1)
+	out = append(out, ic.Excluded[:i]...)
+	out = append(out, v)
+	out = append(out, ic.Excluded[i:]...)
+	ic.Excluded = out
+}
+
+func (ic *IntConstraint) normalize() {
+	for ic.Lo <= ic.Hi && ic.isExcluded(ic.Lo) {
+		ic.Lo++
+	}
+	for ic.Hi >= ic.Lo && ic.isExcluded(ic.Hi) {
+		ic.Hi--
+	}
+	if len(ic.Excluded) > 0 {
+		kept := ic.Excluded[:0:0]
+		for _, v := range ic.Excluded {
+			if v > ic.Lo && v < ic.Hi {
+				kept = append(kept, v)
+			}
+		}
+		ic.Excluded = kept
+	}
+}
+
+// Matches implements Constraint.
+func (ic *IntConstraint) Matches(v spec.Value) bool {
+	if v.Kind != spec.IntField {
+		return false
+	}
+	return v.Int >= ic.Lo && v.Int <= ic.Hi && !ic.isExcluded(v.Int)
+}
+
+// Exact implements Constraint.
+func (ic *IntConstraint) Exact() (spec.Value, bool) {
+	if p, ok := ic.singleton(); ok {
+		return spec.IntVal(p), true
+	}
+	return spec.Value{}, false
+}
+
+// IsResidual implements Constraint.
+func (ic *IntConstraint) IsResidual() bool {
+	return ic.Lo == math.MinInt64 && ic.Hi == math.MaxInt64
+}
+
+// TCAMEntries implements Constraint: the allowed set is split at excluded
+// points into maximal ranges, each expanded to prefix entries.
+func (ic *IntConstraint) TCAMEntries(bits int) int {
+	if _, ok := ic.singleton(); ok {
+		return 1
+	}
+	lo := clampToBits(ic.Lo, bits)
+	hi := clampToBits(ic.Hi, bits)
+	if lo > hi {
+		return 0
+	}
+	total := 0
+	start := lo
+	for _, x := range ic.Excluded {
+		if x < start || x > hi {
+			continue
+		}
+		if x > start {
+			total += rangePrefixCount(uint64(start), uint64(x-1), bits)
+		}
+		start = x + 1
+	}
+	if start <= hi {
+		total += rangePrefixCount(uint64(start), uint64(hi), bits)
+	}
+	return total
+}
+
+func clampToBits(v int64, bits int) int64 {
+	if v < 0 {
+		return 0
+	}
+	var max int64
+	if bits >= 63 {
+		max = math.MaxInt64
+	} else {
+		max = int64(1)<<uint(bits) - 1
+	}
+	if v > max {
+		return max
+	}
+	return v
+}
+
+// rangePrefixCount counts the minimal prefix (ternary) entries covering
+// the inclusive range [lo,hi] on a width-bit field — the classic
+// range-to-TCAM expansion the paper's §V-E optimization avoids.
+func rangePrefixCount(lo, hi uint64, bits int) int {
+	if bits > 63 {
+		bits = 63
+	}
+	count := 0
+	for lo <= hi {
+		// Largest power-of-two block starting at lo that fits in [lo,hi].
+		size := uint64(1) << uint(bits)
+		for size > 1 {
+			if lo%size == 0 && lo+size-1 <= hi {
+				break
+			}
+			size >>= 1
+		}
+		count++
+		if lo+size-1 == math.MaxUint64 {
+			break
+		}
+		lo += size
+	}
+	return count
+}
+
+// Key implements Constraint.
+func (ic *IntConstraint) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%d,%d]", ic.Lo, ic.Hi)
+	for _, v := range ic.Excluded {
+		fmt.Fprintf(&b, "!%d", v)
+	}
+	return b.String()
+}
+
+func (ic *IntConstraint) String() string { return ic.Key() }
+
+// ---------------------------------------------------------------------
+// String constraints.
+// ---------------------------------------------------------------------
+
+// StrConstraint tracks exact-value knowledge, a required prefix, and
+// excluded values/prefixes.
+type StrConstraint struct {
+	Known      string
+	HasKnown   bool
+	Required   string   // longest required prefix
+	ExcludedEq []string // sorted excluded exact values
+	ExcludedPx []string // sorted excluded prefixes
+}
+
+// Implies implements Constraint.
+func (sc *StrConstraint) Implies(rel subscription.Relation, c spec.Value) Tri {
+	v := c.Str
+	if sc.HasKnown {
+		var m bool
+		switch rel {
+		case subscription.EQ:
+			m = sc.Known == v
+		case subscription.PREFIX:
+			m = strings.HasPrefix(sc.Known, v)
+		default:
+			panic("match: non-canonical string relation " + rel.String())
+		}
+		if m {
+			return True
+		}
+		return False
+	}
+	switch rel {
+	case subscription.EQ:
+		if containsStr(sc.ExcludedEq, v) {
+			return False
+		}
+		if sc.Required != "" && !strings.HasPrefix(v, sc.Required) {
+			return False
+		}
+		for _, px := range sc.ExcludedPx {
+			if strings.HasPrefix(v, px) {
+				return False
+			}
+		}
+		return Unknown
+	case subscription.PREFIX:
+		if sc.Required != "" && strings.HasPrefix(sc.Required, v) {
+			return True
+		}
+		if sc.Required != "" && !strings.HasPrefix(v, sc.Required) {
+			return False
+		}
+		for _, px := range sc.ExcludedPx {
+			if strings.HasPrefix(v, px) {
+				return False
+			}
+		}
+		return Unknown
+	default:
+		panic("match: non-canonical string relation " + rel.String())
+	}
+}
+
+// With implements Constraint.
+func (sc *StrConstraint) With(rel subscription.Relation, c spec.Value, outcome bool) Constraint {
+	v := c.Str
+	n := &StrConstraint{
+		Known: sc.Known, HasKnown: sc.HasKnown, Required: sc.Required,
+		ExcludedEq: sc.ExcludedEq, ExcludedPx: sc.ExcludedPx,
+	}
+	switch rel {
+	case subscription.EQ:
+		if outcome {
+			n.Known, n.HasKnown = v, true
+			n.Required, n.ExcludedEq, n.ExcludedPx = "", nil, nil
+		} else if len(n.ExcludedEq) < maxExclusions {
+			n.ExcludedEq = insertStr(n.ExcludedEq, v)
+		}
+	case subscription.PREFIX:
+		if outcome {
+			if len(v) > len(n.Required) {
+				n.Required = v
+			}
+		} else if len(n.ExcludedPx) < maxExclusions {
+			n.ExcludedPx = insertStr(n.ExcludedPx, v)
+		}
+	default:
+		panic("match: non-canonical string relation " + rel.String())
+	}
+	return n
+}
+
+// Matches implements Constraint.
+func (sc *StrConstraint) Matches(v spec.Value) bool {
+	if v.Kind != spec.StringField {
+		return false
+	}
+	s := v.Str
+	if sc.HasKnown {
+		return s == sc.Known
+	}
+	if sc.Required != "" && !strings.HasPrefix(s, sc.Required) {
+		return false
+	}
+	if containsStr(sc.ExcludedEq, s) {
+		return false
+	}
+	for _, px := range sc.ExcludedPx {
+		if strings.HasPrefix(s, px) {
+			return false
+		}
+	}
+	return true
+}
+
+// Exact implements Constraint.
+func (sc *StrConstraint) Exact() (spec.Value, bool) {
+	if sc.HasKnown {
+		return spec.StrVal(sc.Known), true
+	}
+	return spec.Value{}, false
+}
+
+// IsResidual implements Constraint.
+func (sc *StrConstraint) IsResidual() bool {
+	return !sc.HasKnown && sc.Required == "" && len(sc.ExcludedPx) == 0
+}
+
+// TCAMEntries implements Constraint: one ternary entry for the required
+// prefix (or a wildcard), plus one shadowing entry per exclusion.
+func (sc *StrConstraint) TCAMEntries(int) int {
+	if sc.HasKnown {
+		return 1
+	}
+	return 1 + len(sc.ExcludedEq) + len(sc.ExcludedPx)
+}
+
+// Key implements Constraint.
+func (sc *StrConstraint) Key() string {
+	var b strings.Builder
+	if sc.HasKnown {
+		fmt.Fprintf(&b, "=%q", sc.Known)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "^%q", sc.Required)
+	for _, v := range sc.ExcludedEq {
+		fmt.Fprintf(&b, "!=%q", v)
+	}
+	for _, v := range sc.ExcludedPx {
+		fmt.Fprintf(&b, "!^%q", v)
+	}
+	return b.String()
+}
+
+func (sc *StrConstraint) String() string { return sc.Key() }
+
+func containsStr(sorted []string, v string) bool {
+	i := sort.SearchStrings(sorted, v)
+	return i < len(sorted) && sorted[i] == v
+}
+
+func insertStr(sorted []string, v string) []string {
+	i := sort.SearchStrings(sorted, v)
+	if i < len(sorted) && sorted[i] == v {
+		return sorted
+	}
+	out := make([]string, 0, len(sorted)+1)
+	out = append(out, sorted[:i]...)
+	out = append(out, v)
+	out = append(out, sorted[i:]...)
+	return out
+}

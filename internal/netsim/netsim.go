@@ -1,0 +1,208 @@
+// Package netsim is the event-driven network simulator standing in for
+// the paper's Tofino testbed and Mininet emulation: it instantiates one
+// software switch (internal/pipeline) per topology switch, forwards
+// packets hop by hop, resolves the logical up port, and accounts
+// deliveries, latency, and per-layer traffic.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"camus/internal/controller"
+	"camus/internal/pipeline"
+	"camus/internal/routing"
+	"camus/internal/spec"
+	"camus/internal/topology"
+)
+
+// HostDelivery is one message batch arriving at a host.
+type HostDelivery struct {
+	Host    int
+	Msgs    []*spec.Message
+	Latency time.Duration // network transit time, publisher to host
+	Hops    int
+}
+
+// TrafficStats counts link traversals per layer boundary — the Fig. 13d
+// extra-traffic metric counts packets crossing core links.
+type TrafficStats struct {
+	// LinkPackets counts packets entering switches of each layer.
+	LinkPackets map[topology.Layer]int64
+	// CorePackets counts packets traversing core switches.
+	CorePackets int64
+	// Dropped counts packets that matched nothing at some switch.
+	Dropped int64
+	// Looped counts packets killed by the hop limit (must stay 0).
+	Looped int64
+}
+
+// Sim is a running simulation of a deployment.
+type Sim struct {
+	Deployment *controller.Deployment
+	Switches   []*pipeline.Switch
+	Traffic    TrafficStats
+	// LinkLatency is the per-hop wire latency.
+	LinkLatency time.Duration
+	// HopLimit kills packets after this many switch hops (loop guard).
+	HopLimit int
+	// ECMP selects the physical up link by hashing the packet's flow
+	// instead of round-robin, keeping a flow on one path (§IV-C: "ECMP
+	// could be used for flow-based protocols").
+	ECMP bool
+
+	clock time.Duration
+	// upRR is the per-switch round-robin pointer for resolving the
+	// logical up port to a physical up link (§IV-C: "Camus actually
+	// chooses one of the corresponding physical ports, at random or
+	// round-robin").
+	upRR []int
+}
+
+// New builds a simulator from a deployment.
+func New(d *controller.Deployment) (*Sim, error) {
+	s := &Sim{
+		Deployment:  d,
+		Switches:    make([]*pipeline.Switch, len(d.Network.Switches)),
+		LinkLatency: 500 * time.Nanosecond,
+		HopLimit:    16,
+		upRR:        make([]int, len(d.Network.Switches)),
+		Traffic:     TrafficStats{LinkPackets: make(map[topology.Layer]int64)},
+	}
+	for _, tsw := range d.Network.Switches {
+		sw, err := pipeline.New(tsw.Name, d.Static, d.Programs[tsw.ID], pipeline.DefaultConfig())
+		if err != nil {
+			return nil, fmt.Errorf("netsim: switch %s: %w", tsw.Name, err)
+		}
+		s.Switches[tsw.ID] = sw
+	}
+	return s, nil
+}
+
+// Clock returns the current virtual time.
+func (s *Sim) Clock() time.Duration { return s.clock }
+
+// Advance moves the virtual clock forward.
+func (s *Sim) Advance(d time.Duration) { s.clock += d }
+
+// inFlight is a packet positioned at a switch ingress.
+type inFlight struct {
+	sw      int
+	inPort  int
+	fromUp  bool // arrived via one of the switch's up ports
+	msgs    []*spec.Message
+	bytes   int
+	latency time.Duration
+	hops    int
+	flow    uint64 // ECMP flow hash
+}
+
+// Publish injects a packet from a host and forwards it to completion,
+// returning every host delivery. Processing is synchronous at the
+// current virtual clock (switch transit latencies are summed into the
+// per-delivery latency but do not advance the global clock).
+func (s *Sim) Publish(host int, msgs []*spec.Message, bytes int) []HostDelivery {
+	return s.PublishFlow(host, msgs, bytes, 0)
+}
+
+// PublishFlow is Publish with an explicit flow identity for ECMP path
+// selection (flow 0 hashes from the publisher).
+func (s *Sim) PublishFlow(host int, msgs []*spec.Message, bytes int, flow uint64) []HostDelivery {
+	if flow == 0 {
+		flow = uint64(host)*0x9E3779B97F4A7C15 + 1
+	}
+	swID, port := s.Deployment.Network.Access(host)
+	queue := []inFlight{{
+		sw: swID, inPort: port, msgs: msgs, bytes: bytes,
+		latency: s.LinkLatency, flow: flow,
+	}}
+	var out []HostDelivery
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		if f.hops >= s.HopLimit {
+			s.Traffic.Looped++
+			continue
+		}
+		tsw := s.Deployment.Network.Switches[f.sw]
+		s.Traffic.LinkPackets[tsw.Layer]++
+		if tsw.Layer == topology.Core {
+			s.Traffic.CorePackets++
+		}
+		sw := s.Switches[f.sw]
+		deliveries := sw.Process(&pipeline.Packet{In: f.inPort, Msgs: f.msgs, Bytes: f.bytes}, s.clock)
+		if len(deliveries) == 0 {
+			s.Traffic.Dropped++
+			continue
+		}
+		for _, d := range deliveries {
+			next := s.resolvePort(tsw, d.Port, f)
+			if next == nil {
+				continue
+			}
+			lat := f.latency + d.Latency + s.LinkLatency
+			if next.Kind == topology.PeerHost {
+				out = append(out, HostDelivery{
+					Host: next.PeerHostID, Msgs: d.Msgs, Latency: lat, Hops: f.hops + 1,
+				})
+				continue
+			}
+			peer := s.Deployment.Network.Switches[next.PeerSwitch]
+			queue = append(queue, inFlight{
+				sw:      next.PeerSwitch,
+				inPort:  next.PeerPort,
+				fromUp:  peer.Ports[next.PeerPort].Kind == topology.PeerUp,
+				msgs:    d.Msgs,
+				bytes:   f.bytes * maxInt(len(d.Msgs), 1) / maxInt(len(f.msgs), 1),
+				latency: lat,
+				hops:    f.hops + 1,
+				flow:    f.flow,
+			})
+		}
+	}
+	return out
+}
+
+// resolvePort maps a forwarding decision to a physical port. The logical
+// up port (routing.UpPort) resolves round-robin over the physical up
+// links, and is suppressed for packets that arrived from above (§IV-C:
+// "a packet received on one of the upward ports is never forwarded to
+// the up port", which keeps hierarchical routing loop-free).
+func (s *Sim) resolvePort(tsw *topology.Switch, port int, f inFlight) *topology.Port {
+	if port == routing.UpPort {
+		if f.fromUp {
+			return nil
+		}
+		ups := tsw.UpPorts()
+		if len(ups) == 0 {
+			return nil
+		}
+		var p topology.Port
+		if s.ECMP {
+			// Flow-hash path selection: one flow, one path.
+			h := f.flow * 0xBF58476D1CE4E5B9
+			p = ups[int(h>>32)%len(ups)]
+		} else {
+			p = ups[s.upRR[tsw.ID]%len(ups)]
+			s.upRR[tsw.ID]++
+		}
+		return &p
+	}
+	if port < 0 || port >= len(tsw.Ports) {
+		return nil
+	}
+	p := tsw.Ports[port]
+	return &p
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ResetTraffic clears traffic counters between experiment phases.
+func (s *Sim) ResetTraffic() {
+	s.Traffic = TrafficStats{LinkPackets: make(map[topology.Layer]int64)}
+}

@@ -1,0 +1,207 @@
+// Package packet provides wire-format encoding and decoding driven by
+// message specs: the byte-level substrate under internal/formats.
+//
+// The codec packs header fields big-endian at bit granularity (P4
+// semantics: fields occupy consecutive bits in declaration order), so
+// specs with u4/u48/str8 fields all round-trip. Decoding follows the
+// gopacket DecodingLayerParser philosophy: decode into caller-owned
+// structures, no per-packet allocation on the hot path.
+package packet
+
+import (
+	"fmt"
+
+	"camus/internal/spec"
+)
+
+// HeaderCodec encodes and decodes one fixed-width header of a spec.
+type HeaderCodec struct {
+	Spec   *spec.Spec
+	Header *spec.Header
+
+	subIdx []int // per field: subscribable index or -1
+}
+
+// NewHeaderCodec builds a codec for the named header.
+func NewHeaderCodec(sp *spec.Spec, header string) (*HeaderCodec, error) {
+	h, ok := sp.Header(header)
+	if !ok {
+		return nil, fmt.Errorf("packet: spec %s has no header %q", sp.Name, header)
+	}
+	c := &HeaderCodec{Spec: sp, Header: h, subIdx: make([]int, len(h.Fields))}
+	for i, f := range h.Fields {
+		c.subIdx[i] = -1
+		if idx, ok := sp.SubscribableIndex(f); ok {
+			c.subIdx[i] = idx
+		}
+	}
+	return c, nil
+}
+
+// MustHeaderCodec is NewHeaderCodec, panicking on error.
+func MustHeaderCodec(sp *spec.Spec, header string) *HeaderCodec {
+	c, err := NewHeaderCodec(sp, header)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Size returns the encoded header size in bytes.
+func (c *HeaderCodec) Size() int { return c.Header.Bytes() }
+
+// Append encodes the header to dst from a field-name → value map and
+// returns the extended slice. Missing fields encode as zero.
+func (c *HeaderCodec) Append(dst []byte, values map[string]spec.Value) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, make([]byte, c.Size())...)
+	buf := dst[start:]
+	for _, f := range c.Header.Fields {
+		v, ok := values[f.Name]
+		if !ok {
+			continue
+		}
+		if err := putField(buf, f, v); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+// Decode extracts the header from data, writing subscribable fields into
+// m (and marking the header valid), and returns the remaining bytes.
+func (c *HeaderCodec) Decode(data []byte, m *spec.Message) ([]byte, error) {
+	n := c.Size()
+	if len(data) < n {
+		return nil, fmt.Errorf("packet: %s needs %d bytes, have %d", c.Header.Name, n, len(data))
+	}
+	for i, f := range c.Header.Fields {
+		idx := c.subIdx[i]
+		if idx < 0 {
+			continue
+		}
+		m.SetIndex(idx, getField(data, f))
+	}
+	m.MarkHeader(c.Header.Name)
+	return data[n:], nil
+}
+
+// DecodeAll extracts every field (including non-subscribable ones) into a
+// map — for tests, diagnostics and control-plane software.
+func (c *HeaderCodec) DecodeAll(data []byte) (map[string]spec.Value, []byte, error) {
+	n := c.Size()
+	if len(data) < n {
+		return nil, nil, fmt.Errorf("packet: %s needs %d bytes, have %d", c.Header.Name, n, len(data))
+	}
+	out := make(map[string]spec.Value, len(c.Header.Fields))
+	for _, f := range c.Header.Fields {
+		out[f.Name] = getField(data, f)
+	}
+	return out, data[n:], nil
+}
+
+// Peek reads one named field without touching a Message.
+func (c *HeaderCodec) Peek(data []byte, field string) (spec.Value, error) {
+	if len(data) < c.Size() {
+		return spec.Value{}, fmt.Errorf("packet: short %s header", c.Header.Name)
+	}
+	for _, f := range c.Header.Fields {
+		if f.Name == field {
+			return getField(data, f), nil
+		}
+	}
+	return spec.Value{}, fmt.Errorf("packet: header %s has no field %q", c.Header.Name, field)
+}
+
+// putField writes a field value at its bit offset.
+func putField(buf []byte, f *spec.Field, v spec.Value) error {
+	if f.Type == spec.StringField {
+		if v.Kind != spec.StringField {
+			return fmt.Errorf("packet: field %s wants string", f.QName())
+		}
+		if f.Offset%8 != 0 {
+			return fmt.Errorf("packet: string field %s not byte aligned", f.QName())
+		}
+		b := buf[f.Offset/8 : f.Offset/8+f.Bytes()]
+		s := v.Str
+		if len(s) > len(b) {
+			return fmt.Errorf("packet: value %q overflows %d-byte field %s", s, len(b), f.QName())
+		}
+		copy(b, s)
+		for i := len(s); i < len(b); i++ {
+			b[i] = ' ' // right-pad with spaces, ITCH style
+		}
+		return nil
+	}
+	if v.Kind != spec.IntField {
+		return fmt.Errorf("packet: field %s wants int", f.QName())
+	}
+	if f.Bits < 64 && (v.Int < 0 || v.Int > f.MaxValue()) {
+		return fmt.Errorf("packet: value %d out of range for %s (u%d)", v.Int, f.QName(), f.Bits)
+	}
+	putBits(buf, f.Offset, f.Bits, uint64(v.Int))
+	return nil
+}
+
+// getField reads a field value from its bit offset.
+func getField(data []byte, f *spec.Field) spec.Value {
+	if f.Type == spec.StringField {
+		b := data[f.Offset/8 : f.Offset/8+f.Bytes()]
+		return spec.StrVal(string(b))
+	}
+	return spec.IntVal(int64(getBits(data, f.Offset, f.Bits)))
+}
+
+// putBits writes the low `bits` bits of v at bit offset off, big-endian.
+func putBits(buf []byte, off, bits int, v uint64) {
+	for i := bits - 1; i >= 0; i-- {
+		bit := (v >> uint(bits-1-i)) & 1
+		pos := off + i
+		byteIdx, bitIdx := pos/8, 7-pos%8
+		if bit == 1 {
+			buf[byteIdx] |= 1 << uint(bitIdx)
+		} else {
+			buf[byteIdx] &^= 1 << uint(bitIdx)
+		}
+	}
+}
+
+// getBits reads `bits` bits at bit offset off, big-endian.
+func getBits(data []byte, off, bits int) uint64 {
+	var v uint64
+	for i := 0; i < bits; i++ {
+		pos := off + i
+		byteIdx, bitIdx := pos/8, 7-pos%8
+		v = v<<1 | uint64(data[byteIdx]>>uint(bitIdx)&1)
+	}
+	return v
+}
+
+// V is shorthand for building value maps in encoders and tests.
+func V(pairs ...interface{}) map[string]spec.Value {
+	if len(pairs)%2 != 0 {
+		panic("packet.V: odd argument count")
+	}
+	m := make(map[string]spec.Value, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		name, ok := pairs[i].(string)
+		if !ok {
+			panic("packet.V: key must be string")
+		}
+		switch v := pairs[i+1].(type) {
+		case int:
+			m[name] = spec.IntVal(int64(v))
+		case int64:
+			m[name] = spec.IntVal(v)
+		case uint64:
+			m[name] = spec.IntVal(int64(v))
+		case string:
+			m[name] = spec.StrVal(v)
+		case spec.Value:
+			m[name] = v
+		default:
+			panic(fmt.Sprintf("packet.V: unsupported value type %T", v))
+		}
+	}
+	return m
+}

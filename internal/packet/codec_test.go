@@ -1,0 +1,168 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"camus/internal/spec"
+)
+
+var bitSpec = spec.MustParse("bits", `
+header mixed {
+    a : u4;
+    b : u12;
+    c : u48;
+    d : u3;
+    e : u13;
+    s : str6 @field;
+    f : u64 @field;
+}
+`)
+
+func TestBitPackingRoundTrip(t *testing.T) {
+	c := MustHeaderCodec(bitSpec, "mixed")
+	if c.Size() != (4+12+48+3+13+48+64)/8 {
+		t.Fatalf("size = %d", c.Size())
+	}
+	in := V("a", 0xF, "b", 0xABC, "c", int64(1)<<47|12345, "d", 5, "e", 8191, "s", "hello", "f", int64(1)<<62|99)
+	buf, err := c.Append(nil, in)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	out, rest, err := c.DecodeAll(buf)
+	if err != nil {
+		t.Fatalf("DecodeAll: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Errorf("rest = %d bytes", len(rest))
+	}
+	for name, want := range in {
+		got := out[name]
+		if want.Kind == spec.StringField {
+			if got.Str != want.Str {
+				t.Errorf("%s = %q, want %q", name, got.Str, want.Str)
+			}
+		} else if got.Int != want.Int {
+			t.Errorf("%s = %d (%#x), want %d", name, got.Int, got.Int, want.Int)
+		}
+	}
+}
+
+func TestBitPackingProperty(t *testing.T) {
+	c := MustHeaderCodec(bitSpec, "mixed")
+	f := func(a, d uint8, b, e uint16, cv, fv uint64) bool {
+		in := V(
+			"a", int64(a%16), "b", int64(b%4096), "c", int64(cv%(1<<48)),
+			"d", int64(d%8), "e", int64(e%8192), "f", int64(fv>>1),
+		)
+		buf, err := c.Append(nil, in)
+		if err != nil {
+			return false
+		}
+		out, _, err := c.DecodeAll(buf)
+		if err != nil {
+			return false
+		}
+		for name, want := range in {
+			if out[name].Int != want.Int {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeIntoMessage(t *testing.T) {
+	c := MustHeaderCodec(bitSpec, "mixed")
+	buf, err := c.Append(nil, V("s", "abc", "f", 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := spec.NewMessage(bitSpec)
+	if m.HeaderPresent("mixed") {
+		t.Error("header present before decode")
+	}
+	rest, err := c.Decode(buf, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Errorf("rest = %d", len(rest))
+	}
+	if !m.HeaderPresent("mixed") {
+		t.Error("header not marked present")
+	}
+	if v, ok := m.GetRef("f"); !ok || v.Int != 42 {
+		t.Errorf("f = %v %v", v, ok)
+	}
+	if v, ok := m.GetRef("s"); !ok || v.Str != "abc" {
+		t.Errorf("s = %v %v", v, ok)
+	}
+	// Non-subscribable fields must not land in the message.
+	if _, ok := m.GetRef("a"); ok {
+		t.Error("non-subscribable field set in message")
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	c := MustHeaderCodec(bitSpec, "mixed")
+	if _, err := c.Append(nil, V("a", 16)); err == nil {
+		t.Error("out-of-range u4 encoded")
+	}
+	if _, err := c.Append(nil, V("s", "toolongstring")); err == nil {
+		t.Error("overlong string encoded")
+	}
+	if _, err := c.Append(nil, map[string]spec.Value{"a": spec.StrVal("x")}); err == nil {
+		t.Error("string into int field encoded")
+	}
+	if _, err := NewHeaderCodec(bitSpec, "nope"); err == nil {
+		t.Error("codec for missing header created")
+	}
+	m := spec.NewMessage(bitSpec)
+	if _, err := c.Decode([]byte{1, 2}, m); err == nil {
+		t.Error("short buffer decoded")
+	}
+}
+
+func TestPeek(t *testing.T) {
+	c := MustHeaderCodec(bitSpec, "mixed")
+	buf, err := c.Append(nil, V("b", 777))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Peek(buf, "b")
+	if err != nil || v.Int != 777 {
+		t.Errorf("Peek(b) = %v, %v", v, err)
+	}
+	if _, err := c.Peek(buf, "zz"); err == nil {
+		t.Error("Peek of unknown field succeeded")
+	}
+}
+
+func TestStringPadding(t *testing.T) {
+	c := MustHeaderCodec(bitSpec, "mixed")
+	buf, err := c.Append(nil, V("s", "ab"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := c.DecodeAll(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Right-padded on the wire, trimmed on decode.
+	if out["s"].Str != "ab" {
+		t.Errorf("s = %q", out["s"].Str)
+	}
+}
+
+func TestVHelperPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("V with odd args did not panic")
+		}
+	}()
+	V("only-key")
+}

@@ -1,0 +1,38 @@
+package packet
+
+import (
+	"testing"
+
+	"camus/internal/spec"
+)
+
+// FuzzHeaderCodec round-trips arbitrary integer values through the
+// bit-packing codec.
+func FuzzHeaderCodec(f *testing.F) {
+	f.Add(uint64(0), uint64(1), uint64(2))
+	f.Add(uint64(1)<<47, uint64(4095), uint64(15))
+	sp := spec.MustParse("fz", `
+header h {
+    a : u4;
+    b : u12;
+    c : u48;
+}
+`)
+	c := MustHeaderCodec(sp, "h")
+	f.Fuzz(func(t *testing.T, a, b, cc uint64) {
+		in := V("a", int64(a%16), "b", int64(b%4096), "c", int64(cc%(1<<48)))
+		buf, err := c.Append(nil, in)
+		if err != nil {
+			t.Fatalf("Append(%v): %v", in, err)
+		}
+		out, _, err := c.DecodeAll(buf)
+		if err != nil {
+			t.Fatalf("DecodeAll: %v", err)
+		}
+		for k, v := range in {
+			if out[k].Int != v.Int {
+				t.Fatalf("%s: %d != %d", k, out[k].Int, v.Int)
+			}
+		}
+	})
+}

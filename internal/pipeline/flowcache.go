@@ -1,0 +1,84 @@
+package pipeline
+
+import (
+	"time"
+
+	"camus/internal/subscription"
+)
+
+// FlowKey identifies a stream (e.g. a 5-tuple hash computed by the
+// parser).
+type FlowKey uint64
+
+// flowEntry is one cached stream decision.
+type flowEntry struct {
+	actions subscription.ActionSet
+	expires time.Duration
+}
+
+// flowCache implements stream subscriptions (paper §VII-B): "Subscribing
+// to streams where the header is only present in the first packet would
+// require the switch to store the matching rule of the first packet, and
+// apply it to subsequent packets in the stream." The first packet of a
+// flow carries the application header; its forwarding decision is cached
+// under the flow key and applied to header-less continuation packets.
+type flowCache struct {
+	entries map[FlowKey]flowEntry
+	// order is a FIFO ring of keys for capacity eviction.
+	order []FlowKey
+	head  int
+	cap   int
+	ttl   time.Duration
+}
+
+func newFlowCache(capacity int, ttl time.Duration) *flowCache {
+	if capacity <= 0 {
+		capacity = 65536
+	}
+	if ttl <= 0 {
+		ttl = 30 * time.Second
+	}
+	return &flowCache{
+		entries: make(map[FlowKey]flowEntry, capacity),
+		order:   make([]FlowKey, 0, capacity),
+		cap:     capacity,
+		ttl:     ttl,
+	}
+}
+
+// install caches a flow's decision, evicting the oldest entry at
+// capacity.
+func (c *flowCache) install(key FlowKey, acts subscription.ActionSet, now time.Duration) {
+	if _, exists := c.entries[key]; !exists {
+		if len(c.order)-c.head >= c.cap {
+			victim := c.order[c.head]
+			c.head++
+			delete(c.entries, victim)
+			if c.head > c.cap {
+				// Compact the ring backing array.
+				c.order = append([]FlowKey(nil), c.order[c.head:]...)
+				c.head = 0
+			}
+		}
+		c.order = append(c.order, key)
+	}
+	c.entries[key] = flowEntry{actions: acts.Clone(), expires: now + c.ttl}
+}
+
+// lookup returns the cached decision for a flow, refreshing its TTL.
+func (c *flowCache) lookup(key FlowKey, now time.Duration) (subscription.ActionSet, bool) {
+	e, ok := c.entries[key]
+	if !ok {
+		return subscription.ActionSet{}, false
+	}
+	if now > e.expires {
+		delete(c.entries, key)
+		return subscription.ActionSet{}, false
+	}
+	e.expires = now + c.ttl
+	c.entries[key] = e
+	return e.actions, true
+}
+
+// size reports the live entry count.
+func (c *flowCache) size() int { return len(c.entries) }

@@ -1,0 +1,110 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"camus/internal/compiler"
+	"camus/internal/spec"
+	"camus/internal/subscription"
+)
+
+// TestStreamSubscription exercises §VII-B: the first packet of a stream
+// carries the application header and installs the flow decision;
+// header-less continuation packets follow it.
+func TestStreamSubscription(t *testing.T) {
+	sw, sp := buildSwitch(t, "stock == GOOGL: fwd(1)\nstock == GOOGL: fwd(2)", compiler.Options{})
+	const flow = FlowKey(0xABCD)
+
+	// Continuation before any header packet: dropped (miss).
+	if out := sw.Process(&Packet{In: 0, Flow: flow}, 0); len(out) != 0 {
+		t.Fatalf("cold continuation forwarded: %+v", out)
+	}
+	if sw.Stats.FlowMisses != 1 {
+		t.Errorf("misses = %d", sw.Stats.FlowMisses)
+	}
+
+	// First packet installs the decision (multicast to 1 and 2).
+	first := sw.Process(&Packet{In: 0, Flow: flow, Msgs: []*spec.Message{itchMsg(sp, "GOOGL", 50, 1)}}, 0)
+	if len(first) != 2 {
+		t.Fatalf("first packet deliveries: %+v", first)
+	}
+
+	// Continuations follow without re-parsing the header.
+	cont := sw.Process(&Packet{In: 0, Flow: flow, Bytes: 1000}, time.Millisecond)
+	if len(cont) != 2 || cont[0].Port != 1 || cont[1].Port != 2 {
+		t.Fatalf("continuation deliveries: %+v", cont)
+	}
+	if sw.Stats.FlowHits != 1 {
+		t.Errorf("hits = %d", sw.Stats.FlowHits)
+	}
+
+	// Ingress suppression applies to continuations too.
+	viaPort1 := sw.Process(&Packet{In: 1, Flow: flow}, 2*time.Millisecond)
+	if len(viaPort1) != 1 || viaPort1[0].Port != 2 {
+		t.Fatalf("ingress suppression: %+v", viaPort1)
+	}
+
+	// TTL expiry evicts the flow.
+	late := sw.Process(&Packet{In: 0, Flow: flow}, 2*time.Minute)
+	if len(late) != 0 {
+		t.Fatalf("expired flow still forwarded: %+v", late)
+	}
+}
+
+// TestStreamNonMatchingFirstPacket: a stream whose first packet matches
+// nothing caches the drop decision.
+func TestStreamNonMatchingFirstPacket(t *testing.T) {
+	sw, sp := buildSwitch(t, "stock == GOOGL: fwd(1)", compiler.Options{})
+	const flow = FlowKey(7)
+	sw.Process(&Packet{In: 0, Flow: flow, Msgs: []*spec.Message{itchMsg(sp, "MSFT", 1, 1)}}, 0)
+	out := sw.Process(&Packet{In: 0, Flow: flow}, time.Millisecond)
+	if len(out) != 0 {
+		t.Fatalf("continuation of dropped stream forwarded: %+v", out)
+	}
+	// It was a hit (cached drop), not a miss.
+	if sw.Stats.FlowHits != 1 || sw.Stats.FlowMisses != 0 {
+		t.Errorf("stats = %+v", sw.Stats)
+	}
+}
+
+func TestFlowCacheEviction(t *testing.T) {
+	c := newFlowCache(4, time.Second)
+	var acts subscription.ActionSet
+	acts.Add(subscription.FwdAction(1))
+	for i := 0; i < 10; i++ {
+		c.install(FlowKey(i), acts, 0)
+	}
+	if c.size() != 4 {
+		t.Fatalf("size = %d, want 4 (capacity)", c.size())
+	}
+	// Oldest evicted, newest present.
+	if _, ok := c.lookup(FlowKey(0), 0); ok {
+		t.Error("oldest flow still cached")
+	}
+	if _, ok := c.lookup(FlowKey(9), 0); !ok {
+		t.Error("newest flow evicted")
+	}
+	// Reinstalling an existing key must not grow the ring.
+	c.install(FlowKey(9), acts, 0)
+	if c.size() != 4 {
+		t.Errorf("size after reinstall = %d", c.size())
+	}
+}
+
+func TestFlowCacheTTLRefresh(t *testing.T) {
+	c := newFlowCache(10, 100*time.Millisecond)
+	var acts subscription.ActionSet
+	acts.Add(subscription.FwdAction(3))
+	c.install(1, acts, 0)
+	// Touch at 80ms: refreshes to 180ms.
+	if _, ok := c.lookup(1, 80*time.Millisecond); !ok {
+		t.Fatal("entry expired early")
+	}
+	if _, ok := c.lookup(1, 150*time.Millisecond); !ok {
+		t.Fatal("refresh did not extend TTL")
+	}
+	if _, ok := c.lookup(1, 400*time.Millisecond); ok {
+		t.Fatal("entry never expired")
+	}
+}

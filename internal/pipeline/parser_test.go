@@ -1,0 +1,75 @@
+package pipeline
+
+import (
+	"testing"
+
+	"camus/internal/compiler"
+	"camus/internal/formats"
+	"camus/internal/spec"
+	"camus/internal/subscription"
+)
+
+// TestProcessBytes runs the full dataplane path on wire bytes: MoldUDP
+// batch → parser → pipeline → per-port pruned replicas.
+func TestProcessBytes(t *testing.T) {
+	rules, err := subscription.NewParser(formats.ITCH).ParseRules(`
+stock == GOOGL: fwd(1)
+stock == MSFT: fwd(2)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := compiler.Compile(formats.ITCH, rules, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := compiler.GenerateStatic(formats.ITCH, compiler.StaticOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := New("wire", static, prog, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No parser installed → error.
+	if _, err := sw.ProcessBytes([]byte{1, 2, 3}, 0, 0); err == nil {
+		t.Fatal("ProcessBytes without parser succeeded")
+	}
+	sw.SetParser(ParserFunc(func(data []byte) ([]*spec.Message, error) {
+		return formats.DecodeITCHFeed(data)
+	}))
+
+	wire, err := formats.EncodeITCHFeed("S", 1, []*formats.Order{
+		{Stock: "GOOGL", Price: 10, Shares: 1},
+		{Stock: "MSFT", Price: 20, Shares: 2},
+		{Stock: "ZZZ", Price: 30, Shares: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sw.ProcessBytes(wire, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("deliveries = %+v", out)
+	}
+	if out[0].Port != 1 || len(out[0].Msgs) != 1 {
+		t.Errorf("port 1 replica: %+v", out[0])
+	}
+	if v, _ := out[0].Msgs[0].GetRef("stock"); v.Str != "GOOGL" {
+		t.Errorf("port 1 got %q", v.Str)
+	}
+	if out[1].Port != 2 || len(out[1].Msgs) != 1 {
+		t.Errorf("port 2 replica: %+v", out[1])
+	}
+
+	// Garbage bytes increment ParseErrors.
+	if _, err := sw.ProcessBytes([]byte{0xFF}, 0, 0); err == nil {
+		t.Fatal("garbage parsed")
+	}
+	if sw.Stats.ParseErrors != 1 {
+		t.Errorf("ParseErrors = %d", sw.Stats.ParseErrors)
+	}
+}

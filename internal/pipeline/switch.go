@@ -1,0 +1,262 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"camus/internal/compiler"
+	"camus/internal/spec"
+	"camus/internal/subscription"
+)
+
+// Packet is a network packet traversing the switch: one or more
+// application messages batched into a single datagram (e.g. MoldUDP
+// carrying several ITCH messages, §VI).
+type Packet struct {
+	// In is the ingress port.
+	In int
+	// Msgs are the decoded application messages, in wire order.
+	Msgs []*spec.Message
+	// Bytes is the wire size (for traffic accounting); zero is allowed.
+	Bytes int
+	// Flow optionally identifies the packet's stream for stream
+	// subscriptions (§VII-B). The first packet of a flow carries the
+	// application header (Msgs non-empty) and installs the flow's
+	// forwarding decision; header-less continuation packets (Msgs empty,
+	// Flow set) reuse it.
+	Flow FlowKey
+}
+
+// Delivery is one egress packet: the replica for a port after per-port
+// message pruning (§VI-A).
+type Delivery struct {
+	// Port is the egress port.
+	Port int
+	// Msgs are the messages that matched subscriptions on this port, in
+	// wire order (the pruned replica).
+	Msgs []*spec.Message
+	// Latency is the switch transit time for this replica, including
+	// recirculation passes.
+	Latency time.Duration
+}
+
+// CustomActionFunc handles a non-fwd action (e.g. answerDNS). It may
+// return extra deliveries (crafted response packets).
+type CustomActionFunc func(act subscription.Action, m *spec.Message, pkt *Packet) []Delivery
+
+// Config tunes the switch model.
+type Config struct {
+	// BaseLatency is the one-pass pipeline transit time. The paper
+	// reports pipeline latency under 1µs (§VIII-F1).
+	BaseLatency time.Duration
+	// RecirculationLatency is the added cost of one recirculation pass.
+	RecirculationLatency time.Duration
+	// DropOnIngressPort suppresses forwarding a packet back out its
+	// ingress port (standard switch behaviour; Algorithm 1's "other than
+	// the ingress port").
+	DropOnIngressPort bool
+	// FlowCacheSize bounds the stream-subscription cache (§VII-B);
+	// 0 uses the default (65536 flows).
+	FlowCacheSize int
+	// FlowTTL expires idle streams; 0 uses the default (30s).
+	FlowTTL time.Duration
+}
+
+// DefaultConfig returns the Tofino-like defaults.
+func DefaultConfig() Config {
+	return Config{
+		BaseLatency:          600 * time.Nanosecond,
+		RecirculationLatency: 400 * time.Nanosecond,
+		DropOnIngressPort:    true,
+	}
+}
+
+// Stats counts dataplane activity.
+type Stats struct {
+	Packets        int64 // packets processed
+	Messages       int64 // messages evaluated
+	Matched        int64 // messages matching ≥1 subscription
+	Deliveries     int64 // egress replicas emitted
+	Recirculations int64 // extra parser passes (§VI-B)
+	StateUpdates   int64 // register updates
+	FlowHits       int64 // continuation packets served from the flow cache
+	FlowMisses     int64 // continuation packets with no cached flow (dropped)
+	ParseErrors    int64 // raw packets the parser rejected
+	BytesIn        int64
+	BytesOut       int64
+}
+
+// Switch is a software Camus switch: a static pipeline bound to a
+// compiled program, with stateful registers and custom action handlers.
+type Switch struct {
+	// ID names the switch (diagnostics, netsim).
+	ID string
+	// Static is the once-per-application pipeline.
+	Static *compiler.StaticPipeline
+	// Program is the currently-installed dynamic configuration.
+	Program *compiler.Program
+	// State holds the stateful registers.
+	State *StateTable
+	// Config is the dataplane model.
+	Config Config
+	// Stats accumulates counters.
+	Stats Stats
+
+	customs map[string]CustomActionFunc
+	flows   *flowCache
+	parser  Parser
+}
+
+// New builds a switch from a static pipeline and a compiled program.
+func New(id string, static *compiler.StaticPipeline, prog *compiler.Program, cfg Config) (*Switch, error) {
+	if static != nil {
+		if err := static.Validate(prog); err != nil {
+			return nil, err
+		}
+	}
+	return &Switch{
+		ID:      id,
+		Static:  static,
+		Program: prog,
+		State:   NewStateTable(prog),
+		Config:  cfg,
+		customs: make(map[string]CustomActionFunc),
+		flows:   newFlowCache(cfg.FlowCacheSize, cfg.FlowTTL),
+	}, nil
+}
+
+// Install replaces the dynamic program (a control-plane rule update,
+// §VIII-G3). Registers are re-linked; windows restart.
+func (s *Switch) Install(prog *compiler.Program) error {
+	if s.Static != nil {
+		if err := s.Static.Validate(prog); err != nil {
+			return err
+		}
+	}
+	s.Program = prog
+	s.State = NewStateTable(prog)
+	return nil
+}
+
+// HandleCustom registers a handler for a custom action name.
+func (s *Switch) HandleCustom(name string, fn CustomActionFunc) {
+	s.customs[name] = fn
+}
+
+// Process runs a packet through the pipeline at virtual time now and
+// returns the egress deliveries.
+//
+// Per §VI: the ingress pass evaluates each message and builds a port
+// mask; the crossbar replicates the packet once per egress port; egress
+// prunes each replica to the messages whose mask includes the port.
+// Batches deeper than the static pipeline's parse budget recirculate,
+// adding latency.
+func (s *Switch) Process(pkt *Packet, now time.Duration) []Delivery {
+	s.Stats.Packets++
+	s.Stats.BytesIn += int64(pkt.Bytes)
+
+	// Stream continuation: no application header, forward per the
+	// decision cached by the stream's first packet (§VII-B).
+	if len(pkt.Msgs) == 0 && pkt.Flow != 0 {
+		acts, ok := s.flows.lookup(pkt.Flow, now)
+		if !ok {
+			s.Stats.FlowMisses++
+			return nil
+		}
+		s.Stats.FlowHits++
+		out := make([]Delivery, 0, len(acts.Ports))
+		for _, port := range acts.Ports {
+			if s.Config.DropOnIngressPort && port == pkt.In {
+				continue
+			}
+			out = append(out, Delivery{Port: port, Latency: s.Config.BaseLatency})
+			s.Stats.BytesOut += int64(pkt.Bytes)
+		}
+		s.Stats.Deliveries += int64(len(out))
+		return out
+	}
+
+	passBudget := len(pkt.Msgs)
+	if s.Static != nil && s.Static.MaxParsedMessages > 0 {
+		passBudget = s.Static.MaxParsedMessages
+	}
+	passes := 1
+	if len(pkt.Msgs) > passBudget {
+		passes += (len(pkt.Msgs) - 1) / passBudget
+		s.Stats.Recirculations += int64(passes - 1)
+	}
+	latency := s.Config.BaseLatency + time.Duration(passes-1)*s.Config.RecirculationLatency
+
+	// Ingress: evaluate every message, build per-port masks.
+	portMsgs := make(map[int][]*spec.Message)
+	var flowPorts subscription.ActionSet
+	var extra []Delivery
+	for _, m := range pkt.Msgs {
+		s.Stats.Messages++
+		le := s.Program.Lookup(m, s.State.At(now))
+		if le == nil {
+			continue
+		}
+		// State updates fire for every message whose stateless context
+		// matched, before forwarding semantics are applied.
+		for _, key := range le.Updates {
+			s.State.Update(key, m, now)
+			s.Stats.StateUpdates++
+		}
+		if le.Actions.IsEmpty() {
+			continue
+		}
+		s.Stats.Matched++
+		for _, port := range le.Actions.Ports {
+			// The cached stream decision keeps the full port set;
+			// ingress suppression re-applies per continuation packet.
+			flowPorts.Add(subscription.FwdAction(port))
+			if s.Config.DropOnIngressPort && port == pkt.In {
+				continue
+			}
+			portMsgs[port] = append(portMsgs[port], m)
+		}
+		for _, act := range le.Actions.Custom {
+			if fn, ok := s.customs[act.Name]; ok {
+				extra = append(extra, fn(act, m, pkt)...)
+			}
+		}
+	}
+
+	// Stream subscriptions: the header-bearing packet installs the
+	// stream's merged port decision for its continuations (§VII-B).
+	if pkt.Flow != 0 {
+		s.flows.install(pkt.Flow, flowPorts, now)
+	}
+
+	// Crossbar + egress: one pruned replica per port, deterministic
+	// port order.
+	ports := make([]int, 0, len(portMsgs))
+	for port := range portMsgs {
+		ports = append(ports, port)
+	}
+	sort.Ints(ports)
+	out := make([]Delivery, 0, len(ports)+len(extra))
+	for _, port := range ports {
+		msgs := portMsgs[port]
+		out = append(out, Delivery{Port: port, Msgs: msgs, Latency: latency})
+		// Pruned replica bytes scale with the surviving message share.
+		if len(pkt.Msgs) > 0 {
+			s.Stats.BytesOut += int64(pkt.Bytes * len(msgs) / len(pkt.Msgs))
+		}
+	}
+	out = append(out, extra...)
+	s.Stats.Deliveries += int64(len(out))
+	return out
+}
+
+// EvalMessage evaluates a single message (diagnostics / examples).
+func (s *Switch) EvalMessage(m *spec.Message, now time.Duration) subscription.ActionSet {
+	return s.Program.Eval(m, s.State.At(now))
+}
+
+func (s *Switch) String() string {
+	return fmt.Sprintf("switch %s: %d stages, %d entries, %s",
+		s.ID, len(s.Program.Stages)+1, s.Program.TotalEntries(), s.Program.Resources)
+}

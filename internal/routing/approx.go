@@ -1,0 +1,103 @@
+// Package routing implements routing on packet subscriptions (paper §IV):
+// Algorithm 1 over hierarchical (fat-tree) topologies with the
+// memory-reduction (MR) and traffic-reduction (TR) policies, the
+// α-discretization filter approximation (§IV-D), and spanning-tree
+// routing for general topologies (§IV-E).
+package routing
+
+import (
+	"camus/internal/spec"
+	"camus/internal/subscription"
+)
+
+// Approximate rewrites a filter's numeric constants to multiples of the
+// discretization unit α (§IV-D): lower bounds round down (price > 53 →
+// price > 50) and upper bounds round up (price < 53 → price < 60), so the
+// approximated filter matches a superset of the original (completeness is
+// preserved; the cost is extra traffic). Equality, inequality and string
+// constraints are unchanged. α ≤ 1 returns the filter unchanged.
+func Approximate(e subscription.Expr, alpha int64) subscription.Expr {
+	if alpha <= 1 {
+		return e
+	}
+	switch n := e.(type) {
+	case *subscription.Bool:
+		return n
+	case *subscription.Atom:
+		return approxAtom(n, alpha)
+	case *subscription.Not:
+		// Negation flips bound direction; rewrite after pushing the
+		// negation into the atom where possible.
+		if a, ok := n.Term.(*subscription.Atom); ok && a.Rel != subscription.PREFIX {
+			return Approximate(&subscription.Atom{Ref: a.Ref, Rel: a.Rel.Negate(), Const: a.Const}, alpha)
+		}
+		return &subscription.Not{Term: n.Term} // conservative: unchanged
+	case *subscription.And:
+		terms := make([]subscription.Expr, len(n.Terms))
+		for i, t := range n.Terms {
+			terms[i] = Approximate(t, alpha)
+		}
+		return &subscription.And{Terms: terms}
+	case *subscription.Or:
+		terms := make([]subscription.Expr, len(n.Terms))
+		for i, t := range n.Terms {
+			terms[i] = Approximate(t, alpha)
+		}
+		return &subscription.Or{Terms: terms}
+	default:
+		return e
+	}
+}
+
+func approxAtom(a *subscription.Atom, alpha int64) subscription.Expr {
+	if a.Const.Kind != spec.IntField {
+		return a
+	}
+	// Never touch header-validity guards or exact-only fields (their
+	// tables are SRAM-exact; discretizing would force them ternary).
+	if a.Ref.Kind == subscription.ValidityRef ||
+		a.Ref.Kind == subscription.PacketRef && a.Ref.Field.Hint == spec.MatchExact {
+		return a
+	}
+	c := a.Const.Int
+	switch a.Rel {
+	case subscription.GT, subscription.GE:
+		// Lower bounds widen downward.
+		return &subscription.Atom{Ref: a.Ref, Rel: a.Rel, Const: spec.IntVal(floorTo(c, alpha))}
+	case subscription.LT, subscription.LE:
+		// Upper bounds widen upward.
+		return &subscription.Atom{Ref: a.Ref, Rel: a.Rel, Const: spec.IntVal(ceilTo(c, alpha))}
+	case subscription.EQ:
+		// Equality widens to its α-bucket [⌊c⌋α, ⌊c⌋α+α) — "rewrite all
+		// numeric constants as multiples of α" (§IV-D) while preserving
+		// completeness. Bucketed equalities from nearby constants become
+		// identical, which is where the aggregation benefit comes from.
+		lo := floorTo(c, alpha)
+		if lo == c && c+alpha-1 == c { // α==1 degenerate, unreachable (alpha>1)
+			return a
+		}
+		return &subscription.And{Terms: []subscription.Expr{
+			&subscription.Atom{Ref: a.Ref, Rel: subscription.GE, Const: spec.IntVal(lo)},
+			&subscription.Atom{Ref: a.Ref, Rel: subscription.LT, Const: spec.IntVal(lo + alpha)},
+		}}
+	default:
+		// != stays exact (no sound single-constraint widening).
+		return a
+	}
+}
+
+func floorTo(v, alpha int64) int64 {
+	q := v / alpha
+	if v < 0 && v%alpha != 0 {
+		q--
+	}
+	return q * alpha
+}
+
+func ceilTo(v, alpha int64) int64 {
+	q := v / alpha
+	if v > 0 && v%alpha != 0 {
+		q++
+	}
+	return q * alpha
+}

@@ -1,0 +1,268 @@
+package routing
+
+import (
+	"fmt"
+	"sort"
+
+	"camus/internal/subscription"
+	"camus/internal/topology"
+)
+
+// UpPort is the logical up port (§IV-C: Camus treats the upward ports of
+// a switch as a single logical port; the dataplane picks a physical up
+// link per packet). It appears as a fwd() port in generated rules; the
+// network simulator resolves it to a physical link.
+const UpPort = -1
+
+// Policy selects between the two routing policies of §IV-C.
+type Policy int
+
+const (
+	// MemoryReduction (MR) installs the constant-true filter on up
+	// ports: minimal switch memory, all unmatched traffic climbs to the
+	// core.
+	MemoryReduction Policy = iota
+	// TrafficReduction (TR) installs the exact set of filters reachable
+	// through the up port: more memory, no unnecessary upward traffic.
+	TrafficReduction
+)
+
+func (p Policy) String() string {
+	if p == MemoryReduction {
+		return "MR"
+	}
+	return "TR"
+}
+
+// Filter is one host subscription participating in routing.
+type Filter struct {
+	// ID is the global filter index.
+	ID int
+	// Host is the subscribing host.
+	Host int
+	// Expr is the original filter.
+	Expr subscription.Expr
+	// Approx is the α-discretized form installed above the access switch
+	// (== Expr when α ≤ 1).
+	Approx subscription.Expr
+}
+
+// FilterSet is a set of filters by ID.
+type FilterSet map[int]*Filter
+
+func (fs FilterSet) union(o FilterSet) {
+	for id, f := range o {
+		fs[id] = f
+	}
+}
+
+func (fs FilterSet) clone() FilterSet {
+	c := make(FilterSet, len(fs))
+	for id, f := range fs {
+		c[id] = f
+	}
+	return c
+}
+
+// FIB is the routing policy's output for one switch: the filter sets
+// F_p^s per port (§IV-C). Port UpPort holds the logical up set; MatchAll
+// marks an up set holding the constant-true filter (MR policy).
+type FIB struct {
+	Switch *topology.Switch
+	Ports  map[int]FilterSet
+	// MatchAllUp is set under MR: the up port forwards everything.
+	MatchAllUp bool
+}
+
+// Result is the computed global routing policy.
+type Result struct {
+	Network *topology.Network
+	Policy  Policy
+	Alpha   int64
+	// FIBs by switch ID.
+	FIBs []*FIB
+	// Filters is the global filter table.
+	Filters []*Filter
+}
+
+// Options configure policy computation.
+type Options struct {
+	Policy Policy
+	// Alpha is the discretization unit α (§IV-D); 0 or 1 disables
+	// approximation.
+	Alpha int64
+}
+
+// ComputeFatTree runs Algorithm 1: convert per-host subscriptions into
+// per-switch, per-port filter sets over a hierarchical topology.
+func ComputeFatTree(net *topology.Network, subs [][]subscription.Expr, opts Options) (*Result, error) {
+	if len(subs) != len(net.Hosts) {
+		return nil, fmt.Errorf("routing: %d subscription lists for %d hosts", len(subs), len(net.Hosts))
+	}
+	res := &Result{Network: net, Policy: opts.Policy, Alpha: opts.Alpha}
+	res.FIBs = make([]*FIB, len(net.Switches))
+	for i, s := range net.Switches {
+		res.FIBs[i] = &FIB{Switch: s, Ports: make(map[int]FilterSet)}
+	}
+
+	// Filters with pre-computed approximations.
+	for h, exprs := range subs {
+		for _, e := range exprs {
+			res.Filters = append(res.Filters, &Filter{
+				ID:     len(res.Filters),
+				Host:   h,
+				Expr:   e,
+				Approx: Approximate(e, opts.Alpha),
+			})
+		}
+	}
+
+	// Lines 3–5: access ports get each host's exact subscriptions.
+	byHost := make([]FilterSet, len(net.Hosts))
+	for i := range byHost {
+		byHost[i] = make(FilterSet)
+	}
+	for _, f := range res.Filters {
+		byHost[f.Host][f.ID] = f
+	}
+	for h := range net.Hosts {
+		sw, port := net.Access(h)
+		fs := res.FIBs[sw].ensure(port)
+		fs.union(byHost[h])
+	}
+
+	// Lines 6–12: propagate subtree unions bottom-up. Layer order: ToR,
+	// then Agg (cores have no up links).
+	for _, layer := range []topology.Layer{topology.ToR, topology.Agg} {
+		for _, src := range net.LayerSwitches(layer) {
+			subtree := make(FilterSet)
+			for _, p := range src.Ports {
+				if p.Kind == topology.PeerHost || p.Kind == topology.PeerDown {
+					subtree.union(res.FIBs[src.ID].ensure(p.Index))
+				}
+			}
+			for _, up := range src.UpPorts() {
+				res.FIBs[up.PeerSwitch].ensure(up.PeerPort).union(subtree)
+			}
+		}
+	}
+
+	// Up-port sets per policy.
+	switch opts.Policy {
+	case MemoryReduction:
+		// Lines 13–15: F_up = {true}.
+		for _, s := range net.Switches {
+			if len(s.UpPorts()) > 0 {
+				res.FIBs[s.ID].MatchAllUp = true
+				res.FIBs[s.ID].ensure(UpPort)
+			}
+		}
+	case TrafficReduction:
+		// Lines 16–22, fixed up for multi-level trees: everything
+		// reachable through the up port is the parent's up set plus the
+		// parent's other down subtrees. Computed top-down (Agg before
+		// ToR; cores have no up set).
+		for _, layer := range []topology.Layer{topology.Agg, topology.ToR} {
+			for _, src := range net.LayerSwitches(layer) {
+				ups := src.UpPorts()
+				if len(ups) == 0 {
+					continue
+				}
+				first := ups[0] // all parents see the same reachable set
+				parent := res.FIBs[first.PeerSwitch]
+				upSet := res.FIBs[src.ID].ensure(UpPort)
+				for _, p := range parent.Switch.Ports {
+					if (p.Kind == topology.PeerDown || p.Kind == topology.PeerHost) && p.Index != first.PeerPort {
+						upSet.union(parent.ensure(p.Index))
+					}
+				}
+				if parentUp, ok := parent.Ports[UpPort]; ok {
+					upSet.union(parentUp)
+				}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("routing: unknown policy %d", opts.Policy)
+	}
+	return res, nil
+}
+
+func (f *FIB) ensure(port int) FilterSet {
+	fs, ok := f.Ports[port]
+	if !ok {
+		fs = make(FilterSet)
+		f.Ports[port] = fs
+	}
+	return fs
+}
+
+// RulesForSwitch converts a switch's FIB into the compiler's intermediate
+// representation: one rule per (port, unique filter), with exact filters
+// at host-facing ports and approximated filters elsewhere (§IV-D; the
+// ToR layer "stores all the original subscriptions" only for its own
+// hosts). Duplicate filters per port collapse, which is where the
+// approximation's aggregation benefit appears.
+func (r *Result) RulesForSwitch(swID int) []*subscription.Rule {
+	fib := r.FIBs[swID]
+	var rules []*subscription.Rule
+	ports := make([]int, 0, len(fib.Ports))
+	for p := range fib.Ports {
+		ports = append(ports, p)
+	}
+	sort.Ints(ports)
+	for _, port := range ports {
+		if port == UpPort && fib.MatchAllUp {
+			rules = append(rules, &subscription.Rule{
+				ID:     len(rules),
+				Filter: subscription.True,
+				Action: subscription.FwdAction(UpPort),
+			})
+			continue
+		}
+		hostFacing := false
+		if port >= 0 && port < len(fib.Switch.Ports) {
+			hostFacing = fib.Switch.Ports[port].Kind == topology.PeerHost
+		}
+		seen := make(map[string]bool)
+		ids := make([]int, 0, len(fib.Ports[port]))
+		for id := range fib.Ports[port] {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			f := fib.Ports[port][id]
+			e := f.Approx
+			if hostFacing {
+				e = f.Expr
+			}
+			key := e.String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			rules = append(rules, &subscription.Rule{
+				ID:     len(rules),
+				Filter: e,
+				Action: subscription.FwdAction(port),
+			})
+		}
+	}
+	return rules
+}
+
+// UniqueFilterCount returns the number of distinct filter expressions on
+// a port after approximation-driven aggregation (diagnostics).
+func (r *Result) UniqueFilterCount(swID, port int) int {
+	fib := r.FIBs[swID]
+	hostFacing := port >= 0 && port < len(fib.Switch.Ports) &&
+		fib.Switch.Ports[port].Kind == topology.PeerHost
+	seen := make(map[string]bool)
+	for _, f := range fib.Ports[port] {
+		if hostFacing {
+			seen[f.Expr.String()] = true
+		} else {
+			seen[f.Approx.String()] = true
+		}
+	}
+	return len(seen)
+}

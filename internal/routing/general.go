@@ -1,0 +1,139 @@
+package routing
+
+import (
+	"fmt"
+	"sort"
+
+	"camus/internal/subscription"
+	"camus/internal/topology"
+)
+
+// TreeFIB is the general-topology analogue of FIB (§IV-E): for a switch v
+// on a spanning tree, each tree port carries the subscriptions of the
+// nodes on the far side of that edge.
+type TreeFIB struct {
+	// Node is the graph vertex.
+	Node int
+	// PortPeer maps local port index → tree-neighbor vertex.
+	PortPeer []int
+	// Ports maps local port index → filter set.
+	Ports map[int]FilterSet
+}
+
+// TreeResult is the computed policy for a general topology.
+type TreeResult struct {
+	Tree *topology.Tree
+	// FIBs by vertex.
+	FIBs []*TreeFIB
+	// Filters is the global filter table.
+	Filters []*Filter
+}
+
+// ComputeTree routes subscriptions over a spanning tree: for each tree
+// edge (u,v), u's port toward v holds every subscription on v's side
+// (the subtree of v when v is u's child; the rest of the network when v
+// is u's parent). Every packet is then routed within the tree without
+// loops (§IV-E).
+func ComputeTree(t *topology.Tree, subs map[int][]subscription.Expr, alpha int64) (*TreeResult, error) {
+	g := t.Graph
+	res := &TreeResult{Tree: t, FIBs: make([]*TreeFIB, g.N)}
+
+	// Global filter table; the subscriber's own node keeps the exact
+	// filter (delivery point), remote copies use the approximation.
+	byNode := make(map[int]FilterSet, len(subs))
+	for node, exprs := range subs {
+		if node < 0 || node >= g.N {
+			return nil, fmt.Errorf("routing: subscriber node %d out of range", node)
+		}
+		fs := make(FilterSet, len(exprs))
+		for _, e := range exprs {
+			f := &Filter{
+				ID:     len(res.Filters),
+				Host:   node,
+				Expr:   e,
+				Approx: Approximate(e, alpha),
+			}
+			res.Filters = append(res.Filters, f)
+			fs[f.ID] = f
+		}
+		byNode[node] = fs
+	}
+
+	// Subtree filter sets via post-order accumulation.
+	subtree := make([]FilterSet, g.N)
+	for _, v := range t.PostOrder() {
+		fs := make(FilterSet)
+		if own, ok := byNode[v]; ok {
+			fs.union(own)
+		}
+		for _, c := range t.Kids[v] {
+			fs.union(subtree[c])
+		}
+		subtree[v] = fs
+	}
+	all := subtree[t.Root]
+
+	for v := 0; v < g.N; v++ {
+		fib := &TreeFIB{Node: v, Ports: make(map[int]FilterSet)}
+		// Port numbering: children in order, then the parent link.
+		for _, c := range t.Kids[v] {
+			port := len(fib.PortPeer)
+			fib.PortPeer = append(fib.PortPeer, c)
+			fib.Ports[port] = subtree[c]
+		}
+		if p := t.Parent[v]; p >= 0 {
+			port := len(fib.PortPeer)
+			fib.PortPeer = append(fib.PortPeer, p)
+			// Parent side = everything minus our own subtree.
+			diff := make(FilterSet, len(all)-len(subtree[v]))
+			for id, f := range all {
+				if _, mine := subtree[v][id]; !mine {
+					diff[id] = f
+				}
+			}
+			fib.Ports[port] = diff
+		}
+		res.FIBs[v] = fib
+	}
+	return res, nil
+}
+
+// RulesForNode converts a vertex's tree FIB into compiler rules: one rule
+// per (port, unique filter). Filters for the vertex's own subscribers use
+// the exact expression; transit copies use the approximation.
+func (r *TreeResult) RulesForNode(v int) []*subscription.Rule {
+	fib := r.FIBs[v]
+	var rules []*subscription.Rule
+	ports := make([]int, 0, len(fib.Ports))
+	for p := range fib.Ports {
+		ports = append(ports, p)
+	}
+	sort.Ints(ports)
+	for _, port := range ports {
+		peer := fib.PortPeer[port]
+		seen := make(map[string]bool)
+		ids := make([]int, 0, len(fib.Ports[port]))
+		for id := range fib.Ports[port] {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			f := fib.Ports[port][id]
+			e := f.Approx
+			if f.Host == peer {
+				e = f.Expr // delivering edge: exact
+			}
+			key := e.String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			rules = append(rules, &subscription.Rule{
+				ID:     len(rules),
+				Filter: e,
+				Action: subscription.FwdAction(port),
+			})
+		}
+	}
+	return rules
+}

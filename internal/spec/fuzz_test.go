@@ -1,0 +1,62 @@
+package spec
+
+import "testing"
+
+// FuzzParse checks the spec-DSL parser never panics and that accepted
+// specs satisfy structural invariants.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		itchSrc,
+		"header h { x : u8; }",
+		"header h { x : u8 @field; y : str4 @field_exact; }",
+		"header a { x : u4; y : u4; } header b { z : u16 @field_prefix; }",
+		"header h { @counter(c, 5ms) x : u8; }",
+		"header h { x : u3; }",
+		"header { }",
+		"header h {",
+		"# only a comment",
+		"header h { x : u8 @field @field_exact; }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		sp, err := Parse("fuzz", src)
+		if err != nil {
+			return
+		}
+		// Invariants of accepted specs.
+		for i, fld := range sp.SubscribableFields() {
+			idx, ok := sp.SubscribableIndex(fld)
+			if !ok || idx != i {
+				t.Fatalf("SubscribableIndex inconsistent for %s", fld.QName())
+			}
+			got, ok := sp.Field(fld.QName())
+			if !ok || got != fld {
+				t.Fatalf("qualified lookup failed for %s", fld.QName())
+			}
+		}
+		for _, h := range sp.Headers {
+			if h.Bits()%8 != 0 {
+				t.Fatalf("accepted unaligned header %s (%d bits)", h.Name, h.Bits())
+			}
+			off := 0
+			for _, fld := range h.Fields {
+				if fld.Offset != off {
+					t.Fatalf("field %s offset %d, want %d", fld.QName(), fld.Offset, off)
+				}
+				off += fld.Bits
+			}
+			if idx := sp.HeaderIndex(h.Name); idx < 0 || sp.Headers[idx] != h {
+				t.Fatalf("HeaderIndex broken for %s", h.Name)
+			}
+		}
+		// Messages over the spec behave.
+		m := NewMessage(sp)
+		for i := range sp.SubscribableFields() {
+			if _, present := m.Get(i); present {
+				t.Fatal("fresh message has present fields")
+			}
+		}
+	})
+}

@@ -1,0 +1,265 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+	"unicode"
+)
+
+// Parse reads the textual specification format modeled on the paper's
+// Fig. 4 (an annotated P4 header spec). Example:
+//
+//	header itch_order {
+//	    stock_locate : u16;
+//	    shares : u32 @field;
+//	    price : u32 @field;
+//	    stock : str8 @field_exact;
+//	    @counter(my_counter, 100us)
+//	}
+//
+// Field types are uN (N-bit unsigned integer) or strN (N-byte string).
+// Annotations: @field, @field_exact, @field_prefix, @counter(name, window).
+// Comments run from '#' or '//' to end of line.
+func Parse(name, src string) (*Spec, error) {
+	p := &specParser{src: src, line: 1}
+	var headers []*Header
+	for {
+		p.skipSpace()
+		if p.eof() {
+			break
+		}
+		tok := p.ident()
+		if tok != "header" {
+			return nil, p.errf("expected 'header', got %q", tok)
+		}
+		h, err := p.header()
+		if err != nil {
+			return nil, err
+		}
+		headers = append(headers, h)
+	}
+	if len(headers) == 0 {
+		return nil, fmt.Errorf("spec %s: no headers", name)
+	}
+	return New(name, headers...)
+}
+
+// MustParse is Parse, panicking on error.
+func MustParse(name, src string) *Spec {
+	s, err := Parse(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type specParser struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (p *specParser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *specParser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("spec line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *specParser) skipSpace() {
+	for !p.eof() {
+		c := p.src[p.pos]
+		switch {
+		case c == '\n':
+			p.line++
+			p.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			p.pos++
+		case c == '#':
+			p.skipLine()
+		case c == '/' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '/':
+			p.skipLine()
+		default:
+			return
+		}
+	}
+}
+
+func (p *specParser) skipLine() {
+	for !p.eof() && p.src[p.pos] != '\n' {
+		p.pos++
+	}
+}
+
+func (p *specParser) ident() string {
+	p.skipSpace()
+	start := p.pos
+	for !p.eof() {
+		c := rune(p.src[p.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *specParser) expect(c byte) error {
+	p.skipSpace()
+	if p.eof() || p.src[p.pos] != c {
+		got := "EOF"
+		if !p.eof() {
+			got = string(p.src[p.pos])
+		}
+		return p.errf("expected %q, got %q", string(c), got)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *specParser) peek() byte {
+	p.skipSpace()
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *specParser) header() (*Header, error) {
+	name := p.ident()
+	if name == "" {
+		return nil, p.errf("expected header name")
+	}
+	if err := p.expect('{'); err != nil {
+		return nil, err
+	}
+	h := &Header{Name: name}
+	for {
+		switch p.peek() {
+		case '}':
+			p.pos++
+			return h, nil
+		case 0:
+			return nil, p.errf("unexpected EOF in header %q", name)
+		case '@':
+			p.pos++
+			if err := p.headerAnnotation(h); err != nil {
+				return nil, err
+			}
+		default:
+			f, err := p.field()
+			if err != nil {
+				return nil, err
+			}
+			h.Fields = append(h.Fields, f)
+		}
+	}
+}
+
+// headerAnnotation parses header-level annotations; currently only
+// @counter(name, window).
+func (p *specParser) headerAnnotation(h *Header) error {
+	kind := p.ident()
+	if kind != "counter" {
+		return p.errf("unknown header annotation @%s", kind)
+	}
+	if err := p.expect('('); err != nil {
+		return err
+	}
+	name := p.ident()
+	if name == "" {
+		return p.errf("@counter: expected name")
+	}
+	if err := p.expect(','); err != nil {
+		return err
+	}
+	win, err := p.duration()
+	if err != nil {
+		return err
+	}
+	if err := p.expect(')'); err != nil {
+		return err
+	}
+	h.Counters = append(h.Counters, &StateVar{Name: name, Window: win})
+	return nil
+}
+
+// duration parses forms like 100us, 5ms, 2s.
+func (p *specParser) duration() (time.Duration, error) {
+	p.skipSpace()
+	start := p.pos
+	for !p.eof() {
+		c := p.src[p.pos]
+		if c >= '0' && c <= '9' || c >= 'a' && c <= 'z' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	txt := p.src[start:p.pos]
+	// Go's ParseDuration uses "µs"/"us" both; normalize.
+	d, err := time.ParseDuration(strings.ReplaceAll(txt, "us", "µs"))
+	if err != nil {
+		return 0, p.errf("bad duration %q: %v", txt, err)
+	}
+	return d, nil
+}
+
+func (p *specParser) field() (*Field, error) {
+	name := p.ident()
+	if name == "" {
+		return nil, p.errf("expected field name")
+	}
+	if err := p.expect(':'); err != nil {
+		return nil, err
+	}
+	typ := p.ident()
+	f := &Field{Name: name}
+	switch {
+	case strings.HasPrefix(typ, "u"):
+		bits, err := strconv.Atoi(typ[1:])
+		if err != nil || bits <= 0 || bits > 128 {
+			return nil, p.errf("bad int type %q", typ)
+		}
+		f.Type = IntField
+		f.Bits = bits
+	case strings.HasPrefix(typ, "str"):
+		n, err := strconv.Atoi(typ[3:])
+		if err != nil || n <= 0 || n > 256 {
+			return nil, p.errf("bad string type %q", typ)
+		}
+		f.Type = StringField
+		f.Bits = n * 8
+	default:
+		return nil, p.errf("unknown field type %q", typ)
+	}
+	// Optional annotations before the semicolon.
+	for p.peek() == '@' {
+		p.pos++
+		ann := p.ident()
+		switch ann {
+		case "field":
+			f.Subscribable = true
+			if f.Type == StringField {
+				// Paper string relations: equality and prefix.
+				f.Hint = MatchPrefix
+			} else {
+				f.Hint = MatchRange
+			}
+		case "field_exact":
+			f.Subscribable = true
+			f.Hint = MatchExact
+		case "field_prefix":
+			f.Subscribable = true
+			f.Hint = MatchPrefix
+		default:
+			return nil, p.errf("unknown field annotation @%s", ann)
+		}
+	}
+	if err := p.expect(';'); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

@@ -1,0 +1,220 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const itchSrc = `
+# ITCH message format (paper Fig. 4)
+header moldudp {
+    session : str10;
+    seq : u64;
+    count : u16;
+}
+header itch_order {
+    msg_type : u8;
+    stock_locate : u16;
+    tracking : u16;
+    timestamp : u48;
+    order_ref : u64;
+    buy_sell : u8;
+    shares : u32 @field;
+    price : u32 @field;
+    stock : str8 @field_exact;
+    @counter(my_counter, 100us)
+}
+`
+
+func parseITCH(t *testing.T) *Spec {
+	t.Helper()
+	s, err := Parse("itch", itchSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return s
+}
+
+func TestParseHeaders(t *testing.T) {
+	s := parseITCH(t)
+	if len(s.Headers) != 2 {
+		t.Fatalf("got %d headers, want 2", len(s.Headers))
+	}
+	h, ok := s.Header("itch_order")
+	if !ok {
+		t.Fatal("missing itch_order header")
+	}
+	if got := len(h.Fields); got != 9 {
+		t.Fatalf("itch_order has %d fields, want 9", got)
+	}
+	if got := h.Bytes(); got != 1+2+2+6+8+1+4+4+8 {
+		t.Fatalf("itch_order width %d bytes, want 36", got)
+	}
+}
+
+func TestSubscribableFieldOrder(t *testing.T) {
+	s := parseITCH(t)
+	subs := s.SubscribableFields()
+	want := []string{"itch_order.shares", "itch_order.price", "itch_order.stock"}
+	if len(subs) != len(want) {
+		t.Fatalf("got %d subscribable fields, want %d", len(subs), len(want))
+	}
+	for i, f := range subs {
+		if f.QName() != want[i] {
+			t.Errorf("field %d = %s, want %s", i, f.QName(), want[i])
+		}
+		if idx, ok := s.SubscribableIndex(f); !ok || idx != i {
+			t.Errorf("SubscribableIndex(%s) = %d,%v want %d,true", f.QName(), idx, ok, i)
+		}
+	}
+}
+
+func TestFieldResolution(t *testing.T) {
+	s := parseITCH(t)
+	if f, ok := s.Field("price"); !ok || f.QName() != "itch_order.price" {
+		t.Errorf("unqualified price: %v %v", f, ok)
+	}
+	if f, ok := s.Field("itch_order.stock"); !ok || f.Type != StringField {
+		t.Errorf("qualified stock: %v %v", f, ok)
+	}
+	if _, ok := s.Field("nonexistent"); ok {
+		t.Error("resolved nonexistent field")
+	}
+}
+
+func TestMatchHints(t *testing.T) {
+	s := parseITCH(t)
+	price, _ := s.Field("price")
+	if price.Hint != MatchRange {
+		t.Errorf("price hint = %v, want range", price.Hint)
+	}
+	stock, _ := s.Field("stock")
+	if stock.Hint != MatchExact {
+		t.Errorf("stock hint = %v, want exact", stock.Hint)
+	}
+	locate, _ := s.Field("stock_locate")
+	if locate.Subscribable {
+		t.Error("stock_locate should not be subscribable")
+	}
+}
+
+func TestStateVar(t *testing.T) {
+	s := parseITCH(t)
+	sv, ok := s.StateVar("my_counter")
+	if !ok {
+		t.Fatal("missing my_counter")
+	}
+	if sv.Window != 100*time.Microsecond {
+		t.Errorf("window = %v, want 100µs", sv.Window)
+	}
+	if got := len(s.StateVars()); got != 1 {
+		t.Errorf("StateVars len = %d, want 1", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"empty", "", "no headers"},
+		{"dup header", "header a { x : u8; }\nheader a { y : u8; }", "duplicate header"},
+		{"dup field", "header a { x : u8; x : u16; }", "duplicate field"},
+		{"bad type", "header a { x : float32; }", "unknown field type"},
+		{"unaligned", "header a { x : u3; }", "not byte aligned"},
+		{"unaligned str", "header a { x : u8; }", ""}, // control: ok
+		{"bad annotation", "header a { x : u8 @magic; }", "unknown field annotation"},
+		{"missing semi", "header a { x : u8 }", "expected"},
+		{"bad counter", "header a { x : u8; @counter(c) }", "expected"},
+	}
+	for _, tc := range cases {
+		_, err := Parse("t", tc.src)
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestFieldMaxValue(t *testing.T) {
+	cases := []struct {
+		bits int
+		want int64
+	}{
+		{8, 255}, {16, 65535}, {32, 1<<32 - 1}, {48, 1<<48 - 1}, {64, int64(^uint64(0) >> 1)},
+	}
+	for _, tc := range cases {
+		f := &Field{Bits: tc.bits, Type: IntField}
+		if got := f.MaxValue(); got != tc.want {
+			t.Errorf("MaxValue(%d bits) = %d, want %d", tc.bits, got, tc.want)
+		}
+	}
+}
+
+func TestMessageSetGet(t *testing.T) {
+	s := parseITCH(t)
+	m := NewMessage(s)
+	if _, ok := m.GetRef("price"); ok {
+		t.Error("empty message has price")
+	}
+	m.MustSet("price", IntVal(52))
+	m.MustSet("stock", StrVal("GOOGL   ")) // right-padded wire form
+	if v, ok := m.GetRef("price"); !ok || v.Int != 52 {
+		t.Errorf("price = %v %v", v, ok)
+	}
+	if v, ok := m.GetRef("stock"); !ok || v.Str != "GOOGL" {
+		t.Errorf("stock = %v %v, want trimmed GOOGL", v, ok)
+	}
+	if err := m.Set("stock_locate", IntVal(1)); err == nil {
+		t.Error("setting non-subscribable field should fail")
+	}
+	if err := m.Set("bogus", IntVal(1)); err == nil {
+		t.Error("setting unknown field should fail")
+	}
+	clone := m.Clone()
+	m.Reset()
+	if _, ok := m.GetRef("price"); ok {
+		t.Error("reset message still has price")
+	}
+	if v, ok := clone.GetRef("price"); !ok || v.Int != 52 {
+		t.Error("clone lost price after original reset")
+	}
+}
+
+func TestMergeSpecs(t *testing.T) {
+	a := MustParse("a", "header ha { x : u8 @field; }")
+	b := MustParse("b", "header hb { y : u8 @field; }")
+	m, err := Merge("ab", a, b)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if len(m.SubscribableFields()) != 2 {
+		t.Fatalf("merged subscribable = %d, want 2", len(m.SubscribableFields()))
+	}
+	if _, err := Merge("aa", a, a); err == nil {
+		t.Error("merging colliding headers should fail")
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	if !IntVal(5).Equal(IntVal(5)) || IntVal(5).Equal(IntVal(6)) {
+		t.Error("IntVal equality broken")
+	}
+	if !StrVal("GOOGL ").Equal(StrVal("GOOGL")) {
+		t.Error("StrVal should trim padding")
+	}
+	if IntVal(5).Equal(StrVal("5")) {
+		t.Error("cross-kind equality should be false")
+	}
+	if got := IntVal(7).String(); got != "7" {
+		t.Errorf("IntVal.String = %q", got)
+	}
+	if got := StrVal("x").String(); got != `"x"` {
+		t.Errorf("StrVal.String = %q", got)
+	}
+}

@@ -1,0 +1,177 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Value is a dynamically-typed field value: either an unsigned integer
+// (stored in an int64; all paper fields fit) or a fixed-width string.
+type Value struct {
+	Kind FieldType
+	Int  int64
+	Str  string
+}
+
+// IntVal constructs an integer Value.
+func IntVal(v int64) Value { return Value{Kind: IntField, Int: v} }
+
+// StrVal constructs a string Value. Trailing spaces are trimmed so that
+// right-padded wire strings (e.g. ITCH "GOOGL   ") compare equal to their
+// subscription constants.
+func StrVal(v string) Value {
+	return Value{Kind: StringField, Str: strings.TrimRight(v, " \x00")}
+}
+
+func (v Value) String() string {
+	if v.Kind == StringField {
+		return fmt.Sprintf("%q", v.Str)
+	}
+	return fmt.Sprintf("%d", v.Int)
+}
+
+// Equal reports exact value equality (kind and payload).
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	if v.Kind == StringField {
+		return v.Str == o.Str
+	}
+	return v.Int == o.Int
+}
+
+// Message is a decoded packet presented to the subscription pipeline: the
+// values of the spec's subscribable fields, in spec declaration order.
+// Fields belonging to headers absent from a given packet are marked not
+// present; predicates on absent fields evaluate to false.
+type Message struct {
+	spec    *Spec
+	values  []Value
+	present []bool
+	headers []bool // header validity bits, by header parse order
+}
+
+// NewMessage allocates an empty message for s.
+func NewMessage(s *Spec) *Message {
+	n := len(s.SubscribableFields())
+	return &Message{
+		spec:    s,
+		values:  make([]Value, n),
+		present: make([]bool, n),
+		headers: make([]bool, len(s.Headers)),
+	}
+}
+
+// Spec returns the spec this message was decoded against.
+func (m *Message) Spec() *Spec { return m.spec }
+
+// Reset clears all fields so the message can be reused across packets
+// (gopacket DecodingLayerParser style: zero allocation on the hot path).
+func (m *Message) Reset() {
+	for i := range m.present {
+		m.present[i] = false
+	}
+	for i := range m.headers {
+		m.headers[i] = false
+	}
+}
+
+// MarkHeader sets the validity bit of the named header — what the packet
+// parser does when it extracts the header. Setting any field of a header
+// marks it implicitly.
+func (m *Message) MarkHeader(name string) {
+	if i := m.spec.HeaderIndex(name); i >= 0 {
+		m.headers[i] = true
+	}
+}
+
+// HeaderPresent reports the header's validity bit.
+func (m *Message) HeaderPresent(name string) bool {
+	i := m.spec.HeaderIndex(name)
+	return i >= 0 && m.headers[i]
+}
+
+// Set assigns a field value by field reference name.
+func (m *Message) Set(ref string, v Value) error {
+	f, ok := m.spec.Field(ref)
+	if !ok {
+		return fmt.Errorf("message: unknown field %q", ref)
+	}
+	idx, ok := m.spec.SubscribableIndex(f)
+	if !ok {
+		return fmt.Errorf("message: field %q is not subscribable", ref)
+	}
+	m.SetIndex(idx, v)
+	return nil
+}
+
+// MustSet is Set, panicking on error (for tests and generators).
+func (m *Message) MustSet(ref string, v Value) {
+	if err := m.Set(ref, v); err != nil {
+		panic(err)
+	}
+}
+
+// SetIndex assigns the field at subscribable index idx and marks the
+// field's header valid.
+func (m *Message) SetIndex(idx int, v Value) {
+	m.values[idx] = v
+	m.present[idx] = true
+	if h := m.spec.HeaderIndex(m.spec.subscribable[idx].Header); h >= 0 {
+		m.headers[h] = true
+	}
+}
+
+// Get returns the value at subscribable index idx and whether it is present.
+func (m *Message) Get(idx int) (Value, bool) {
+	if idx < 0 || idx >= len(m.values) || !m.present[idx] {
+		return Value{}, false
+	}
+	return m.values[idx], true
+}
+
+// GetRef returns the value of the named field.
+func (m *Message) GetRef(ref string) (Value, bool) {
+	f, ok := m.spec.Field(ref)
+	if !ok {
+		return Value{}, false
+	}
+	idx, ok := m.spec.SubscribableIndex(f)
+	if !ok {
+		return Value{}, false
+	}
+	return m.Get(idx)
+}
+
+// Clone returns an independent copy of the message.
+func (m *Message) Clone() *Message {
+	c := &Message{
+		spec:    m.spec,
+		values:  make([]Value, len(m.values)),
+		present: make([]bool, len(m.present)),
+		headers: make([]bool, len(m.headers)),
+	}
+	copy(c.values, m.values)
+	copy(c.present, m.present)
+	copy(c.headers, m.headers)
+	return c
+}
+
+func (m *Message) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for i, f := range m.spec.SubscribableFields() {
+		if !m.present[i] {
+			continue
+		}
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%s=%s", f.QName(), m.values[i])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPercentiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 100}, {50, 50.5}, {95, 95.05}, {99, 99.01},
+	}
+	for _, tc := range cases {
+		if got := s.Percentile(tc.p); got < tc.want-0.5 || got > tc.want+0.5 {
+			t.Errorf("P%.0f = %.2f, want ≈%.2f", tc.p, got, tc.want)
+		}
+	}
+	if s.Mean() != 50.5 {
+		t.Errorf("mean = %f", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 100 {
+		t.Errorf("min/max = %f/%f", s.Min(), s.Max())
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.Percentile(50) != 0 || s.Mean() != 0 || s.Max() != 0 || s.Min() != 0 {
+		t.Error("empty sample should return zeros")
+	}
+	if s.CDF(10) != nil {
+		t.Error("empty CDF")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	var s Sample
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		s.AddDuration(time.Duration(r.Intn(1000)) * time.Microsecond)
+	}
+	cdf := s.CDF(50)
+	if len(cdf) != 50 {
+		t.Fatalf("points = %d", len(cdf))
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i][0] < cdf[i-1][0] || cdf[i][1] < cdf[i-1][1] {
+			t.Fatalf("CDF not monotone at %d: %v %v", i, cdf[i-1], cdf[i])
+		}
+	}
+	if cdf[len(cdf)-1][1] != 1.0 {
+		t.Errorf("CDF does not reach 1: %f", cdf[len(cdf)-1][1])
+	}
+}
+
+func TestFracBelow(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 10; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.FracBelow(5); got != 0.5 {
+		t.Errorf("FracBelow(5) = %f", got)
+	}
+	if got := s.FracBelow(100); got != 1 {
+		t.Errorf("FracBelow(100) = %f", got)
+	}
+	if got := s.FracBelow(0); got != 0 {
+		t.Errorf("FracBelow(0) = %f", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := Table{
+		Title:  "Fig. X",
+		Header: []string{"series", "value"},
+	}
+	tbl.AddRow("camus", 12.5)
+	tbl.AddRow("baseline", 100*time.Microsecond)
+	tbl.AddRow("n", 42)
+	tbl.AddRow("tiny", 0.00394)
+	out := tbl.String()
+	for _, want := range []string{"## Fig. X", "series", "camus", "12.5", "100µs", "42", "0.00394", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}

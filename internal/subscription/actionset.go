@@ -1,0 +1,102 @@
+package subscription
+
+import (
+	"sort"
+	"strings"
+)
+
+// ActionSet is the merged outcome of all rules matching a packet. When
+// multiple filters overlap, their fwd ports are merged into one multicast
+// set (paper §V-D: "the actions fwd(1) and fwd(2) are merged into the
+// single action fwd(1,2)"); custom actions are deduplicated.
+type ActionSet struct {
+	// Ports is the sorted, deduplicated union of fwd ports.
+	Ports []int
+	// Custom holds non-fwd actions, deduplicated by key and sorted.
+	Custom []Action
+}
+
+// Add merges an action into the set.
+func (s *ActionSet) Add(a Action) {
+	if a.IsFwd() {
+		for _, p := range a.Ports {
+			s.addPort(p)
+		}
+		return
+	}
+	key := a.Key()
+	for _, c := range s.Custom {
+		if c.Key() == key {
+			return
+		}
+	}
+	s.Custom = append(s.Custom, a)
+	sort.Slice(s.Custom, func(i, j int) bool { return s.Custom[i].Key() < s.Custom[j].Key() })
+}
+
+func (s *ActionSet) addPort(p int) {
+	i := sort.SearchInts(s.Ports, p)
+	if i < len(s.Ports) && s.Ports[i] == p {
+		return
+	}
+	s.Ports = append(s.Ports, 0)
+	copy(s.Ports[i+1:], s.Ports[i:])
+	s.Ports[i] = p
+}
+
+// Merge merges another action set into this one.
+func (s *ActionSet) Merge(o ActionSet) {
+	for _, p := range o.Ports {
+		s.addPort(p)
+	}
+	for _, c := range o.Custom {
+		s.Add(c)
+	}
+}
+
+// IsEmpty reports whether the set carries no forwarding decision — the
+// packet is dropped.
+func (s ActionSet) IsEmpty() bool { return len(s.Ports) == 0 && len(s.Custom) == 0 }
+
+// Key returns a canonical identity for the set. Equal keys denote equal
+// forwarding behaviour; the compiler uses keys to share BDD terminals and
+// multicast groups.
+func (s ActionSet) Key() string {
+	var b strings.Builder
+	b.WriteString("fwd(")
+	for i, p := range s.Ports {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		writeInt(&b, p)
+	}
+	b.WriteByte(')')
+	for _, c := range s.Custom {
+		b.WriteByte(';')
+		b.WriteString(c.Key())
+	}
+	return b.String()
+}
+
+// Equal reports whether two action sets are identical.
+func (s ActionSet) Equal(o ActionSet) bool { return s.Key() == o.Key() }
+
+// Clone returns an independent copy.
+func (s ActionSet) Clone() ActionSet {
+	c := ActionSet{Ports: append([]int(nil), s.Ports...)}
+	c.Custom = append(c.Custom, s.Custom...)
+	return c
+}
+
+func (s ActionSet) String() string { return s.Key() }
+
+func writeInt(b *strings.Builder, v int) {
+	if v < 0 {
+		b.WriteByte('-')
+		v = -v
+	}
+	if v >= 10 {
+		writeInt(b, v/10)
+	}
+	b.WriteByte(byte('0' + v%10))
+}

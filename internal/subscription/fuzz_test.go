@@ -1,0 +1,112 @@
+package subscription
+
+import (
+	"testing"
+
+	"camus/internal/spec"
+)
+
+// FuzzParseFilter checks the filter parser never panics on arbitrary
+// input, and that every successfully parsed filter pretty-prints to a
+// form that re-parses to an equivalent filter (checked by evaluation on
+// a probe set).
+func FuzzParseFilter(f *testing.F) {
+	seeds := []string{
+		"stock == GOOGL and price > 50",
+		"price > 10 or (shares < 5 and stock != MSFT)",
+		"not (price >= 3)",
+		"avg(price, 100ms) > 60",
+		"count() > 10",
+		"name prefix \"video/\"",
+		"dst == 192.168.0.1",
+		"price == 0x1F",
+		"true",
+		"false",
+		"my_counter >= 3",
+		"price > 50 and price > 50 and price > 50",
+		"((((price > 1))))",
+		"stock == 'quo ted'",
+		"price >",
+		"and and and",
+		"stock == GOOGL: fwd(1)",
+		"∧ ∨ ¬",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	sp := spec.MustParse("fuzz", testSpecSrc)
+	probes := buildProbes(sp)
+	f.Fuzz(func(t *testing.T, src string) {
+		p := NewParser(sp)
+		e, err := p.ParseFilter(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		printed := e.String()
+		e2, err := p.ParseFilter(printed)
+		if err != nil {
+			t.Fatalf("round-trip parse of %q (from %q) failed: %v", printed, src, err)
+		}
+		for _, m := range probes {
+			if EvalExpr(e, m, nil) != EvalExpr(e2, m, nil) {
+				t.Fatalf("round-trip changed semantics: %q vs %q on %s", src, printed, m)
+			}
+		}
+		// Normalization must also succeed or fail gracefully and, when
+		// it succeeds, agree with direct evaluation.
+		conjs, err := Normalize(e)
+		if err != nil {
+			return
+		}
+		for _, m := range probes {
+			got := false
+			for _, c := range conjs {
+				if EvalConjunction(c, m, nil) {
+					got = true
+					break
+				}
+			}
+			if got != EvalExpr(e, m, nil) {
+				t.Fatalf("DNF disagrees for %q on %s", src, m)
+			}
+		}
+	})
+}
+
+func buildProbes(sp *spec.Spec) []*spec.Message {
+	var probes []*spec.Message
+	for _, stock := range []string{"GOOGL", "MSFT", "x"} {
+		for _, price := range []int64{0, 3, 51, 1000} {
+			m := spec.NewMessage(sp)
+			m.MustSet("stock", spec.StrVal(stock))
+			m.MustSet("price", spec.IntVal(price))
+			m.MustSet("shares", spec.IntVal(price/2))
+			m.MustSet("name", spec.StrVal("video/"+stock))
+			m.MustSet("src", spec.IntVal(1))
+			m.MustSet("dst", spec.IntVal(price*7))
+			probes = append(probes, m)
+		}
+	}
+	return probes
+}
+
+// FuzzParseRules checks the rule-file parser never panics and assigns
+// sequential IDs.
+func FuzzParseRules(f *testing.F) {
+	f.Add("stock == GOOGL: fwd(1)\nprice > 5: fwd(2,3)")
+	f.Add("# comment\n\nname == h1: answerDNS(10.0.0.1)")
+	f.Add("price > 1: fwd(1); price > 2: fwd(2)")
+	f.Add(":::")
+	sp := spec.MustParse("fuzz", testSpecSrc)
+	f.Fuzz(func(t *testing.T, src string) {
+		rules, err := NewParser(sp).ParseRules(src)
+		if err != nil {
+			return
+		}
+		for i, r := range rules {
+			if r.ID != i {
+				t.Fatalf("rule %d has ID %d", i, r.ID)
+			}
+		}
+	})
+}

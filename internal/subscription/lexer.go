@@ -1,0 +1,264 @@
+package subscription
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString // quoted
+	tokIP     // dotted quad
+	tokOp     // == != < <= > >= : , ( ) . !
+	tokAnd
+	tokOr
+	tokNot
+	tokTrue
+	tokFalse
+	tokPrefix
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	num  int64
+	pos  int
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "EOF"
+	case tokNumber:
+		return fmt.Sprintf("%d", t.num)
+	default:
+		return t.text
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (l *lexer) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("filter line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) skipSpace(stopAtNewline bool) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			if stopAtNewline {
+				return
+			}
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#':
+			l.skipLine()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			l.skipLine()
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) skipLine() {
+	for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+		l.pos++
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+// next returns the next token. Newlines are treated as whitespace; rule
+// files separate rules with ';' or the parser's per-line API.
+func (l *lexer) next() (token, error) {
+	l.skipSpace(false)
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start, line: l.line}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		kind := tokIdent
+		switch strings.ToLower(word) {
+		case "and":
+			kind = tokAnd
+		case "or":
+			kind = tokOr
+		case "not":
+			kind = tokNot
+		case "true":
+			kind = tokTrue
+		case "false":
+			kind = tokFalse
+		case "prefix":
+			kind = tokPrefix
+		}
+		return token{kind: kind, text: word, pos: start, line: l.line}, nil
+
+	case c >= '0' && c <= '9':
+		return l.numberOrIP(start)
+
+	case c == '"' || c == '\'':
+		// Quoted string with Go escape syntax (\" \\ \n \xNN \uNNNN ...)
+		// so that Expr.String()'s %q output round-trips.
+		quote := c
+		l.pos++
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) || l.src[l.pos] == '\n' {
+				return token{}, l.errf("unterminated string")
+			}
+			if l.src[l.pos] == quote {
+				l.pos++
+				break
+			}
+			r, _, rest, err := strconv.UnquoteChar(l.src[l.pos:], quote)
+			if err != nil {
+				return token{}, l.errf("bad string escape: %v", err)
+			}
+			sb.WriteRune(r)
+			l.pos = len(l.src) - len(rest)
+		}
+		return token{kind: tokString, text: sb.String(), pos: start, line: l.line}, nil
+
+	default:
+		// Multi-byte operators first.
+		two := ""
+		if l.pos+1 < len(l.src) {
+			two = l.src[l.pos : l.pos+2]
+		}
+		switch two {
+		case "==", "!=", "<=", ">=", "&&", "||":
+			l.pos += 2
+			switch two {
+			case "&&":
+				return token{kind: tokAnd, text: two, pos: start, line: l.line}, nil
+			case "||":
+				return token{kind: tokOr, text: two, pos: start, line: l.line}, nil
+			}
+			return token{kind: tokOp, text: two, pos: start, line: l.line}, nil
+		}
+		// Unicode logical connectives (the paper writes ∧ and ∨).
+		if strings.HasPrefix(l.src[l.pos:], "∧") {
+			l.pos += len("∧")
+			return token{kind: tokAnd, text: "∧", pos: start, line: l.line}, nil
+		}
+		if strings.HasPrefix(l.src[l.pos:], "∨") {
+			l.pos += len("∨")
+			return token{kind: tokOr, text: "∨", pos: start, line: l.line}, nil
+		}
+		switch c {
+		case '<', '>', '=', ':', ',', '(', ')', '.', ';':
+			l.pos++
+			text := string(c)
+			if c == '=' {
+				text = "==" // single '=' tolerated as equality
+			}
+			return token{kind: tokOp, text: text, pos: start, line: l.line}, nil
+		case '!':
+			l.pos++
+			return token{kind: tokNot, text: "!", pos: start, line: l.line}, nil
+		}
+		return token{}, l.errf("unexpected character %q", string(c))
+	}
+}
+
+// numberOrIP scans a decimal/hex number, a duration (digits+unit, returned
+// as an ident for the parser to interpret), or an IPv4 dotted quad.
+func (l *lexer) numberOrIP(start int) (token, error) {
+	// Hex?
+	if strings.HasPrefix(l.src[l.pos:], "0x") || strings.HasPrefix(l.src[l.pos:], "0X") {
+		l.pos += 2
+		for l.pos < len(l.src) && isHex(l.src[l.pos]) {
+			l.pos++
+		}
+		v, err := strconv.ParseUint(l.src[start+2:l.pos], 16, 64)
+		if err != nil {
+			return token{}, l.errf("bad hex literal %q: %v", l.src[start:l.pos], err)
+		}
+		return token{kind: tokNumber, num: int64(v), text: l.src[start:l.pos], pos: start, line: l.line}, nil
+	}
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	// Dotted quad: 192.168.0.1
+	if l.pos < len(l.src) && l.src[l.pos] == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+		dots := 0
+		for l.pos < len(l.src) && (l.src[l.pos] == '.' || l.src[l.pos] >= '0' && l.src[l.pos] <= '9') {
+			if l.src[l.pos] == '.' {
+				dots++
+			}
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		if dots != 3 {
+			return token{}, l.errf("bad numeric literal %q", text)
+		}
+		v, err := parseIPv4(text)
+		if err != nil {
+			return token{}, l.errf("%v", err)
+		}
+		return token{kind: tokIP, num: int64(v), text: text, pos: start, line: l.line}, nil
+	}
+	// Duration suffix (e.g. 100us, 5ms) — lexed as an ident-ish token so
+	// aggregate windows parse naturally.
+	if l.pos < len(l.src) && isIdentStart(l.src[l.pos]) {
+		for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start, line: l.line}, nil
+	}
+	v, err := strconv.ParseInt(l.src[start:l.pos], 10, 64)
+	if err != nil {
+		return token{}, l.errf("bad number %q: %v", l.src[start:l.pos], err)
+	}
+	return token{kind: tokNumber, num: v, text: l.src[start:l.pos], pos: start, line: l.line}, nil
+}
+
+func isHex(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+// parseIPv4 converts a dotted quad to its uint32 value.
+func parseIPv4(s string) (uint32, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("bad IPv4 literal %q", s)
+	}
+	var v uint32
+	for _, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 || n > 255 {
+			return 0, fmt.Errorf("bad IPv4 literal %q", s)
+		}
+		v = v<<8 | uint32(n)
+	}
+	return v, nil
+}

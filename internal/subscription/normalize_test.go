@@ -1,0 +1,282 @@
+package subscription
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"camus/internal/spec"
+)
+
+func mustFilter(t *testing.T, src string) Expr {
+	t.Helper()
+	e, err := NewParser(spec.MustParse("test", testSpecSrc)).ParseFilter(src)
+	if err != nil {
+		t.Fatalf("ParseFilter(%q): %v", src, err)
+	}
+	return e
+}
+
+func TestNormalizeShapes(t *testing.T) {
+	cases := []struct {
+		src   string
+		conjs int
+		atoms []int // atoms per conjunction
+	}{
+		{"price > 50", 1, []int{1}},
+		{"price > 50 and stock == GOOGL", 1, []int{2}},
+		{"price > 50 or stock == GOOGL", 2, []int{1, 1}},
+		{"(price > 1 or price > 2) and (shares > 3 or shares > 4)", 4, []int{2, 2, 2, 2}},
+		{"not (price > 10 and shares < 20)", 2, []int{1, 1}},
+		{"not (price > 10 or shares < 20)", 1, []int{2}},
+		{"price > 10 and price > 10", 1, []int{1}},  // dedup
+		{"price > 10 and not (price > 10)", 0, nil}, // contradiction
+		{"true", 1, []int{0}},                       // constant true
+		{"false", 0, nil},                           // constant false
+		{"price > 5 or true", 1, []int{0}},          // absorbed by true
+		{"false or price > 5", 1, []int{1}},         // false disjunct dropped
+		{"price > 5 and false", 0, nil},             // false conjunct kills
+		{"price > 1 or price > 1", 1, []int{1}},     // dup disjunct
+		{"not (not (price > 1))", 1, []int{1}},      // double negation
+		{"not true", 0, nil},                        // ¬true = false
+		{"price > 10 and (stock == A or stock == B)", 2, []int{2, 2}},
+	}
+	for _, tc := range cases {
+		e := mustFilter(t, tc.src)
+		conjs, err := Normalize(e)
+		if err != nil {
+			t.Errorf("Normalize(%q): %v", tc.src, err)
+			continue
+		}
+		if len(conjs) != tc.conjs {
+			t.Errorf("Normalize(%q) = %d conjunctions, want %d: %v", tc.src, len(conjs), tc.conjs, conjs)
+			continue
+		}
+		for i, c := range conjs {
+			if len(c) != tc.atoms[i] {
+				t.Errorf("Normalize(%q) conj %d has %d atoms, want %d", tc.src, i, len(c), tc.atoms[i])
+			}
+		}
+	}
+}
+
+func TestNormalizeRejectsNegatedPrefix(t *testing.T) {
+	e := mustFilter(t, "not (name prefix \"x\")")
+	if _, err := Normalize(e); err == nil {
+		t.Error("negated prefix should fail normalization")
+	}
+}
+
+func TestNormalizeRule(t *testing.T) {
+	p := NewParser(spec.MustParse("test", testSpecSrc))
+	r, err := p.ParseRule("price > 5 or shares < 3: fwd(2)", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nrs, err := NormalizeRule(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nrs) != 2 {
+		t.Fatalf("got %d normalized rules, want 2", len(nrs))
+	}
+	for _, nr := range nrs {
+		if nr.RuleID != 9 || !nr.Action.IsFwd() || nr.Action.Ports[0] != 2 {
+			t.Errorf("normalized rule = %+v", nr)
+		}
+	}
+}
+
+// randomExpr builds a random negation-bearing expression over small
+// integer fields so normalization equivalence can be checked exhaustively
+// on the value domain.
+func randomExpr(r *rand.Rand, sp *spec.Spec, depth int) Expr {
+	if depth <= 0 || r.Intn(3) == 0 {
+		fields := []string{"price", "shares"}
+		f, _ := sp.Field(fields[r.Intn(len(fields))])
+		rels := []Relation{EQ, NE, LT, LE, GT, GE}
+		return &Atom{
+			Ref:   FieldRef{Kind: PacketRef, Field: f},
+			Rel:   rels[r.Intn(len(rels))],
+			Const: spec.IntVal(int64(r.Intn(6))),
+		}
+	}
+	switch r.Intn(3) {
+	case 0:
+		return &And{Terms: []Expr{randomExpr(r, sp, depth-1), randomExpr(r, sp, depth-1)}}
+	case 1:
+		return &Or{Terms: []Expr{randomExpr(r, sp, depth-1), randomExpr(r, sp, depth-1)}}
+	default:
+		return &Not{Term: randomExpr(r, sp, depth-1)}
+	}
+}
+
+// TestNormalizePreservesSemantics: for random expressions and all small
+// (price, shares) value pairs, DNF evaluation must equal direct
+// evaluation. This is invariant "DNF normalization" from DESIGN.md §6.
+func TestNormalizePreservesSemantics(t *testing.T) {
+	sp := spec.MustParse("test", testSpecSrc)
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		e := randomExpr(r, sp, 4)
+		conjs, err := Normalize(e)
+		if err != nil {
+			t.Fatalf("Normalize: %v", err)
+		}
+		for price := int64(0); price < 7; price++ {
+			for shares := int64(0); shares < 7; shares++ {
+				m := spec.NewMessage(sp)
+				m.MustSet("price", spec.IntVal(price))
+				m.MustSet("shares", spec.IntVal(shares))
+				want := EvalExpr(e, m, nil)
+				got := false
+				for _, c := range conjs {
+					if EvalConjunction(c, m, nil) {
+						got = true
+						break
+					}
+				}
+				if got != want {
+					t.Fatalf("trial %d: DNF mismatch for %s at price=%d shares=%d: dnf=%v direct=%v (conjs=%v)",
+						trial, e, price, shares, got, want, conjs)
+				}
+			}
+		}
+	}
+}
+
+// TestActionSetProperties uses testing/quick to check ActionSet merging is
+// commutative, idempotent, and keeps ports sorted/deduplicated.
+func TestActionSetProperties(t *testing.T) {
+	f := func(ports []uint8, ports2 []uint8) bool {
+		var a, b ActionSet
+		for _, p := range ports {
+			a.Add(FwdAction(int(p)))
+		}
+		for _, p := range ports2 {
+			b.Add(FwdAction(int(p)))
+		}
+		ab := a.Clone()
+		ab.Merge(b)
+		ba := b.Clone()
+		ba.Merge(a)
+		if !ab.Equal(ba) {
+			return false
+		}
+		abb := ab.Clone()
+		abb.Merge(b)
+		if !abb.Equal(ab) { // idempotent
+			return false
+		}
+		for i := 1; i < len(ab.Ports); i++ {
+			if ab.Ports[i-1] >= ab.Ports[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestActionSetCustom(t *testing.T) {
+	var s ActionSet
+	s.Add(Action{Name: "answerDNS", Args: []string{"10.0.0.1"}})
+	s.Add(Action{Name: "answerDNS", Args: []string{"10.0.0.1"}})
+	s.Add(FwdAction(3, 1))
+	if len(s.Custom) != 1 {
+		t.Errorf("custom dedup failed: %v", s.Custom)
+	}
+	if s.IsEmpty() {
+		t.Error("set with actions is empty")
+	}
+	if got, want := s.Key(), "fwd(1,3);answerDNS(10.0.0.1)"; got != want {
+		t.Errorf("Key = %q, want %q", got, want)
+	}
+	var empty ActionSet
+	if !empty.IsEmpty() {
+		t.Error("empty set not empty")
+	}
+}
+
+func TestMatchActions(t *testing.T) {
+	sp := spec.MustParse("test", testSpecSrc)
+	p := NewParser(sp)
+	rules, err := p.ParseRules(`
+stock == GOOGL and price > 50: fwd(1)
+stock == GOOGL: fwd(2)
+price < 10: fwd(3)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := spec.NewMessage(sp)
+	m.MustSet("stock", spec.StrVal("GOOGL"))
+	m.MustSet("price", spec.IntVal(60))
+	set := MatchActions(rules, m, nil)
+	if got := set.Key(); got != "fwd(1,2)" {
+		t.Errorf("actions = %s, want fwd(1,2)", got)
+	}
+	m2 := spec.NewMessage(sp)
+	m2.MustSet("stock", spec.StrVal("MSFT"))
+	m2.MustSet("price", spec.IntVal(5))
+	if got := MatchActions(rules, m2, nil).Key(); got != "fwd(3)" {
+		t.Errorf("actions = %s, want fwd(3)", got)
+	}
+}
+
+func TestEvalAbsentField(t *testing.T) {
+	sp := spec.MustParse("test", testSpecSrc)
+	p := NewParser(sp)
+	e, err := p.ParseFilter("price > 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := spec.NewMessage(sp) // price absent
+	if EvalExpr(e, m, nil) {
+		t.Error("constraint on absent field matched")
+	}
+	ne, _ := p.ParseFilter("price != 5")
+	if EvalExpr(ne, m, nil) {
+		t.Error("!= on absent field matched")
+	}
+}
+
+func TestEvalAggregates(t *testing.T) {
+	sp := spec.MustParse("test", testSpecSrc)
+	p := NewParser(sp)
+	e, err := p.ParseFilter("stock == GOOGL and avg(price) > 60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := spec.NewMessage(sp)
+	m.MustSet("stock", spec.StrVal("GOOGL"))
+	m.MustSet("price", spec.IntVal(100))
+	if EvalExpr(e, m, nil) {
+		t.Error("nil state should read aggregate as 0")
+	}
+	key := ""
+	// Find the aggregate key from the expression.
+	for _, term := range e.(*And).Terms {
+		if a := term.(*Atom); a.Ref.Kind == AggregateRef {
+			key = a.Ref.Key()
+		}
+	}
+	st := MapState{key: 61}
+	if !EvalExpr(e, m, st) {
+		t.Error("aggregate 61 > 60 should match")
+	}
+}
+
+func TestCompareStringPrefix(t *testing.T) {
+	if !Compare(spec.StrVal("video/cats"), PREFIX, spec.StrVal("video/")) {
+		t.Error("prefix should match")
+	}
+	if Compare(spec.StrVal("audio/x"), PREFIX, spec.StrVal("video/")) {
+		t.Error("prefix should not match")
+	}
+	if Compare(spec.IntVal(5), PREFIX, spec.StrVal("5")) {
+		t.Error("cross-kind compare should be false")
+	}
+}

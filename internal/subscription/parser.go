@@ -1,0 +1,462 @@
+package subscription
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"camus/internal/spec"
+)
+
+// Parser parses and type-checks subscriptions against a message spec.
+type Parser struct {
+	spec *spec.Spec
+	lex  *lexer
+	tok  token
+}
+
+// NewParser returns a parser bound to the given application spec.
+func NewParser(s *spec.Spec) *Parser { return &Parser{spec: s} }
+
+// Spec returns the spec the parser checks against.
+func (p *Parser) Spec() *spec.Spec { return p.spec }
+
+// ParseFilter parses a bare filter expression, e.g.
+// "stock == GOOGL and price > 50".
+func (p *Parser) ParseFilter(src string) (Expr, error) {
+	p.lex = newLexer(src)
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("unexpected trailing input %q", p.tok)
+	}
+	return e, nil
+}
+
+// ParseRule parses "filter: action", e.g. "stock == GOOGL: fwd(1,2)".
+// A rule without an explicit action defaults to fwd() with no ports
+// (useful when the controller attaches ports later).
+func (p *Parser) ParseRule(src string, id int) (*Rule, error) {
+	p.lex = newLexer(src)
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p.parseRuleBody(id)
+}
+
+func (p *Parser) parseRuleBody(id int) (*Rule, error) {
+	filter, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	rule := &Rule{ID: id, Filter: filter, Action: FwdAction()}
+	if p.tok.kind == tokOp && p.tok.text == ":" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		act, err := p.parseAction()
+		if err != nil {
+			return nil, err
+		}
+		rule.Action = act
+	}
+	if p.tok.kind == tokOp && p.tok.text == ";" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return rule, nil
+}
+
+// ParseRules parses a rule file: one rule per line or ';'-separated.
+// Blank lines and #-comments are ignored. Rule IDs are assigned in order
+// starting at 0.
+func (p *Parser) ParseRules(src string) ([]*Rule, error) {
+	var rules []*Rule
+	for lineNo, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "//") {
+			continue
+		}
+		p.lex = newLexer(line)
+		if err := p.advance(); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		for p.tok.kind != tokEOF {
+			r, err := p.parseRuleBody(len(rules))
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+			}
+			rules = append(rules, r)
+		}
+	}
+	return rules, nil
+}
+
+func (p *Parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *Parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("filter: %s (near %q)", fmt.Sprintf(format, args...), p.tok)
+}
+
+// parseOr: and ('or' and)*
+func (p *Parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	terms := []Expr{left}
+	for p.tok.kind == tokOr {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		t, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+	if len(terms) == 1 {
+		return terms[0], nil
+	}
+	return &Or{Terms: terms}, nil
+}
+
+// parseAnd: unary ('and' unary)*
+func (p *Parser) parseAnd() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	terms := []Expr{left}
+	for p.tok.kind == tokAnd {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		t, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+	if len(terms) == 1 {
+		return terms[0], nil
+	}
+	return &And{Terms: terms}, nil
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	switch {
+	case p.tok.kind == tokNot:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		t, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{Term: t}, nil
+	case p.tok.kind == tokTrue:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Bool{Value: true}, nil
+	case p.tok.kind == tokFalse:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Bool{Value: false}, nil
+	case p.tok.kind == tokOp && p.tok.text == "(":
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokOp || p.tok.text != ")" {
+			return nil, p.errf("expected ')'")
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p.tok.kind == tokIdent:
+		return p.parseAtom()
+	default:
+		return nil, p.errf("expected constraint")
+	}
+}
+
+// parseAtom: operand relation constant
+func (p *Parser) parseAtom() (Expr, error) {
+	ref, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	rel, err := p.parseRelation()
+	if err != nil {
+		return nil, err
+	}
+	c, err := p.parseConstant(ref)
+	if err != nil {
+		return nil, err
+	}
+	atom := &Atom{Ref: ref, Rel: rel, Const: c}
+	if err := p.checkAtom(atom); err != nil {
+		return nil, err
+	}
+	return atom, nil
+}
+
+func (p *Parser) parseOperand() (FieldRef, error) {
+	name := p.tok.text
+	if err := p.advance(); err != nil {
+		return FieldRef{}, err
+	}
+	// Aggregate macro: avg(field[, window]) | sum(field[, window]) | count([window])
+	if agg, isAgg := spec.ParseAggFunc(name); isAgg && p.tok.kind == tokOp && p.tok.text == "(" {
+		return p.parseAggregate(agg)
+	}
+	// Qualified name: header.field
+	if p.tok.kind == tokOp && p.tok.text == "." {
+		if err := p.advance(); err != nil {
+			return FieldRef{}, err
+		}
+		if p.tok.kind != tokIdent && p.tok.kind != tokPrefix {
+			return FieldRef{}, p.errf("expected field name after %q.", name)
+		}
+		name = name + "." + p.tok.text
+		if err := p.advance(); err != nil {
+			return FieldRef{}, err
+		}
+	}
+	// Declared @counter referenced by bare name: a count aggregate.
+	if sv, ok := p.spec.StateVar(name); ok {
+		return FieldRef{Kind: AggregateRef, Agg: spec.AggCount, Window: sv.Window, Var: sv.Name}, nil
+	}
+	f, ok := p.spec.Field(name)
+	if !ok {
+		return FieldRef{}, p.errf("unknown field %q", name)
+	}
+	if !f.Subscribable {
+		return FieldRef{}, p.errf("field %q is not annotated @field", name)
+	}
+	return FieldRef{Kind: PacketRef, Field: f}, nil
+}
+
+func (p *Parser) parseAggregate(agg spec.AggFunc) (FieldRef, error) {
+	if err := p.advance(); err != nil { // consume '('
+		return FieldRef{}, err
+	}
+	ref := FieldRef{Kind: AggregateRef, Agg: agg, Window: DefaultWindow}
+	if p.tok.kind == tokIdent {
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return FieldRef{}, err
+		}
+		if p.tok.kind == tokOp && p.tok.text == "." {
+			if err := p.advance(); err != nil {
+				return FieldRef{}, err
+			}
+			name = name + "." + p.tok.text
+			if err := p.advance(); err != nil {
+				return FieldRef{}, err
+			}
+		}
+		// Window literal (e.g. 100ms) or field/state-var name?
+		if d, err := time.ParseDuration(strings.ReplaceAll(name, "us", "µs")); err == nil {
+			ref.Window = d
+		} else if sv, ok := p.spec.StateVar(name); ok {
+			ref.Var = sv.Name
+			ref.Window = sv.Window
+		} else {
+			f, ok := p.spec.Field(name)
+			if !ok {
+				return FieldRef{}, p.errf("unknown field %q in aggregate", name)
+			}
+			if !f.Subscribable {
+				return FieldRef{}, p.errf("field %q is not annotated @field", name)
+			}
+			if f.Type != spec.IntField {
+				return FieldRef{}, p.errf("aggregate over non-numeric field %q", name)
+			}
+			ref.Field = f
+		}
+		// Optional ", window"
+		if p.tok.kind == tokOp && p.tok.text == "," {
+			if err := p.advance(); err != nil {
+				return FieldRef{}, err
+			}
+			if p.tok.kind != tokIdent && p.tok.kind != tokNumber {
+				return FieldRef{}, p.errf("expected window duration")
+			}
+			d, err := time.ParseDuration(strings.ReplaceAll(p.tok.text, "us", "µs"))
+			if err != nil {
+				return FieldRef{}, p.errf("bad window %q: %v", p.tok.text, err)
+			}
+			ref.Window = d
+			if err := p.advance(); err != nil {
+				return FieldRef{}, err
+			}
+		}
+	}
+	if p.tok.kind != tokOp || p.tok.text != ")" {
+		return FieldRef{}, p.errf("expected ')' after aggregate")
+	}
+	if err := p.advance(); err != nil {
+		return FieldRef{}, err
+	}
+	if agg != spec.AggCount && ref.Field == nil && ref.Var == "" {
+		return FieldRef{}, p.errf("%s() requires a field argument", agg)
+	}
+	return ref, nil
+}
+
+func (p *Parser) parseRelation() (Relation, error) {
+	if p.tok.kind == tokPrefix {
+		if err := p.advance(); err != nil {
+			return 0, err
+		}
+		return PREFIX, nil
+	}
+	if p.tok.kind != tokOp {
+		return 0, p.errf("expected relation")
+	}
+	var rel Relation
+	switch p.tok.text {
+	case "==":
+		rel = EQ
+	case "!=":
+		rel = NE
+	case "<":
+		rel = LT
+	case "<=":
+		rel = LE
+	case ">":
+		rel = GT
+	case ">=":
+		rel = GE
+	default:
+		return 0, p.errf("expected relation, got %q", p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return 0, err
+	}
+	return rel, nil
+}
+
+func (p *Parser) parseConstant(ref FieldRef) (spec.Value, error) {
+	defer p.advance() //nolint:errcheck // EOF after last token is fine
+	switch p.tok.kind {
+	case tokNumber, tokIP:
+		return spec.IntVal(p.tok.num), nil
+	case tokString:
+		return spec.StrVal(p.tok.text), nil
+	case tokIdent:
+		// Bare identifiers are string constants when the operand is a
+		// string field (the paper writes stock == GOOGL unquoted).
+		if ref.Type() == spec.StringField {
+			return spec.StrVal(p.tok.text), nil
+		}
+		return spec.Value{}, p.errf("expected numeric constant, got %q", p.tok.text)
+	default:
+		return spec.Value{}, p.errf("expected constant")
+	}
+}
+
+// checkAtom enforces the typing rules and the spec's match hints.
+func (p *Parser) checkAtom(a *Atom) error {
+	t := a.Ref.Type()
+	if a.Const.Kind != t {
+		return p.errf("%s: constant %s has wrong type (field is %s)", a.Ref, a.Const, t)
+	}
+	switch t {
+	case spec.StringField:
+		switch a.Rel {
+		case EQ, NE:
+		case PREFIX:
+			if a.Ref.Field.Hint == spec.MatchExact {
+				return p.errf("%s: field is @field_exact; prefix not allowed", a.Ref)
+			}
+		default:
+			return p.errf("%s: relation %s not supported on strings", a.Ref, a.Rel)
+		}
+	case spec.IntField:
+		if a.Rel == PREFIX {
+			return p.errf("%s: prefix relation requires a string field", a.Ref)
+		}
+		if a.Ref.Kind == PacketRef && a.Ref.Field.Hint == spec.MatchExact {
+			if a.Rel != EQ && a.Rel != NE {
+				return p.errf("%s: field is @field_exact; only == and != allowed", a.Ref)
+			}
+		}
+		if a.Ref.Kind == PacketRef {
+			if max := a.Ref.Field.MaxValue(); a.Const.Int < 0 || a.Const.Int > max {
+				return p.errf("%s: constant %d out of range [0,%d]", a.Ref, a.Const.Int, max)
+			}
+		}
+	}
+	return nil
+}
+
+func (p *Parser) parseAction() (Action, error) {
+	if p.tok.kind != tokIdent {
+		return Action{}, p.errf("expected action name")
+	}
+	name := p.tok.text
+	if err := p.advance(); err != nil {
+		return Action{}, err
+	}
+	if p.tok.kind != tokOp || p.tok.text != "(" {
+		return Action{}, p.errf("expected '(' after action %q", name)
+	}
+	if err := p.advance(); err != nil {
+		return Action{}, err
+	}
+	var ports []int
+	var args []string
+	for !(p.tok.kind == tokOp && p.tok.text == ")") {
+		switch p.tok.kind {
+		case tokNumber:
+			ports = append(ports, int(p.tok.num))
+			args = append(args, p.tok.text)
+		case tokIdent, tokString, tokIP:
+			args = append(args, p.tok.text)
+		case tokEOF:
+			return Action{}, p.errf("unterminated action arguments")
+		default:
+			return Action{}, p.errf("bad action argument %q", p.tok)
+		}
+		if err := p.advance(); err != nil {
+			return Action{}, err
+		}
+		if p.tok.kind == tokOp && p.tok.text == "," {
+			if err := p.advance(); err != nil {
+				return Action{}, err
+			}
+		}
+	}
+	if err := p.advance(); err != nil { // consume ')'
+		return Action{}, err
+	}
+	if name == "fwd" {
+		if len(ports) != len(args) {
+			return Action{}, p.errf("fwd() arguments must be port numbers")
+		}
+		return FwdAction(ports...), nil
+	}
+	return Action{Name: name, Args: args}, nil
+}

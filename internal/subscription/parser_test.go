@@ -1,0 +1,235 @@
+package subscription
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"camus/internal/spec"
+)
+
+const testSpecSrc = `
+header ipv4 {
+    src : u32 @field;
+    dst : u32 @field;
+}
+header itch_order {
+    shares : u32 @field;
+    price : u32 @field;
+    stock : str8 @field_exact;
+    name : str16 @field;
+    @counter(my_counter, 100us)
+}
+`
+
+func testSpec(t *testing.T) *spec.Spec {
+	t.Helper()
+	return spec.MustParse("test", testSpecSrc)
+}
+
+func TestParsePaperExamples(t *testing.T) {
+	p := NewParser(testSpec(t))
+	examples := []string{
+		"dst == 192.168.0.1",
+		"stock == GOOGL ∧ price > 50",
+		"stock == GOOGL and avg(price) > 60",
+		"stock == 'GOOGL' && price > 50",
+		"shares >= 100 or shares < 10",
+		"not (price > 10 and price < 20)",
+		"price != 7",
+		"name prefix \"video/\"",
+		"my_counter > 5",
+		"count() > 10",
+		"sum(shares, 5ms) > 1000",
+		"true",
+	}
+	for _, src := range examples {
+		if _, err := p.ParseFilter(src); err != nil {
+			t.Errorf("ParseFilter(%q): %v", src, err)
+		}
+	}
+}
+
+func TestParseRule(t *testing.T) {
+	p := NewParser(testSpec(t))
+	r, err := p.ParseRule("stock == GOOGL: fwd(1,2,3)", 7)
+	if err != nil {
+		t.Fatalf("ParseRule: %v", err)
+	}
+	if r.ID != 7 {
+		t.Errorf("ID = %d", r.ID)
+	}
+	if got := r.Action.String(); got != "fwd(1,2,3)" {
+		t.Errorf("action = %s", got)
+	}
+	a, ok := r.Filter.(*Atom)
+	if !ok {
+		t.Fatalf("filter is %T, want *Atom", r.Filter)
+	}
+	if a.Rel != EQ || a.Const.Str != "GOOGL" {
+		t.Errorf("atom = %v", a)
+	}
+}
+
+func TestParseCustomAction(t *testing.T) {
+	p := NewParser(testSpec(t))
+	r, err := p.ParseRule("name == h105: answerDNS(10.0.0.105)", 0)
+	if err != nil {
+		t.Fatalf("ParseRule: %v", err)
+	}
+	if r.Action.Name != "answerDNS" || len(r.Action.Args) != 1 || r.Action.Args[0] != "10.0.0.105" {
+		t.Errorf("action = %+v", r.Action)
+	}
+	if r.Action.IsFwd() {
+		t.Error("custom action claims IsFwd")
+	}
+}
+
+func TestParseRulesFile(t *testing.T) {
+	p := NewParser(testSpec(t))
+	src := `
+# market data fan-out
+stock == GOOGL and price > 50: fwd(1)
+stock == MSFT: fwd(2); stock == AAPL: fwd(3)
+
+// speeding cars
+shares > 55 and price > 10 and price < 20: fwd(4)
+`
+	rules, err := p.ParseRules(src)
+	if err != nil {
+		t.Fatalf("ParseRules: %v", err)
+	}
+	if len(rules) != 4 {
+		t.Fatalf("got %d rules, want 4", len(rules))
+	}
+	for i, r := range rules {
+		if r.ID != i {
+			t.Errorf("rule %d has ID %d", i, r.ID)
+		}
+	}
+	if rules[2].Action.Ports[0] != 3 {
+		t.Errorf("third rule ports = %v", rules[2].Action.Ports)
+	}
+}
+
+func TestTypeChecking(t *testing.T) {
+	p := NewParser(testSpec(t))
+	bad := []struct{ src, want string }{
+		{"bogus == 5", "unknown field"},
+		{"stock > 5", "wrong type"},
+		{"stock > ZZZ", "not supported on strings"},
+		{"stock prefix GOO", "@field_exact"},
+		{"price == GOOGL", "expected numeric constant"},
+		{"price prefix 5", "prefix relation requires"},
+		{"price == 5000000000", "out of range"},
+		{"avg(stock) > 5", "non-numeric"},
+		{"avg() > 5", "requires a field"},
+		{"not (name prefix \"x\")", ""}, // parses; rejected at Normalize
+		{"price >", "expected constant"},
+		{"price 5", "expected relation"},
+		{"(price > 5", "expected ')'"},
+	}
+	for _, tc := range bad {
+		_, err := p.ParseFilter(tc.src)
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%q: unexpected parse error %v", tc.src, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%q: err = %v, want containing %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestAggregateRefs(t *testing.T) {
+	p := NewParser(testSpec(t))
+	e, err := p.ParseFilter("avg(price) > 60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := e.(*Atom)
+	if a.Ref.Kind != AggregateRef || a.Ref.Agg != spec.AggAvg {
+		t.Errorf("ref = %+v", a.Ref)
+	}
+	if a.Ref.Window != DefaultWindow {
+		t.Errorf("window = %v, want default", a.Ref.Window)
+	}
+
+	e2, err := p.ParseFilter("avg(price, 250ms) > 60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := e2.(*Atom).Ref.Window; w != 250*time.Millisecond {
+		t.Errorf("window = %v", w)
+	}
+
+	e3, err := p.ParseFilter("my_counter >= 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := e3.(*Atom).Ref
+	if ref.Var != "my_counter" || ref.Agg != spec.AggCount || ref.Window != 100*time.Microsecond {
+		t.Errorf("counter ref = %+v", ref)
+	}
+
+	// Same aggregate expression in two filters shares a key; different
+	// windows do not.
+	k1 := e.(*Atom).Ref.Key()
+	k2 := e2.(*Atom).Ref.Key()
+	if k1 == k2 {
+		t.Error("different windows share a state key")
+	}
+	e4, _ := p.ParseFilter("avg(price) > 99")
+	if e4.(*Atom).Ref.Key() != k1 {
+		t.Error("same aggregate expression has different keys")
+	}
+}
+
+func TestIPv4Constants(t *testing.T) {
+	p := NewParser(testSpec(t))
+	e, err := p.ParseFilter("dst == 192.168.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(192<<24 | 168<<16 | 1)
+	if got := e.(*Atom).Const.Int; got != want {
+		t.Errorf("dst const = %d, want %d", got, want)
+	}
+	if _, err := p.ParseFilter("dst == 192.168.1"); err == nil {
+		t.Error("3-part IP should fail")
+	}
+	if _, err := p.ParseFilter("dst == 192.168.0.999"); err == nil {
+		t.Error("out-of-range octet should fail")
+	}
+}
+
+func TestHexConstants(t *testing.T) {
+	p := NewParser(testSpec(t))
+	e, err := p.ParseFilter("src == 0xC0A80001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.(*Atom).Const.Int; got != 0xC0A80001 {
+		t.Errorf("const = %#x", got)
+	}
+}
+
+func TestExprString(t *testing.T) {
+	p := NewParser(testSpec(t))
+	e, err := p.ParseFilter("stock == GOOGL and (price > 50 or shares < 10)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.String()
+	for _, want := range []string{"itch_order.stock == \"GOOGL\"", "or", "and"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	// Round-trip: the printed form must re-parse to an equivalent filter.
+	if _, err := p.ParseFilter(s); err != nil {
+		t.Errorf("round-trip parse of %q: %v", s, err)
+	}
+}

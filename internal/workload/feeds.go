@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"math/rand"
+
+	"camus/internal/formats"
+)
+
+// ITCHFeedConfig parameterizes the market-data feed generator — the
+// stand-in for the proprietary Nasdaq trace of §VIII-E1 (2017-08-30).
+type ITCHFeedConfig struct {
+	// Packets is the number of MoldUDP datagrams to generate.
+	Packets int
+	// Stocks is the symbol universe size (Zipf-distributed popularity).
+	Stocks int
+	// InterestSymbol is the symbol the experiment's subscriber filters
+	// for (GOOGL in the paper).
+	InterestSymbol string
+	// InterestFraction is the fraction of messages carrying the interest
+	// symbol: 0.005 for the Nasdaq-trace-like workload, 0.05 for the
+	// synthetic feed (§VIII-E1).
+	InterestFraction float64
+	// BatchZipf, when true, batches multiple ITCH messages per packet
+	// with Zipf-distributed batch sizes (the paper's synthetic feed);
+	// otherwise one message per packet (trace-like).
+	BatchZipf bool
+	// MaxBatch bounds the Zipf batch size.
+	MaxBatch int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (c ITCHFeedConfig) withDefaults() ITCHFeedConfig {
+	if c.Stocks == 0 {
+		c.Stocks = 100
+	}
+	if c.InterestSymbol == "" {
+		c.InterestSymbol = "GOOGL"
+	}
+	if c.InterestFraction == 0 {
+		c.InterestFraction = 0.005
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 8
+	}
+	return c
+}
+
+// ITCHPacket is one generated datagram.
+type ITCHPacket struct {
+	Orders []*formats.Order
+	// Interesting counts orders carrying the interest symbol.
+	Interesting int
+}
+
+// ITCHFeed generates a deterministic synthetic feed.
+func ITCHFeed(cfg ITCHFeedConfig) []ITCHPacket {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	symbols := DefaultSymbols(cfg.Stocks)
+	zipfSym := rand.NewZipf(r, 1.3, 1, uint64(cfg.Stocks-1))
+	var zipfBatch *rand.Zipf
+	if cfg.BatchZipf {
+		zipfBatch = rand.NewZipf(r, 1.5, 1, uint64(cfg.MaxBatch-1))
+	}
+	out := make([]ITCHPacket, cfg.Packets)
+	ref := uint64(0)
+	for i := range out {
+		batch := 1
+		if zipfBatch != nil {
+			batch = 1 + int(zipfBatch.Uint64())
+		}
+		pkt := ITCHPacket{Orders: make([]*formats.Order, batch)}
+		for j := range pkt.Orders {
+			ref++
+			stock := symbols[int(zipfSym.Uint64())]
+			if r.Float64() < cfg.InterestFraction {
+				stock = cfg.InterestSymbol
+				pkt.Interesting++
+			}
+			pkt.Orders[j] = &formats.Order{
+				Seq:    ref,
+				Stock:  stock,
+				Price:  int64(10 + r.Intn(990)),
+				Shares: int64(1 + r.Intn(1000)),
+				Buy:    r.Intn(2) == 0,
+				RefNum: ref,
+			}
+		}
+		out[i] = pkt
+	}
+	return out
+}
+
+// INTStreamConfig parameterizes the telemetry event stream (§VIII-E2):
+// a 100G link's worth of INT reports where fewer than 1% match the
+// anomaly filters.
+type INTStreamConfig struct {
+	Reports int
+	// Switches is the switch-ID universe.
+	Switches int
+	// LatencyThreshold: reports above it are anomalous.
+	LatencyThreshold int64
+	// AnomalyFraction is the fraction of reports exceeding the
+	// threshold (the paper filters match <1%).
+	AnomalyFraction float64
+	Seed            int64
+}
+
+func (c INTStreamConfig) withDefaults() INTStreamConfig {
+	if c.Switches == 0 {
+		c.Switches = 100
+	}
+	if c.LatencyThreshold == 0 {
+		c.LatencyThreshold = 100
+	}
+	if c.AnomalyFraction == 0 {
+		c.AnomalyFraction = 0.008
+	}
+	return c
+}
+
+// INTStream generates a deterministic telemetry stream.
+func INTStream(cfg INTStreamConfig) []*formats.INTReport {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]*formats.INTReport, cfg.Reports)
+	for i := range out {
+		lat := int64(r.Intn(int(cfg.LatencyThreshold)))
+		depth := int64(r.Intn(24)) // healthy queues stay shallow
+		if r.Float64() < cfg.AnomalyFraction {
+			lat = cfg.LatencyThreshold + int64(r.Intn(1000))
+			depth = 48 + int64(r.Intn(16)) // congestion spike
+		}
+		out[i] = &formats.INTReport{
+			FlowID:     int64(r.Intn(1 << 20)),
+			SwitchID:   int64(r.Intn(cfg.Switches)),
+			HopLatency: lat,
+			QueueDepth: depth,
+			EgressPort: int64(r.Intn(32)),
+		}
+	}
+	return out
+}
+
+// HICNConfig parameterizes the video-request stream of §VIII-E3: two
+// clients streaming the same hot content while a third pulls many cold
+// identifiers.
+type HICNConfig struct {
+	Requests int
+	// HotIDs is the number of popular content identifiers (likely
+	// cached at the forwarder).
+	HotIDs int
+	// ColdIDs is the universe of one-off identifiers.
+	ColdIDs int
+	// HotFraction is the fraction of requests for hot content.
+	HotFraction float64
+	Seed        int64
+}
+
+func (c HICNConfig) withDefaults() HICNConfig {
+	if c.HotIDs == 0 {
+		c.HotIDs = 4
+	}
+	if c.ColdIDs == 0 {
+		c.ColdIDs = 100000
+	}
+	if c.HotFraction == 0 {
+		c.HotFraction = 0.8
+	}
+	return c
+}
+
+// HICNStream generates a deterministic request stream. Hot requests have
+// ContentID < HotIDs.
+func HICNStream(cfg HICNConfig) []*formats.HICNRequest {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]*formats.HICNRequest, cfg.Requests)
+	for i := range out {
+		var id int64
+		if r.Float64() < cfg.HotFraction {
+			id = int64(r.Intn(cfg.HotIDs))
+		} else {
+			id = int64(cfg.HotIDs + r.Intn(cfg.ColdIDs))
+		}
+		out[i] = &formats.HICNRequest{
+			NamePrefix: "video/stream",
+			ContentID:  id,
+			Segment:    int64(i % 1024),
+		}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"math/rand"
+
+	"camus/internal/topology"
+)
+
+// ASGraphConfig parameterizes the synthetic AS-level graph generator —
+// the offline substitute for the SNAP CAIDA and AS-733 datasets
+// (§VIII-G2). Preferential attachment reproduces the power-law degree
+// skew that drives the MST vs. MST++ comparison.
+type ASGraphConfig struct {
+	// Nodes is the vertex count (CAIDA: 26475; AS-733: 6474).
+	Nodes int
+	// Edges is the target edge count (CAIDA: 106762; AS-733: 13233).
+	Edges int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// CAIDALike returns the configuration matching the paper's CAIDA graph.
+func CAIDALike(seed int64) ASGraphConfig {
+	return ASGraphConfig{Nodes: 26475, Edges: 106762, Seed: seed}
+}
+
+// AS733Like returns the configuration matching the paper's AS-733 graph.
+func AS733Like(seed int64) ASGraphConfig {
+	return ASGraphConfig{Nodes: 6474, Edges: 13233, Seed: seed}
+}
+
+// Scaled shrinks a configuration by factor (for fast unit tests).
+func (c ASGraphConfig) Scaled(factor int) ASGraphConfig {
+	return ASGraphConfig{Nodes: c.Nodes / factor, Edges: c.Edges / factor, Seed: c.Seed}
+}
+
+// ASGraph builds a connected preferential-attachment graph with
+// approximately the configured node and edge counts.
+func ASGraph(cfg ASGraphConfig) *topology.Graph {
+	if cfg.Nodes < 2 {
+		cfg.Nodes = 2
+	}
+	if cfg.Edges < cfg.Nodes-1 {
+		cfg.Edges = cfg.Nodes - 1
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	g := topology.NewGraph(cfg.Nodes)
+
+	// Attachment targets drawn proportionally to degree+1 via a repeated
+	// endpoint list (Barabási–Albert style).
+	endpoints := make([]int, 0, 2*cfg.Edges+cfg.Nodes)
+	addEdge := func(u, v int) {
+		before := g.Edges()
+		g.AddEdge(u, v)
+		if g.Edges() > before {
+			endpoints = append(endpoints, u, v)
+		}
+	}
+
+	// Spanning backbone: attach each new vertex to a degree-biased
+	// existing vertex (guarantees connectivity).
+	endpoints = append(endpoints, 0)
+	for v := 1; v < cfg.Nodes; v++ {
+		u := endpoints[r.Intn(len(endpoints))]
+		if u == v {
+			u = v - 1
+		}
+		addEdge(u, v)
+	}
+	// Extra edges up to the target, both endpoints degree-biased. The
+	// attempt budget bounds the loop on dense small graphs where most
+	// draws are duplicates.
+	for attempts := 0; g.Edges() < cfg.Edges && attempts < 50*cfg.Edges; attempts++ {
+		u := endpoints[r.Intn(len(endpoints))]
+		v := endpoints[r.Intn(len(endpoints))]
+		if u == v {
+			v = r.Intn(cfg.Nodes)
+		}
+		addEdge(u, v)
+	}
+	return g
+}

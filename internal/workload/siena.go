@@ -1,0 +1,152 @@
+// Package workload generates the evaluation inputs: Siena-style
+// synthetic subscription workloads (the paper's benchmark generator,
+// §VIII-F2), market-data and telemetry feeds, hICN request streams, and
+// synthetic AS-level graphs standing in for the SNAP datasets.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"camus/internal/spec"
+	"camus/internal/subscription"
+)
+
+// SienaConfig parameterizes the synthetic subscription generator,
+// modeled on the Siena Synthetic Benchmark Generator the paper uses.
+type SienaConfig struct {
+	// Spec is the message spec whose subscribable fields are drawn from.
+	Spec *spec.Spec
+	// Filters is the number of subscriptions to generate.
+	Filters int
+	// MinPredicates / MaxPredicates bound the constraints per filter
+	// (the paper's "selectiveness", Fig. 12b).
+	MinPredicates int
+	MaxPredicates int
+	// IntRange is the exclusive upper bound for numeric constants.
+	IntRange int64
+	// StringValues is the universe of string constants (stock symbols,
+	// topic names, ...). Drawn Zipf-distributed.
+	StringValues []string
+	// EqualityBias is the probability that a numeric predicate uses ==
+	// instead of an ordering relation.
+	EqualityBias float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (c SienaConfig) withDefaults() SienaConfig {
+	if c.MinPredicates == 0 {
+		c.MinPredicates = 1
+	}
+	if c.MaxPredicates == 0 {
+		c.MaxPredicates = 3
+	}
+	if c.IntRange == 0 {
+		c.IntRange = 1000
+	}
+	if len(c.StringValues) == 0 {
+		c.StringValues = DefaultSymbols(100)
+	}
+	if c.EqualityBias == 0 {
+		c.EqualityBias = 0.5
+	}
+	return c
+}
+
+// DefaultSymbols returns n synthetic stock-symbol-like strings.
+func DefaultSymbols(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("S%03d", i)
+	}
+	return out
+}
+
+// Siena generates a deterministic synthetic subscription workload.
+func Siena(cfg SienaConfig) ([]subscription.Expr, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Spec == nil {
+		return nil, fmt.Errorf("workload: SienaConfig.Spec required")
+	}
+	fields := cfg.Spec.SubscribableFields()
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("workload: spec %s has no subscribable fields", cfg.Spec.Name)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(r, 1.2, 1, uint64(len(cfg.StringValues)-1))
+	parser := subscription.NewParser(cfg.Spec)
+	out := make([]subscription.Expr, 0, cfg.Filters)
+	for i := 0; i < cfg.Filters; i++ {
+		k := cfg.MinPredicates
+		if cfg.MaxPredicates > cfg.MinPredicates {
+			k += r.Intn(cfg.MaxPredicates - cfg.MinPredicates + 1)
+		}
+		if k > len(fields) {
+			k = len(fields)
+		}
+		perm := r.Perm(len(fields))
+		var terms []string
+		for _, fi := range perm[:k] {
+			f := fields[fi]
+			terms = append(terms, sienaPredicate(r, zipf, f, cfg))
+		}
+		src := strings.Join(terms, " and ")
+		e, err := parser.ParseFilter(src)
+		if err != nil {
+			return nil, fmt.Errorf("workload: generated filter %q: %w", src, err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+func sienaPredicate(r *rand.Rand, zipf *rand.Zipf, f *spec.Field, cfg SienaConfig) string {
+	if f.Type == spec.StringField {
+		v := cfg.StringValues[int(zipf.Uint64())]
+		if f.Hint == spec.MatchPrefix && r.Intn(4) == 0 && len(v) > 1 {
+			return fmt.Sprintf("%s prefix \"%s\"", f.Name, v[:1+r.Intn(len(v)-1)])
+		}
+		return fmt.Sprintf("%s == %s", f.Name, v)
+	}
+	max := cfg.IntRange
+	if fm := f.MaxValue(); fm < max {
+		max = fm
+	}
+	c := r.Int63n(max)
+	if f.Hint == spec.MatchExact || r.Float64() < cfg.EqualityBias {
+		return fmt.Sprintf("%s == %d", f.Name, c)
+	}
+	ops := []string{"<", "<=", ">", ">="}
+	return fmt.Sprintf("%s %s %d", f.Name, ops[r.Intn(len(ops))], c)
+}
+
+// SienaRules wraps Siena output as rules with per-filter fwd ports
+// assigned round-robin over nPorts.
+func SienaRules(cfg SienaConfig, nPorts int) ([]*subscription.Rule, error) {
+	exprs, err := Siena(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rules := make([]*subscription.Rule, len(exprs))
+	for i, e := range exprs {
+		rules[i] = &subscription.Rule{
+			ID:     i,
+			Filter: e,
+			Action: subscription.FwdAction(i % nPorts),
+		}
+	}
+	return rules, nil
+}
+
+// SpreadOverHosts deals filters to hosts round-robin, the shape the
+// routing experiments consume (subs indexed by host).
+func SpreadOverHosts(exprs []subscription.Expr, hosts int) [][]subscription.Expr {
+	out := make([][]subscription.Expr, hosts)
+	for i, e := range exprs {
+		h := i % hosts
+		out[h] = append(out[h], e)
+	}
+	return out
+}

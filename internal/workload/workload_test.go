@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"testing"
+
+	"camus/internal/compiler"
+	"camus/internal/spec"
+	"camus/internal/subscription"
+)
+
+var testSpec = spec.MustParse("itch", `
+header itch_order {
+    shares : u32 @field;
+    price : u32 @field;
+    stock : str8 @field_exact;
+}
+`)
+
+func TestSienaDeterministic(t *testing.T) {
+	cfg := SienaConfig{Spec: testSpec, Filters: 50, Seed: 42}
+	a, err := Siena(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Siena(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatalf("lengths: %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("filter %d differs across runs: %s vs %s", i, a[i], b[i])
+		}
+	}
+	c, err := Siena(SienaConfig{Spec: testSpec, Filters: 50, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i].String() == c[i].String() {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestSienaPredicateBounds(t *testing.T) {
+	exprs, err := Siena(SienaConfig{
+		Spec: testSpec, Filters: 200, MinPredicates: 2, MaxPredicates: 3, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(e subscription.Expr) int {
+		conjs, err := subscription.Normalize(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(conjs[0])
+	}
+	for _, e := range exprs {
+		if n := count(e); n < 2 || n > 3 {
+			t.Errorf("filter %q has %d predicates", e, n)
+		}
+	}
+}
+
+// TestSienaCompiles: generated workloads must type-check and compile.
+func TestSienaCompiles(t *testing.T) {
+	rules, err := SienaRules(SienaConfig{Spec: testSpec, Filters: 300, Seed: 5}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := compiler.Compile(testSpec, rules, compiler.Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if p.TotalEntries() == 0 {
+		t.Error("empty program")
+	}
+}
+
+func TestSpreadOverHosts(t *testing.T) {
+	exprs, err := Siena(SienaConfig{Spec: testSpec, Filters: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byHost := SpreadOverHosts(exprs, 4)
+	if len(byHost) != 4 {
+		t.Fatalf("hosts = %d", len(byHost))
+	}
+	total := 0
+	for _, s := range byHost {
+		total += len(s)
+	}
+	if total != 10 {
+		t.Errorf("spread lost filters: %d", total)
+	}
+	if len(byHost[0]) != 3 || len(byHost[3]) != 2 {
+		t.Errorf("uneven spread: %d %d", len(byHost[0]), len(byHost[3]))
+	}
+}
+
+func TestITCHFeedInterestFraction(t *testing.T) {
+	pkts := ITCHFeed(ITCHFeedConfig{Packets: 20000, InterestFraction: 0.005, Seed: 3})
+	if len(pkts) != 20000 {
+		t.Fatalf("packets = %d", len(pkts))
+	}
+	interesting, total := 0, 0
+	for _, p := range pkts {
+		if len(p.Orders) != 1 {
+			t.Fatalf("trace-like feed batched: %d orders", len(p.Orders))
+		}
+		total += len(p.Orders)
+		interesting += p.Interesting
+	}
+	frac := float64(interesting) / float64(total)
+	if frac < 0.002 || frac > 0.009 {
+		t.Errorf("interest fraction = %.4f, want ≈0.005", frac)
+	}
+}
+
+func TestITCHFeedBatching(t *testing.T) {
+	pkts := ITCHFeed(ITCHFeedConfig{Packets: 5000, BatchZipf: true, InterestFraction: 0.05, Seed: 4})
+	multi, total := 0, 0
+	for _, p := range pkts {
+		total += len(p.Orders)
+		if len(p.Orders) > 1 {
+			multi++
+		}
+		if len(p.Orders) < 1 || len(p.Orders) > 8 {
+			t.Fatalf("batch size %d out of range", len(p.Orders))
+		}
+	}
+	if multi == 0 {
+		t.Error("Zipf feed produced no multi-message packets")
+	}
+	if total <= 5000 {
+		t.Error("batched feed produced no extra messages")
+	}
+}
+
+func TestINTStreamAnomalies(t *testing.T) {
+	reports := INTStream(INTStreamConfig{Reports: 50000, Seed: 9})
+	anomalous := 0
+	for _, r := range reports {
+		if r.HopLatency > 100 {
+			anomalous++
+		}
+		if r.SwitchID < 0 || r.SwitchID >= 100 {
+			t.Fatalf("switch id %d", r.SwitchID)
+		}
+	}
+	frac := float64(anomalous) / float64(len(reports))
+	if frac <= 0 || frac >= 0.01 {
+		t.Errorf("anomaly fraction = %.4f, want <1%% and >0", frac)
+	}
+}
+
+func TestHICNStreamHotCold(t *testing.T) {
+	reqs := HICNStream(HICNConfig{Requests: 10000, HotIDs: 4, HotFraction: 0.8, Seed: 2})
+	hot := 0
+	for _, r := range reqs {
+		if r.ContentID < 4 {
+			hot++
+		}
+	}
+	frac := float64(hot) / float64(len(reqs))
+	if frac < 0.75 || frac > 0.85 {
+		t.Errorf("hot fraction = %.3f, want ≈0.8", frac)
+	}
+}
+
+func TestASGraphShape(t *testing.T) {
+	cfg := AS733Like(11).Scaled(10) // 647 nodes, 1323 edges
+	g := ASGraph(cfg)
+	if g.N != cfg.Nodes {
+		t.Fatalf("nodes = %d, want %d", g.N, cfg.Nodes)
+	}
+	if !g.Connected() {
+		t.Fatal("AS graph disconnected")
+	}
+	if e := g.Edges(); e < cfg.Edges*9/10 || e > cfg.Edges*11/10 {
+		t.Errorf("edges = %d, want ≈%d", e, cfg.Edges)
+	}
+	// Power-law skew: the max degree should far exceed the mean.
+	maxDeg, sumDeg := 0, 0
+	for v := 0; v < g.N; v++ {
+		d := g.Degree(v)
+		sumDeg += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	mean := float64(sumDeg) / float64(g.N)
+	if float64(maxDeg) < 8*mean {
+		t.Errorf("degree skew too weak: max=%d mean=%.1f", maxDeg, mean)
+	}
+	// Determinism.
+	g2 := ASGraph(cfg)
+	if g2.Edges() != g.Edges() {
+		t.Error("graph generation not deterministic")
+	}
+}
