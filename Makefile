@@ -1,0 +1,29 @@
+# Tier-1 verification gate (documented in ROADMAP.md): every PR must
+# leave `make check` green.
+GO ?= go
+
+.PHONY: check vet build test race bench bench-report
+
+## check: the full tier-1 gate — vet, build, race-enabled tests, and a
+## smoke run of the parallel dataplane benchmark.
+check: vet build race bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: one-iteration smoke of the worker-sweep benchmark (fast).
+bench:
+	$(GO) test -run '^$$' -bench=SwitchParallel -benchtime=1x .
+
+## bench-report: regenerate bench-report.txt with steady-state numbers.
+bench-report:
+	$(GO) test -run '^$$' -bench=SwitchParallel . | tee bench-report.txt

@@ -47,12 +47,21 @@ type (
 	Program = compiler.Program
 	// Resources summarizes switch resource usage (Table I).
 	Resources = compiler.Resources
-	// Switch is the software dataplane.
+	// Switch is the software dataplane: a concurrent, sharded switch.
+	// Configure it only via SwitchOptions at NewSwitch time; read
+	// counters only via its Stats() snapshot method.
 	Switch = pipeline.Switch
+	// StatsSnapshot is an immutable copy of a switch's counters.
+	StatsSnapshot = pipeline.StatsSnapshot
 	// Packet is a (possibly batched) packet traversing a switch.
 	Packet = pipeline.Packet
+	// FlowKey identifies a packet's stream for stream subscriptions
+	// (§VII-B).
+	FlowKey = pipeline.FlowKey
 	// Delivery is one egress replica.
 	Delivery = pipeline.Delivery
+	// Publication is one host's packet injection for Sim.PublishBatch.
+	Publication = netsim.Publication
 	// Network is a topology instance.
 	Network = topology.Network
 	// Deployment is a controller-compiled network.
@@ -155,9 +164,35 @@ func (a *App) Compile(rules []*Rule, opts ...CompileOption) (*Program, error) {
 	return compiler.Compile(a.Spec, rules, o)
 }
 
-// NewSwitch instantiates a software switch running a compiled program.
-func (a *App) NewSwitch(id string, prog *Program) (*Switch, error) {
-	return pipeline.New(id, a.Static, prog, pipeline.DefaultConfig())
+// SwitchOption tunes a switch at construction time — the only way to
+// configure the dataplane. The resulting configuration is frozen into
+// the switch, so no caller can reach racy mutable state.
+type SwitchOption = pipeline.Option
+
+// Switch construction options.
+var (
+	// WithBaseLatency sets the one-pass pipeline transit time.
+	WithBaseLatency = pipeline.WithBaseLatency
+	// WithRecirculationLatency sets the added cost of one
+	// recirculation pass (§VI-B).
+	WithRecirculationLatency = pipeline.WithRecirculationLatency
+	// WithFlowCache sizes the stream-subscription cache (§VII-B).
+	WithFlowCache = pipeline.WithFlowCache
+	// WithWorkers sets the number of dataplane worker shards that
+	// ProcessBatch fans packets out across.
+	WithWorkers = pipeline.WithWorkers
+	// WithIngressDrop controls suppression of forwarding a packet back
+	// out its ingress port.
+	WithIngressDrop = pipeline.WithIngressDrop
+)
+
+// NewSwitch instantiates a software switch running a compiled program:
+//
+//	sw, err := app.NewSwitch("tor-1", prog,
+//	    camus.WithWorkers(8),
+//	    camus.WithFlowCache(1<<16, 30*time.Second))
+func (a *App) NewSwitch(id string, prog *Program, opts ...SwitchOption) (*Switch, error) {
+	return pipeline.NewSwitch(id, a.Static, prog, opts...)
 }
 
 // Incremental is the dynamic-filter compiler: rules are added and

@@ -3,6 +3,7 @@ package camus
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"camus/internal/formats"
 	"camus/internal/routing"
@@ -83,6 +84,66 @@ func TestDeployAndSimulate(t *testing.T) {
 	out := sim.Publish(0, []*Message{m}, 64)
 	if len(out) != 1 || out[0].Host != 5 {
 		t.Fatalf("deliveries = %+v", out)
+	}
+}
+
+// TestSwitchOptions: the functional-options surface is the one way to
+// configure a switch, and stats are only reachable as snapshots.
+func TestSwitchOptions(t *testing.T) {
+	app, err := NewApp("itch", itchSpecSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := app.ParseRules("stock == GOOGL: fwd(1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := app.Compile(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := app.NewSwitch("s1", prog,
+		WithWorkers(4),
+		WithFlowCache(1024, time.Second),
+		WithBaseLatency(time.Microsecond),
+		WithRecirculationLatency(2*time.Microsecond),
+		WithIngressDrop(false),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sw.Config()
+	if cfg.Workers != 4 || cfg.FlowCacheSize != 1024 || cfg.FlowTTL != time.Second ||
+		cfg.BaseLatency != time.Microsecond || cfg.RecirculationLatency != 2*time.Microsecond ||
+		cfg.DropOnIngressPort {
+		t.Fatalf("config = %+v", cfg)
+	}
+	if sw.Workers() != 4 {
+		t.Errorf("Workers() = %d", sw.Workers())
+	}
+
+	m := app.NewMessage()
+	m.MustSet("stock", StrVal("GOOGL"))
+	m.MustSet("price", IntVal(60))
+	m.MustSet("shares", IntVal(1))
+
+	// WithIngressDrop(false): the packet may return out its ingress port.
+	out := sw.Process(&Packet{In: 1, Msgs: []*Message{m}}, 0)
+	if len(out) != 1 || out[0].Port != 1 || out[0].Latency != time.Microsecond {
+		t.Fatalf("deliveries = %+v", out)
+	}
+
+	// Batches work through the public alias, and stats snapshot/reset.
+	batch := sw.ProcessBatch([]*Packet{{In: 0, Msgs: []*Message{m}}}, 0)
+	if len(batch) != 1 || len(batch[0]) != 1 {
+		t.Fatalf("batch = %+v", batch)
+	}
+	if st := sw.Stats(); st.Packets != 2 || st.Matched != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	sw.ResetStats()
+	if st := sw.Stats(); st != (StatsSnapshot{}) {
+		t.Errorf("after reset: %+v", st)
 	}
 }
 

@@ -91,8 +91,8 @@ func main() {
 	fmt.Printf("\npublished %d packets → %d host deliveries (%d messages)\n",
 		len(feed), deliveries, messages)
 	fmt.Printf("traffic: ToR=%d Agg=%d Core=%d packets; dropped(no match)=%d loops=%d\n",
-		sim.Traffic.LinkPackets[topology.ToR], sim.Traffic.LinkPackets[topology.Agg],
-		sim.Traffic.CorePackets, sim.Traffic.Dropped, sim.Traffic.Looped)
+		sim.Traffic().LinkPackets[topology.ToR], sim.Traffic().LinkPackets[topology.Agg],
+		sim.Traffic().CorePackets, sim.Traffic().Dropped, sim.Traffic().Looped)
 }
 
 func check(err error) {

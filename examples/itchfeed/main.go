@@ -75,7 +75,7 @@ func main() {
 		}
 	}
 	fmt.Printf("\ncore-layer packets: %d (multicast replicated in-network)\n",
-		sim.Traffic.CorePackets)
+		sim.Traffic().CorePackets)
 	fmt.Printf("ToR entries: %d, Agg entries: %d, Core entries: %d\n",
 		d.LayerEntries()[0], d.LayerEntries()[1], d.LayerEntries()[2])
 }

@@ -12,7 +12,6 @@ import (
 	"time"
 
 	"camus/camus"
-	"camus/internal/pipeline"
 )
 
 const specSrc = `
@@ -73,7 +72,7 @@ channel == "sports" and bitrate > 5000: fwd(3)
 	if err != nil {
 		log.Fatal(err)
 	}
-	const flow = pipeline.FlowKey(0xFEED)
+	const flow = camus.FlowKey(0xFEED)
 
 	// First packet of the stream carries the header.
 	head := app.NewMessage()
@@ -96,6 +95,7 @@ channel == "sports" and bitrate > 5000: fwd(3)
 		}
 		fmt.Println()
 	}
+	st := sw.Stats()
 	fmt.Printf("\nflow cache: %d hits, %d misses — header parsed once per stream\n",
-		sw.Stats.FlowHits, sw.Stats.FlowMisses)
+		st.FlowHits, st.FlowMisses)
 }

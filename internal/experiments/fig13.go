@@ -113,7 +113,7 @@ func Fig13d(cfg Config) *Result {
 			pkt.Orders[0].FillMessage(m)
 			sim.Publish(i%len(net.Hosts), []*spec.Message{m}, 64)
 		}
-		return sim.Traffic.CorePackets
+		return sim.Traffic().CorePackets
 	}
 
 	tbl := &stats.Table{

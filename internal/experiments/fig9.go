@@ -2,11 +2,14 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"camus/internal/baseline"
 	"camus/internal/compiler"
 	"camus/internal/formats"
+	"camus/internal/pipeline"
+	"camus/internal/spec"
 	"camus/internal/stats"
 	"camus/internal/subscription"
 	"camus/internal/workload"
@@ -76,7 +79,39 @@ func Fig9(cfg Config) *Result {
 	// (CPU-bound, far below ASIC line rate), which is the paper's point.
 	res.addFinding("this repo's software pipeline measures %.2f Mpps at 100 filters (CPU-bound, as Fig. 9 predicts for software)",
 		measuredSoftwareMpps(prog, stream[:minInt(20000, len(stream))]))
+
+	// The concurrent sharded dataplane: the same workload through
+	// Switch.ProcessBatch at 1 worker vs GOMAXPROCS workers. On a
+	// multi-core host the aggregate Mpps scales with the worker count;
+	// it can only saturate at the host's core budget.
+	sample := stream[:minInt(20000, len(stream))]
+	seqMpps := measuredParallelMpps(prog, sample, 1)
+	parWorkers := runtime.GOMAXPROCS(0)
+	parMpps := measuredParallelMpps(prog, sample, parWorkers)
+	res.addFinding("sharded dataplane (ProcessBatch): %.2f Mpps @1 worker, %.2f Mpps @%d workers (GOMAXPROCS=%d)",
+		seqMpps, parMpps, parWorkers, runtime.GOMAXPROCS(0))
 	return res
+}
+
+// measuredParallelMpps pushes the sampled INT stream through the
+// concurrent sharded dataplane with the given worker count and reports
+// aggregate packet throughput.
+func measuredParallelMpps(prog *compiler.Program, reports []*formats.INTReport, workers int) float64 {
+	sw, err := pipeline.NewSwitch("fig9", nil, prog, pipeline.WithWorkers(workers))
+	if err != nil {
+		panic(err)
+	}
+	pkts := make([]*pipeline.Packet, len(reports))
+	for i, r := range reports {
+		pkts[i] = &pipeline.Packet{In: 0, Msgs: []*spec.Message{r.Message()}, Bytes: formats.INTReportBytes}
+	}
+	start := time.Now()
+	sw.ProcessBatch(pkts, 0)
+	elapsed := time.Since(start)
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(len(pkts)) / elapsed.Seconds() / 1e6
 }
 
 func minInt(a, b int) int {
@@ -87,6 +122,13 @@ func minInt(a, b int) int {
 }
 
 var intParser = subscription.NewParser(formats.INT)
+
+// INTFilterProgram compiles n paper-style INT filters (switch_id == S
+// and hop_latency > T) — exported for the repository's switch-level
+// benchmarks.
+func INTFilterProgram(n int, seed int64) *compiler.Program {
+	return compileINTFilters(n, seed)
+}
 
 // compileINTFilters builds n paper-style INT filters and compiles them.
 func compileINTFilters(n int, seed int64) *compiler.Program {

@@ -3,10 +3,17 @@
 // software switch (internal/pipeline) per topology switch, forwards
 // packets hop by hop, resolves the logical up port, and accounts
 // deliveries, latency, and per-layer traffic.
+//
+// The simulator is concurrency-safe: traffic counters, the virtual
+// clock, and the round-robin up-port pointers are atomics, and the
+// pipeline switches are themselves concurrent, so independent
+// publications can fan out across goroutines (PublishBatch).
 package netsim
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"camus/internal/controller"
@@ -24,8 +31,9 @@ type HostDelivery struct {
 	Hops    int
 }
 
-// TrafficStats counts link traversals per layer boundary — the Fig. 13d
-// extra-traffic metric counts packets crossing core links.
+// TrafficStats is an immutable snapshot of link traversals per layer
+// boundary — the Fig. 13d extra-traffic metric counts packets crossing
+// core links. Obtain one via Sim.Traffic().
 type TrafficStats struct {
 	// LinkPackets counts packets entering switches of each layer.
 	LinkPackets map[topology.Layer]int64
@@ -37,11 +45,47 @@ type TrafficStats struct {
 	Looped int64
 }
 
-// Sim is a running simulation of a deployment.
+// numLayers sizes the per-layer counter block (ToR, Agg, Core).
+const numLayers = int(topology.Core) + 1
+
+// trafficCounters is the live, atomically-updated form of TrafficStats.
+type trafficCounters struct {
+	linkPackets [numLayers]atomic.Int64
+	corePackets atomic.Int64
+	dropped     atomic.Int64
+	looped      atomic.Int64
+}
+
+func (t *trafficCounters) snapshot() TrafficStats {
+	out := TrafficStats{
+		LinkPackets: make(map[topology.Layer]int64, numLayers),
+		CorePackets: t.corePackets.Load(),
+		Dropped:     t.dropped.Load(),
+		Looped:      t.looped.Load(),
+	}
+	for l := 0; l < numLayers; l++ {
+		if n := t.linkPackets[l].Load(); n != 0 {
+			out.LinkPackets[topology.Layer(l)] = n
+		}
+	}
+	return out
+}
+
+func (t *trafficCounters) reset() {
+	for l := 0; l < numLayers; l++ {
+		t.linkPackets[l].Store(0)
+	}
+	t.corePackets.Store(0)
+	t.dropped.Store(0)
+	t.looped.Store(0)
+}
+
+// Sim is a running simulation of a deployment. Configuration fields
+// (LinkLatency, HopLimit, ECMP, Workers) are set before traffic starts;
+// traffic accounting is read via the Traffic() snapshot.
 type Sim struct {
 	Deployment *controller.Deployment
 	Switches   []*pipeline.Switch
-	Traffic    TrafficStats
 	// LinkLatency is the per-hop wire latency.
 	LinkLatency time.Duration
 	// HopLimit kills packets after this many switch hops (loop guard).
@@ -50,13 +94,17 @@ type Sim struct {
 	// instead of round-robin, keeping a flow on one path (§IV-C: "ECMP
 	// could be used for flow-based protocols").
 	ECMP bool
+	// Workers bounds the goroutines PublishBatch fans publications out
+	// across; 0 or 1 publishes sequentially (deterministic order).
+	Workers int
 
-	clock time.Duration
+	clock   atomic.Int64 // virtual time, ns
+	traffic trafficCounters
 	// upRR is the per-switch round-robin pointer for resolving the
 	// logical up port to a physical up link (§IV-C: "Camus actually
 	// chooses one of the corresponding physical ports, at random or
 	// round-robin").
-	upRR []int
+	upRR []atomic.Int64
 }
 
 // New builds a simulator from a deployment.
@@ -66,8 +114,7 @@ func New(d *controller.Deployment) (*Sim, error) {
 		Switches:    make([]*pipeline.Switch, len(d.Network.Switches)),
 		LinkLatency: 500 * time.Nanosecond,
 		HopLimit:    16,
-		upRR:        make([]int, len(d.Network.Switches)),
-		Traffic:     TrafficStats{LinkPackets: make(map[topology.Layer]int64)},
+		upRR:        make([]atomic.Int64, len(d.Network.Switches)),
 	}
 	for _, tsw := range d.Network.Switches {
 		sw, err := pipeline.New(tsw.Name, d.Static, d.Programs[tsw.ID], pipeline.DefaultConfig())
@@ -80,10 +127,13 @@ func New(d *controller.Deployment) (*Sim, error) {
 }
 
 // Clock returns the current virtual time.
-func (s *Sim) Clock() time.Duration { return s.clock }
+func (s *Sim) Clock() time.Duration { return time.Duration(s.clock.Load()) }
 
 // Advance moves the virtual clock forward.
-func (s *Sim) Advance(d time.Duration) { s.clock += d }
+func (s *Sim) Advance(d time.Duration) { s.clock.Add(int64(d)) }
+
+// Traffic returns a snapshot of the traffic counters.
+func (s *Sim) Traffic() TrafficStats { return s.traffic.snapshot() }
 
 // inFlight is a packet positioned at a switch ingress.
 type inFlight struct {
@@ -117,22 +167,23 @@ func (s *Sim) PublishFlow(host int, msgs []*spec.Message, bytes int, flow uint64
 		latency: s.LinkLatency, flow: flow,
 	}}
 	var out []HostDelivery
+	now := s.Clock()
 	for len(queue) > 0 {
 		f := queue[0]
 		queue = queue[1:]
 		if f.hops >= s.HopLimit {
-			s.Traffic.Looped++
+			s.traffic.looped.Add(1)
 			continue
 		}
 		tsw := s.Deployment.Network.Switches[f.sw]
-		s.Traffic.LinkPackets[tsw.Layer]++
+		s.traffic.linkPackets[tsw.Layer].Add(1)
 		if tsw.Layer == topology.Core {
-			s.Traffic.CorePackets++
+			s.traffic.corePackets.Add(1)
 		}
 		sw := s.Switches[f.sw]
-		deliveries := sw.Process(&pipeline.Packet{In: f.inPort, Msgs: f.msgs, Bytes: f.bytes}, s.clock)
+		deliveries := sw.Process(&pipeline.Packet{In: f.inPort, Msgs: f.msgs, Bytes: f.bytes}, now)
 		if len(deliveries) == 0 {
-			s.Traffic.Dropped++
+			s.traffic.dropped.Add(1)
 			continue
 		}
 		for _, d := range deliveries {
@@ -183,8 +234,8 @@ func (s *Sim) resolvePort(tsw *topology.Switch, port int, f inFlight) *topology.
 			h := f.flow * 0xBF58476D1CE4E5B9
 			p = ups[int(h>>32)%len(ups)]
 		} else {
-			p = ups[s.upRR[tsw.ID]%len(ups)]
-			s.upRR[tsw.ID]++
+			n := s.upRR[tsw.ID].Add(1) - 1
+			p = ups[int(n)%len(ups)]
 		}
 		return &p
 	}
@@ -203,6 +254,56 @@ func maxInt(a, b int) int {
 }
 
 // ResetTraffic clears traffic counters between experiment phases.
-func (s *Sim) ResetTraffic() {
-	s.Traffic = TrafficStats{LinkPackets: make(map[topology.Layer]int64)}
+func (s *Sim) ResetTraffic() { s.traffic.reset() }
+
+// Publication is one host's packet injection, the unit PublishBatch
+// fans out.
+type Publication struct {
+	// Host is the publishing host.
+	Host int
+	// Msgs are the application messages in the packet.
+	Msgs []*spec.Message
+	// Bytes is the wire size (traffic accounting).
+	Bytes int
+	// Flow optionally pins the ECMP flow identity (0 hashes from Host).
+	Flow uint64
+}
+
+// PublishBatch injects independent publications and returns each one's
+// host deliveries, indexed like pubs. With Workers <= 1 the batch runs
+// sequentially in order, producing results identical to calling Publish
+// per publication; with more workers the publications are forwarded
+// concurrently (the pipeline switches and traffic counters are
+// concurrency-safe), which keeps delivery sets exact but lets paths
+// chosen by the round-robin up-port pointer vary with scheduling.
+func (s *Sim) PublishBatch(pubs []Publication) [][]HostDelivery {
+	out := make([][]HostDelivery, len(pubs))
+	w := s.Workers
+	if w > len(pubs) {
+		w = len(pubs)
+	}
+	if w <= 1 || len(pubs) < 2 {
+		for i, p := range pubs {
+			out[i] = s.PublishFlow(p.Host, p.Msgs, p.Bytes, p.Flow)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pubs) {
+					return
+				}
+				p := pubs[i]
+				out[i] = s.PublishFlow(p.Host, p.Msgs, p.Bytes, p.Flow)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }

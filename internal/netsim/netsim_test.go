@@ -112,8 +112,8 @@ func TestEndToEndDelivery(t *testing.T) {
 					}
 				}
 			}
-			if sim.Traffic.Looped != 0 {
-				t.Errorf("%v/α=%d: %d packets hit the hop limit", policy, alpha, sim.Traffic.Looped)
+			if sim.Traffic().Looped != 0 {
+				t.Errorf("%v/α=%d: %d packets hit the hop limit", policy, alpha, sim.Traffic().Looped)
 			}
 		}
 	}
@@ -166,8 +166,8 @@ func TestEndToEndK6(t *testing.T) {
 			}
 		}
 	}
-	if sim.Traffic.Looped != 0 {
-		t.Errorf("loops on k=6: %d", sim.Traffic.Looped)
+	if sim.Traffic().Looped != 0 {
+		t.Errorf("loops on k=6: %d", sim.Traffic().Looped)
 	}
 }
 
@@ -188,8 +188,8 @@ func TestSelfDelivery(t *testing.T) {
 	if out[0].Hops != 1 {
 		t.Errorf("rack-local delivery took %d hops, want 1", out[0].Hops)
 	}
-	if sim.Traffic.CorePackets != 0 {
-		t.Errorf("TR: rack-local traffic hit the core %d times", sim.Traffic.CorePackets)
+	if sim.Traffic().CorePackets != 0 {
+		t.Errorf("TR: rack-local traffic hit the core %d times", sim.Traffic().CorePackets)
 	}
 }
 
@@ -206,7 +206,7 @@ func TestMRGeneratesCoreTraffic(t *testing.T) {
 			// Traffic nobody outside the rack wants.
 			sim.Publish(1, []*spec.Message{msg("ZZZ", 1, 1)}, 64)
 		}
-		return sim.Traffic.CorePackets
+		return sim.Traffic().CorePackets
 	}
 	mr := publish(routing.MemoryReduction)
 	tr := publish(routing.TrafficReduction)
@@ -235,7 +235,7 @@ func TestAlphaExtraTraffic(t *testing.T) {
 	if len(out) != 0 {
 		t.Fatalf("approximated traffic delivered: %+v", out)
 	}
-	if sim.Traffic.CorePackets == 0 {
+	if sim.Traffic().CorePackets == 0 {
 		t.Error("approximated traffic did not cross the core (no extra traffic measured)")
 	}
 	// price=60 matches exactly → delivered.
@@ -263,8 +263,8 @@ func TestMulticastFanOut(t *testing.T) {
 	// The publication must traverse each core switch at most once; with
 	// 15 subscribers spread over 4 pods, core crossings stay bounded by
 	// the pod count, far below per-subscriber unicast (15).
-	if sim.Traffic.CorePackets > 4 {
-		t.Errorf("core packets = %d; multicast should not fan out unicast copies", sim.Traffic.CorePackets)
+	if sim.Traffic().CorePackets > 4 {
+		t.Errorf("core packets = %d; multicast should not fan out unicast copies", sim.Traffic().CorePackets)
 	}
 }
 

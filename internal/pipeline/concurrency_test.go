@@ -1,0 +1,269 @@
+package pipeline
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"camus/internal/compiler"
+	"camus/internal/spec"
+	"camus/internal/subscription"
+)
+
+// compileRules compiles a rule source against the shared ITCH test spec.
+func compileRules(t testing.TB, sp *spec.Spec, src string) *compiler.Program {
+	t.Helper()
+	rules, err := subscription.NewParser(sp).ParseRules(src)
+	if err != nil {
+		t.Fatalf("rules: %v", err)
+	}
+	prog, err := compiler.Compile(sp, rules, compiler.Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog
+}
+
+// TestInstallClearsFlowCache is the regression test for the stale
+// stream-state bug (§VII-B after a §VIII-G3 rule update): before the
+// fix, continuation packets kept forwarding on decisions compiled from
+// the previous program.
+func TestInstallClearsFlowCache(t *testing.T) {
+	sw, sp := buildSwitch(t, "stock == GOOGL: fwd(1)", compiler.Options{})
+	const flow = FlowKey(0x51)
+
+	// Header packet caches the fwd(1) decision for the stream.
+	head := sw.Process(&Packet{In: 0, Flow: flow, Msgs: []*spec.Message{itchMsg(sp, "GOOGL", 50, 1)}}, 0)
+	if len(head) != 1 || head[0].Port != 1 {
+		t.Fatalf("head deliveries: %+v", head)
+	}
+	if sw.cachedFlows() != 1 {
+		t.Fatalf("cached flows = %d, want 1", sw.cachedFlows())
+	}
+
+	// Rule update: GOOGL now forwards to port 2.
+	if err := sw.Install(compileRules(t, sp, "stock == GOOGL: fwd(2)")); err != nil {
+		t.Fatal(err)
+	}
+	if sw.cachedFlows() != 0 {
+		t.Errorf("cached flows after Install = %d, want 0", sw.cachedFlows())
+	}
+
+	// A continuation must NOT follow the stale fwd(1) decision; with no
+	// cached decision under the new program it misses and is dropped.
+	cont := sw.Process(&Packet{In: 0, Flow: flow}, time.Millisecond)
+	if len(cont) != 0 {
+		t.Fatalf("continuation used stale decision: %+v", cont)
+	}
+	if st := sw.Stats(); st.FlowMisses != 1 {
+		t.Errorf("FlowMisses = %d, want 1", st.FlowMisses)
+	}
+
+	// The stream's next header packet re-installs a fresh decision.
+	sw.Process(&Packet{In: 0, Flow: flow, Msgs: []*spec.Message{itchMsg(sp, "GOOGL", 50, 1)}}, 2*time.Millisecond)
+	cont2 := sw.Process(&Packet{In: 0, Flow: flow}, 3*time.Millisecond)
+	if len(cont2) != 1 || cont2[0].Port != 2 {
+		t.Fatalf("post-reinstall continuation: %+v", cont2)
+	}
+}
+
+// TestConcurrentProcessInstall hammers Process from several goroutines
+// while the control plane keeps swapping programs — the §VIII-G3
+// "rule updates under traffic" scenario. Run under -race this verifies
+// the epoch swap; functionally it checks every delivery is valid under
+// one of the two installed programs and that after quiescing the switch
+// obeys exactly the last program.
+func TestConcurrentProcessInstall(t *testing.T) {
+	sp := spec.MustParse("itch", itchSpecSrc)
+	progA := compileRules(t, sp, "stock == GOOGL: fwd(1)")
+	progB := compileRules(t, sp, "stock == GOOGL: fwd(2)\nstock == MSFT: fwd(3)")
+	sw, err := New("s1", nil, progA, Config{Workers: 4, DropOnIngressPort: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		processors = 4
+		iterations = 400
+		installs   = 50
+	)
+	var wg sync.WaitGroup
+	errc := make(chan string, processors)
+	for g := 0; g < processors; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				flow := FlowKey(uint64(g*iterations+i)%37 + 1)
+				var pkt *Packet
+				switch i % 3 {
+				case 0:
+					pkt = &Packet{In: 0, Flow: flow, Msgs: []*spec.Message{itchMsg(sp, "GOOGL", 50, 1)}, Bytes: 64}
+				case 1:
+					pkt = &Packet{In: 0, Flow: flow, Bytes: 1400} // continuation
+				default:
+					pkt = &Packet{In: 0, Msgs: []*spec.Message{itchMsg(sp, "MSFT", 10, 1)}, Bytes: 64}
+				}
+				for _, d := range sw.Process(pkt, time.Duration(i)*time.Microsecond) {
+					if d.Port < 1 || d.Port > 3 {
+						errc <- "invalid port"
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < installs; i++ {
+			p := progA
+			if i%2 == 0 {
+				p = progB
+			}
+			if err := sw.Install(p); err != nil {
+				errc <- err.Error()
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case msg := <-errc:
+		t.Fatal(msg)
+	default:
+	}
+
+	// Installer's last program was progA (i=installs-1=49, odd).
+	out := sw.Process(&Packet{In: 0, Msgs: []*spec.Message{itchMsg(sp, "GOOGL", 50, 1)}}, time.Second)
+	if len(out) != 1 || out[0].Port != 1 {
+		t.Fatalf("after quiesce, GOOGL → %+v, want fwd(1)", out)
+	}
+	if out := sw.Process(&Packet{In: 0, Msgs: []*spec.Message{itchMsg(sp, "MSFT", 10, 1)}}, time.Second); len(out) != 0 {
+		t.Fatalf("after quiesce, MSFT forwarded under old program: %+v", out)
+	}
+
+	// Counters survived the storm: every processed packet was counted.
+	if st := sw.Stats(); st.Packets != processors*iterations+2 {
+		t.Errorf("Packets = %d, want %d", st.Packets, processors*iterations+2)
+	}
+}
+
+// TestFlowShardAffinity: a flow's packets always execute on the same
+// shard, so a stream's continuation packets meet the decision its
+// header packet cached — across Process and ProcessBatch alike.
+func TestFlowShardAffinity(t *testing.T) {
+	sp := spec.MustParse("itch", itchSpecSrc)
+	prog := compileRules(t, sp, "stock == GOOGL: fwd(1)")
+	sw, err := NewSwitch("s1", nil, prog, WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Workers() != 8 {
+		t.Fatalf("workers = %d", sw.Workers())
+	}
+
+	// The mapping is pure and non-degenerate.
+	used := make(map[int]bool)
+	for f := FlowKey(1); f <= 1000; f++ {
+		idx := sw.shardIndex(f)
+		if idx < 0 || idx >= 8 {
+			t.Fatalf("shardIndex(%d) = %d", f, idx)
+		}
+		if idx != sw.shardIndex(f) {
+			t.Fatalf("shardIndex(%d) not stable", f)
+		}
+		used[idx] = true
+	}
+	if len(used) < 2 {
+		t.Errorf("all 1000 flows hashed to %d shard(s)", len(used))
+	}
+
+	// Header packets for 100 flows in one batch, continuations in the
+	// next: every continuation must hit its flow's cached decision.
+	const flows = 100
+	heads := make([]*Packet, flows)
+	conts := make([]*Packet, flows)
+	for i := 0; i < flows; i++ {
+		f := FlowKey(i + 1)
+		heads[i] = &Packet{In: 0, Flow: f, Msgs: []*spec.Message{itchMsg(sp, "GOOGL", 50, 1)}}
+		conts[i] = &Packet{In: 0, Flow: f, Bytes: 100}
+	}
+	sw.ProcessBatch(heads, 0)
+	out := sw.ProcessBatch(conts, time.Millisecond)
+	for i, ds := range out {
+		if len(ds) != 1 || ds[0].Port != 1 {
+			t.Fatalf("continuation %d missed its cached decision: %+v", i, ds)
+		}
+	}
+	if st := sw.Stats(); st.FlowHits != flows || st.FlowMisses != 0 {
+		t.Errorf("hits = %d misses = %d, want %d/0", st.FlowHits, st.FlowMisses, flows)
+	}
+}
+
+// TestProcessBatchMatchesSequential: the batch API is a pure fan-out —
+// per-packet results are identical to per-packet Process, both for the
+// single-worker (bit-identical, ordered) and multi-worker dataplane.
+func TestProcessBatchMatchesSequential(t *testing.T) {
+	sp := spec.MustParse("itch", itchSpecSrc)
+	rules := `
+stock == GOOGL and price > 50: fwd(1)
+stock == MSFT: fwd(2)
+price > 90: fwd(3)
+`
+	prog := compileRules(t, sp, rules)
+	stocks := []string{"GOOGL", "MSFT", "AAPL", "FB"}
+	var pkts []*Packet
+	for i := 0; i < 200; i++ {
+		pkts = append(pkts, &Packet{
+			In:   i % 4,
+			Msgs: []*spec.Message{itchMsg(sp, stocks[i%len(stocks)], int64(i%100), 1)},
+		})
+	}
+
+	ref, err := New("ref", nil, prog, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]Delivery, len(pkts))
+	for i, p := range pkts {
+		want[i] = ref.Process(p, 0)
+	}
+
+	// The program is stateless and the packets flow-less, so the same
+	// packets can be replayed against each dataplane variant; message
+	// pointers then compare equal across switches.
+	for _, workers := range []int{1, 4} {
+		sw, err := NewSwitch("batch", nil, prog, WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sw.ProcessBatch(pkts, 0)
+		for i := range want {
+			if len(want[i]) == 0 && len(got[i]) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(want[i], got[i]) {
+				t.Fatalf("workers=%d pkt %d: got %+v want %+v", workers, i, got[i], want[i])
+			}
+		}
+		if st := sw.Stats(); st.Packets != int64(len(pkts)) {
+			t.Errorf("workers=%d: Packets = %d, want %d", workers, st.Packets, len(pkts))
+		}
+	}
+}
+
+// TestResetStats: the snapshot/reset API.
+func TestResetStats(t *testing.T) {
+	sw, sp := buildSwitch(t, "stock == GOOGL: fwd(1)", compiler.Options{})
+	sw.Process(&Packet{In: 0, Msgs: []*spec.Message{itchMsg(sp, "GOOGL", 50, 1)}, Bytes: 10}, 0)
+	st := sw.Stats()
+	if st.Packets != 1 || st.Matched != 1 || st.BytesIn != 10 {
+		t.Fatalf("stats = %+v", st)
+	}
+	sw.ResetStats()
+	if got := sw.Stats(); got != (StatsSnapshot{}) {
+		t.Errorf("after reset: %+v", got)
+	}
+}

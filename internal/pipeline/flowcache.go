@@ -10,10 +10,12 @@ import (
 // parser).
 type FlowKey uint64
 
-// flowEntry is one cached stream decision.
+// flowEntry is one cached stream decision, tagged with the program
+// epoch it was compiled under.
 type flowEntry struct {
 	actions subscription.ActionSet
 	expires time.Duration
+	gen     uint64
 }
 
 // flowCache implements stream subscriptions (paper §VII-B): "Subscribing
@@ -22,6 +24,13 @@ type flowEntry struct {
 // apply it to subsequent packets in the stream." The first packet of a
 // flow carries the application header; its forwarding decision is cached
 // under the flow key and applied to header-less continuation packets.
+//
+// Decisions are epoch-tagged: a lookup only returns entries installed
+// under the currently-running program generation, so a decision compiled
+// from a program that has since been replaced by Install can never
+// forward a packet (the stale §VII-B stream-state bug). The cache is not
+// internally synchronized — each worker shard owns one instance and
+// guards it with the shard lock.
 type flowCache struct {
 	entries map[FlowKey]flowEntry
 	// order is a FIFO ring of keys for capacity eviction.
@@ -46,9 +55,9 @@ func newFlowCache(capacity int, ttl time.Duration) *flowCache {
 	}
 }
 
-// install caches a flow's decision, evicting the oldest entry at
-// capacity.
-func (c *flowCache) install(key FlowKey, acts subscription.ActionSet, now time.Duration) {
+// install caches a flow's decision under program generation gen,
+// evicting the oldest entry at capacity.
+func (c *flowCache) install(key FlowKey, acts subscription.ActionSet, now time.Duration, gen uint64) {
 	if _, exists := c.entries[key]; !exists {
 		if len(c.order)-c.head >= c.cap {
 			victim := c.order[c.head]
@@ -62,22 +71,31 @@ func (c *flowCache) install(key FlowKey, acts subscription.ActionSet, now time.D
 		}
 		c.order = append(c.order, key)
 	}
-	c.entries[key] = flowEntry{actions: acts.Clone(), expires: now + c.ttl}
+	c.entries[key] = flowEntry{actions: acts.Clone(), expires: now + c.ttl, gen: gen}
 }
 
 // lookup returns the cached decision for a flow, refreshing its TTL.
-func (c *flowCache) lookup(key FlowKey, now time.Duration) (subscription.ActionSet, bool) {
+// Entries from a different program generation are dead: they miss (and
+// are dropped) exactly like expired entries.
+func (c *flowCache) lookup(key FlowKey, now time.Duration, gen uint64) (subscription.ActionSet, bool) {
 	e, ok := c.entries[key]
 	if !ok {
 		return subscription.ActionSet{}, false
 	}
-	if now > e.expires {
+	if now > e.expires || e.gen != gen {
 		delete(c.entries, key)
 		return subscription.ActionSet{}, false
 	}
 	e.expires = now + c.ttl
 	c.entries[key] = e
 	return e.actions, true
+}
+
+// purge drops every cached decision (program reinstall).
+func (c *flowCache) purge() {
+	c.entries = make(map[FlowKey]flowEntry)
+	c.order = c.order[:0]
+	c.head = 0
 }
 
 // size reports the live entry count.

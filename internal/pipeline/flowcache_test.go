@@ -20,8 +20,8 @@ func TestStreamSubscription(t *testing.T) {
 	if out := sw.Process(&Packet{In: 0, Flow: flow}, 0); len(out) != 0 {
 		t.Fatalf("cold continuation forwarded: %+v", out)
 	}
-	if sw.Stats.FlowMisses != 1 {
-		t.Errorf("misses = %d", sw.Stats.FlowMisses)
+	if st := sw.Stats(); st.FlowMisses != 1 {
+		t.Errorf("misses = %d", st.FlowMisses)
 	}
 
 	// First packet installs the decision (multicast to 1 and 2).
@@ -35,8 +35,8 @@ func TestStreamSubscription(t *testing.T) {
 	if len(cont) != 2 || cont[0].Port != 1 || cont[1].Port != 2 {
 		t.Fatalf("continuation deliveries: %+v", cont)
 	}
-	if sw.Stats.FlowHits != 1 {
-		t.Errorf("hits = %d", sw.Stats.FlowHits)
+	if st := sw.Stats(); st.FlowHits != 1 {
+		t.Errorf("hits = %d", st.FlowHits)
 	}
 
 	// Ingress suppression applies to continuations too.
@@ -63,8 +63,8 @@ func TestStreamNonMatchingFirstPacket(t *testing.T) {
 		t.Fatalf("continuation of dropped stream forwarded: %+v", out)
 	}
 	// It was a hit (cached drop), not a miss.
-	if sw.Stats.FlowHits != 1 || sw.Stats.FlowMisses != 0 {
-		t.Errorf("stats = %+v", sw.Stats)
+	if st := sw.Stats(); st.FlowHits != 1 || st.FlowMisses != 0 {
+		t.Errorf("stats = %+v", st)
 	}
 }
 
@@ -73,20 +73,20 @@ func TestFlowCacheEviction(t *testing.T) {
 	var acts subscription.ActionSet
 	acts.Add(subscription.FwdAction(1))
 	for i := 0; i < 10; i++ {
-		c.install(FlowKey(i), acts, 0)
+		c.install(FlowKey(i), acts, 0, 0)
 	}
 	if c.size() != 4 {
 		t.Fatalf("size = %d, want 4 (capacity)", c.size())
 	}
 	// Oldest evicted, newest present.
-	if _, ok := c.lookup(FlowKey(0), 0); ok {
+	if _, ok := c.lookup(FlowKey(0), 0, 0); ok {
 		t.Error("oldest flow still cached")
 	}
-	if _, ok := c.lookup(FlowKey(9), 0); !ok {
+	if _, ok := c.lookup(FlowKey(9), 0, 0); !ok {
 		t.Error("newest flow evicted")
 	}
 	// Reinstalling an existing key must not grow the ring.
-	c.install(FlowKey(9), acts, 0)
+	c.install(FlowKey(9), acts, 0, 0)
 	if c.size() != 4 {
 		t.Errorf("size after reinstall = %d", c.size())
 	}
@@ -96,15 +96,15 @@ func TestFlowCacheTTLRefresh(t *testing.T) {
 	c := newFlowCache(10, 100*time.Millisecond)
 	var acts subscription.ActionSet
 	acts.Add(subscription.FwdAction(3))
-	c.install(1, acts, 0)
+	c.install(1, acts, 0, 0)
 	// Touch at 80ms: refreshes to 180ms.
-	if _, ok := c.lookup(1, 80*time.Millisecond); !ok {
+	if _, ok := c.lookup(1, 80*time.Millisecond, 0); !ok {
 		t.Fatal("entry expired early")
 	}
-	if _, ok := c.lookup(1, 150*time.Millisecond); !ok {
+	if _, ok := c.lookup(1, 150*time.Millisecond, 0); !ok {
 		t.Fatal("refresh did not extend TTL")
 	}
-	if _, ok := c.lookup(1, 400*time.Millisecond); ok {
+	if _, ok := c.lookup(1, 400*time.Millisecond, 0); ok {
 		t.Fatal("entry never expired")
 	}
 }

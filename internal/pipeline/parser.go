@@ -21,7 +21,8 @@ type ParserFunc func(data []byte) ([]*spec.Message, error)
 // Parse implements Parser.
 func (f ParserFunc) Parse(data []byte) ([]*spec.Message, error) { return f(data) }
 
-// SetParser installs the wire-format parser used by ProcessBytes.
+// SetParser installs the wire-format parser used by ProcessBytes. Call
+// before traffic starts.
 func (s *Switch) SetParser(p Parser) { s.parser = p }
 
 // ProcessBytes runs a raw packet through the parser and the pipeline —
@@ -33,7 +34,7 @@ func (s *Switch) ProcessBytes(data []byte, in int, now time.Duration) ([]Deliver
 	}
 	msgs, err := s.parser.Parse(data)
 	if err != nil {
-		s.Stats.ParseErrors++
+		s.shards[0].stats.parseErrors.Add(1)
 		return nil, fmt.Errorf("pipeline: %s: %w", s.ID, err)
 	}
 	return s.Process(&Packet{In: in, Msgs: msgs, Bytes: len(data)}, now), nil

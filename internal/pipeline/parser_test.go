@@ -69,7 +69,7 @@ stock == MSFT: fwd(2)
 	if _, err := sw.ProcessBytes([]byte{0xFF}, 0, 0); err == nil {
 		t.Fatal("garbage parsed")
 	}
-	if sw.Stats.ParseErrors != 1 {
-		t.Errorf("ParseErrors = %d", sw.Stats.ParseErrors)
+	if st := sw.Stats(); st.ParseErrors != 1 {
+		t.Errorf("ParseErrors = %d", st.ParseErrors)
 	}
 }

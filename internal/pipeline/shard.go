@@ -1,0 +1,107 @@
+package pipeline
+
+import (
+	"sync"
+	"time"
+)
+
+// shard is one worker's private slice of the dataplane: a flow-cache
+// partition plus a stats block. Sharding follows the cache-aware
+// per-core partitioning pattern from software packet-forwarding
+// literature: each worker touches only its own mutable state on the
+// hot path, so workers never contend on the flow cache, and the stats
+// atomics are uncontended in the batch path.
+//
+// Shards are individually heap-allocated (the Switch holds pointers),
+// so two shards' counters never share a cache line.
+type shard struct {
+	stats switchStats
+
+	// mu guards flows. Per-shard rather than per-switch: in the batch
+	// path exactly one worker owns the shard and the lock is
+	// uncontended; it exists so that direct Process calls from
+	// arbitrary goroutines that hash onto the same shard stay correct.
+	mu    sync.Mutex
+	flows *flowCache
+}
+
+// shardIndex maps a flow to its home shard. The mapping is pure, so a
+// stream's continuation packets always land on the shard holding its
+// cached decision, no matter which goroutine or batch carries them.
+// Flow-less packets (Flow == 0) have no cached state and default to
+// shard 0; ProcessBatch spreads them round-robin instead.
+func (s *Switch) shardIndex(flow FlowKey) int {
+	if len(s.shards) == 1 || flow == 0 {
+		return 0
+	}
+	// Fibonacci hashing spreads adjacent flow keys across shards.
+	h := uint64(flow) * 0x9E3779B97F4A7C15
+	return int((h >> 32) % uint64(len(s.shards)))
+}
+
+// cachedFlows reports the total number of live flow-cache entries
+// across shards (diagnostics, tests).
+func (s *Switch) cachedFlows() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += sh.flows.size()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// ProcessBatch runs a batch of packets through the dataplane at virtual
+// time now and returns each packet's deliveries, indexed like pkts.
+//
+// Packets are partitioned across the switch's worker shards: packets
+// with a flow identity go to the flow's home shard (preserving
+// per-stream ordering and cache locality), flow-less packets are spread
+// round-robin. Each worker processes its share in input order. With one
+// worker the batch is executed inline, sequentially, and the results
+// are bit-identical to calling Process per packet.
+func (s *Switch) ProcessBatch(pkts []*Packet, now time.Duration) [][]Delivery {
+	out := make([][]Delivery, len(pkts))
+	if len(s.shards) == 1 || len(pkts) < 2 {
+		for i, p := range pkts {
+			out[i] = s.processOn(s.shards[s.shardIndex(p.Flow)], p, now)
+		}
+		return out
+	}
+	w := len(s.shards)
+	assign := make([][]int32, w)
+	per := len(pkts)/w + 1
+	rr := 0
+	for i, p := range pkts {
+		var sh int
+		if p.Flow != 0 {
+			sh = s.shardIndex(p.Flow)
+		} else {
+			sh = rr
+			rr++
+			if rr == w {
+				rr = 0
+			}
+		}
+		if assign[sh] == nil {
+			assign[sh] = make([]int32, 0, per)
+		}
+		assign[sh] = append(assign[sh], int32(i))
+	}
+	var wg sync.WaitGroup
+	for sh := 0; sh < w; sh++ {
+		if len(assign[sh]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh int) {
+			defer wg.Done()
+			own := s.shards[sh]
+			for _, i := range assign[sh] {
+				out[i] = s.processOn(own, pkts[i], now)
+			}
+		}(sh)
+	}
+	wg.Wait()
+	return out
+}

@@ -7,6 +7,7 @@
 package pipeline
 
 import (
+	"sync"
 	"time"
 
 	"camus/internal/compiler"
@@ -63,8 +64,15 @@ func (r *register) value(now time.Duration) int64 {
 
 // StateTable holds a switch's stateful registers, keyed by aggregate key
 // (subscription.FieldRef.Key). It implements subscription.StateReader
-// when bound to a read time via At.
+// when bound to a read time via At. The
+// register set is shared by every worker shard of a switch, so all
+// access — including reads, which roll tumbling windows — goes through
+// an internal lock.
 type StateTable struct {
+	// mu guards the registers. The key set is fixed at construction;
+	// the lock protects the per-register window state (count/sum/start),
+	// which mutates on reads as well as updates.
+	mu   sync.Mutex
 	regs map[string]*register
 	// fieldOf maps aggregate key → the packet field fed into the
 	// register on update (nil for count()).
@@ -87,7 +95,7 @@ func NewStateTable(p *compiler.Program) *StateTable {
 }
 
 // Update feeds a packet into the named register (an __update directive
-// from a leaf entry).
+// from a leaf entry). Safe for concurrent use.
 func (st *StateTable) Update(key string, m *spec.Message, now time.Duration) {
 	r, ok := st.regs[key]
 	if !ok {
@@ -105,7 +113,9 @@ func (st *StateTable) Update(key string, m *spec.Message, now time.Duration) {
 		}
 		v = val.Int
 	}
+	st.mu.Lock()
 	r.update(now, v)
+	st.mu.Unlock()
 }
 
 // At returns a StateReader view of the registers at a virtual time.
@@ -124,11 +134,16 @@ func (s stateAt) AggValue(key string) int64 {
 	if !ok {
 		return 0
 	}
-	return r.value(s.now)
+	s.t.mu.Lock()
+	v := r.value(s.now)
+	s.t.mu.Unlock()
+	return v
 }
 
 // Snapshot returns the current value of every register (diagnostics).
 func (st *StateTable) Snapshot(now time.Duration) map[string]int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	out := make(map[string]int64, len(st.regs))
 	for k, r := range st.regs {
 		out[k] = r.value(now)

@@ -1,0 +1,85 @@
+package pipeline
+
+import "sync/atomic"
+
+// StatsSnapshot is an immutable copy of the dataplane counters,
+// aggregated across all worker shards at read time. Obtain one via
+// Switch.Stats(); the zero value is an empty snapshot.
+type StatsSnapshot struct {
+	Packets        int64 // packets processed
+	Messages       int64 // messages evaluated
+	Matched        int64 // messages matching ≥1 subscription
+	Deliveries     int64 // egress replicas emitted
+	Recirculations int64 // extra parser passes (§VI-B)
+	StateUpdates   int64 // register updates
+	FlowHits       int64 // continuation packets served from the flow cache
+	FlowMisses     int64 // continuation packets with no cached flow (dropped)
+	ParseErrors    int64 // raw packets the parser rejected
+	BytesIn        int64
+	BytesOut       int64
+}
+
+// add returns the element-wise sum of two snapshots.
+func (a StatsSnapshot) add(b StatsSnapshot) StatsSnapshot {
+	a.Packets += b.Packets
+	a.Messages += b.Messages
+	a.Matched += b.Matched
+	a.Deliveries += b.Deliveries
+	a.Recirculations += b.Recirculations
+	a.StateUpdates += b.StateUpdates
+	a.FlowHits += b.FlowHits
+	a.FlowMisses += b.FlowMisses
+	a.ParseErrors += b.ParseErrors
+	a.BytesIn += b.BytesIn
+	a.BytesOut += b.BytesOut
+	return a
+}
+
+// switchStats is one shard's private counter block. Counters are
+// atomics so that direct Process calls from arbitrary goroutines that
+// collapse onto the same shard (e.g. flow-less packets on shard 0)
+// remain race-free; in the steady ProcessBatch path each shard is
+// written by exactly one worker, so the atomics are uncontended.
+type switchStats struct {
+	packets        atomic.Int64
+	messages       atomic.Int64
+	matched        atomic.Int64
+	deliveries     atomic.Int64
+	recirculations atomic.Int64
+	stateUpdates   atomic.Int64
+	flowHits       atomic.Int64
+	flowMisses     atomic.Int64
+	parseErrors    atomic.Int64
+	bytesIn        atomic.Int64
+	bytesOut       atomic.Int64
+}
+
+func (st *switchStats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Packets:        st.packets.Load(),
+		Messages:       st.messages.Load(),
+		Matched:        st.matched.Load(),
+		Deliveries:     st.deliveries.Load(),
+		Recirculations: st.recirculations.Load(),
+		StateUpdates:   st.stateUpdates.Load(),
+		FlowHits:       st.flowHits.Load(),
+		FlowMisses:     st.flowMisses.Load(),
+		ParseErrors:    st.parseErrors.Load(),
+		BytesIn:        st.bytesIn.Load(),
+		BytesOut:       st.bytesOut.Load(),
+	}
+}
+
+func (st *switchStats) reset() {
+	st.packets.Store(0)
+	st.messages.Store(0)
+	st.matched.Store(0)
+	st.deliveries.Store(0)
+	st.recirculations.Store(0)
+	st.stateUpdates.Store(0)
+	st.flowHits.Store(0)
+	st.flowMisses.Store(0)
+	st.parseErrors.Store(0)
+	st.bytesIn.Store(0)
+	st.bytesOut.Store(0)
+}

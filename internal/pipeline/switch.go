@@ -3,6 +3,8 @@ package pipeline
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"camus/internal/compiler"
@@ -42,10 +44,14 @@ type Delivery struct {
 }
 
 // CustomActionFunc handles a non-fwd action (e.g. answerDNS). It may
-// return extra deliveries (crafted response packets).
+// return extra deliveries (crafted response packets). Handlers run on
+// whichever worker shard processes the packet, so they must be safe for
+// concurrent invocation when the switch runs more than one worker.
 type CustomActionFunc func(act subscription.Action, m *spec.Message, pkt *Packet) []Delivery
 
-// Config tunes the switch model.
+// Config tunes the switch model. Construct it via DefaultConfig plus
+// Options (see NewSwitch); direct literal construction is deprecated
+// and kept only for internal migration.
 type Config struct {
 	// BaseLatency is the one-pass pipeline transit time. The paper
 	// reports pipeline latency under 1µs (§VIII-F1).
@@ -56,11 +62,14 @@ type Config struct {
 	// ingress port (standard switch behaviour; Algorithm 1's "other than
 	// the ingress port").
 	DropOnIngressPort bool
-	// FlowCacheSize bounds the stream-subscription cache (§VII-B);
-	// 0 uses the default (65536 flows).
+	// FlowCacheSize bounds the stream-subscription cache (§VII-B),
+	// totalled across worker shards; 0 uses the default (65536 flows).
 	FlowCacheSize int
 	// FlowTTL expires idle streams; 0 uses the default (30s).
 	FlowTTL time.Duration
+	// Workers is the number of dataplane shards ProcessBatch fans out
+	// across; 0 or 1 selects the sequential single-shard dataplane.
+	Workers int
 }
 
 // DefaultConfig returns the Tofino-like defaults.
@@ -72,80 +81,151 @@ func DefaultConfig() Config {
 	}
 }
 
-// Stats counts dataplane activity.
-type Stats struct {
-	Packets        int64 // packets processed
-	Messages       int64 // messages evaluated
-	Matched        int64 // messages matching ≥1 subscription
-	Deliveries     int64 // egress replicas emitted
-	Recirculations int64 // extra parser passes (§VI-B)
-	StateUpdates   int64 // register updates
-	FlowHits       int64 // continuation packets served from the flow cache
-	FlowMisses     int64 // continuation packets with no cached flow (dropped)
-	ParseErrors    int64 // raw packets the parser rejected
-	BytesIn        int64
-	BytesOut       int64
+// epoch is one immutable (Program, StateTable) generation. Install
+// publishes a new epoch with a single atomic pointer swap, so packet
+// workers always observe a consistent program/state pair and never a
+// half-updated switch.
+type epoch struct {
+	gen   uint64
+	prog  *compiler.Program
+	state *StateTable
 }
 
 // Switch is a software Camus switch: a static pipeline bound to a
 // compiled program, with stateful registers and custom action handlers.
+//
+// The dataplane is sharded: each worker shard owns a private flow-cache
+// partition and stats block, flows hash to a fixed shard, and the
+// installed (Program, StateTable) pair is swapped atomically by
+// Install. Process and ProcessBatch may therefore be called from many
+// goroutines concurrently, including concurrently with Install.
+// Configuration (SetParser, HandleCustom) is not synchronized and must
+// complete before traffic starts.
 type Switch struct {
 	// ID names the switch (diagnostics, netsim).
 	ID string
-	// Static is the once-per-application pipeline.
-	Static *compiler.StaticPipeline
-	// Program is the currently-installed dynamic configuration.
-	Program *compiler.Program
-	// State holds the stateful registers.
-	State *StateTable
-	// Config is the dataplane model.
-	Config Config
-	// Stats accumulates counters.
-	Stats Stats
 
+	static  *compiler.StaticPipeline
+	cfg     Config
+	epoch   atomic.Pointer[epoch]
+	shards  []*shard
 	customs map[string]CustomActionFunc
-	flows   *flowCache
 	parser  Parser
+
+	// installMu serializes control-plane updates (Install) so epoch
+	// generations advance monotonically.
+	installMu sync.Mutex
 }
 
 // New builds a switch from a static pipeline and a compiled program.
+// Deprecated-style entry point retained for internal callers still
+// holding a Config; new code should use NewSwitch with Options.
 func New(id string, static *compiler.StaticPipeline, prog *compiler.Program, cfg Config) (*Switch, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("pipeline: New: nil program")
+	}
 	if static != nil {
 		if err := static.Validate(prog); err != nil {
 			return nil, err
 		}
 	}
-	return &Switch{
+	cfg = cfg.normalize()
+	s := &Switch{
 		ID:      id,
-		Static:  static,
-		Program: prog,
-		State:   NewStateTable(prog),
-		Config:  cfg,
+		static:  static,
+		cfg:     cfg,
 		customs: make(map[string]CustomActionFunc),
-		flows:   newFlowCache(cfg.FlowCacheSize, cfg.FlowTTL),
-	}, nil
+	}
+	perShard := (cfg.FlowCacheSize + cfg.Workers - 1) / cfg.Workers
+	s.shards = make([]*shard, cfg.Workers)
+	for i := range s.shards {
+		s.shards[i] = &shard{flows: newFlowCache(perShard, cfg.FlowTTL)}
+	}
+	s.epoch.Store(&epoch{prog: prog, state: NewStateTable(prog)})
+	return s, nil
+}
+
+// NewSwitch builds a switch from DefaultConfig plus functional options
+// — the one supported way to configure a dataplane.
+func NewSwitch(id string, static *compiler.StaticPipeline, prog *compiler.Program, opts ...Option) (*Switch, error) {
+	cfg := DefaultConfig()
+	for _, fn := range opts {
+		fn(&cfg)
+	}
+	return New(id, static, prog, cfg)
+}
+
+// Config returns a copy of the switch's frozen configuration.
+func (s *Switch) Config() Config { return s.cfg }
+
+// Workers reports the number of dataplane shards.
+func (s *Switch) Workers() int { return len(s.shards) }
+
+// Program returns the currently-installed dynamic configuration.
+func (s *Switch) Program() *compiler.Program { return s.epoch.Load().prog }
+
+// State returns the stateful registers of the current epoch.
+func (s *Switch) State() *StateTable { return s.epoch.Load().state }
+
+// Stats returns a snapshot of the dataplane counters, summed across
+// worker shards.
+func (s *Switch) Stats() StatsSnapshot {
+	var t StatsSnapshot
+	for _, sh := range s.shards {
+		t = t.add(sh.stats.snapshot())
+	}
+	return t
+}
+
+// ResetStats zeroes every shard's counters.
+func (s *Switch) ResetStats() {
+	for _, sh := range s.shards {
+		sh.stats.reset()
+	}
 }
 
 // Install replaces the dynamic program (a control-plane rule update,
-// §VIII-G3). Registers are re-linked; windows restart.
+// §VIII-G3) with a single atomic epoch swap: in-flight packets finish
+// against the epoch they loaded, later packets see the new program.
+// Registers are re-linked; windows restart. Cached stream decisions
+// were compiled from the outgoing program, so every flow-cache shard is
+// invalidated — continuation packets re-miss until their stream's next
+// header packet installs a fresh decision (fixes the stale §VII-B
+// forwarding bug).
 func (s *Switch) Install(prog *compiler.Program) error {
-	if s.Static != nil {
-		if err := s.Static.Validate(prog); err != nil {
+	if prog == nil {
+		return fmt.Errorf("pipeline: Install: nil program")
+	}
+	if s.static != nil {
+		if err := s.static.Validate(prog); err != nil {
 			return err
 		}
 	}
-	s.Program = prog
-	s.State = NewStateTable(prog)
+	s.installMu.Lock()
+	old := s.epoch.Load()
+	s.epoch.Store(&epoch{gen: old.gen + 1, prog: prog, state: NewStateTable(prog)})
+	s.installMu.Unlock()
+	// Purge after the swap: any straggler still installing decisions
+	// under the old epoch is defeated by the generation tag on cache
+	// entries, so post-purge lookups can never observe a stale decision.
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.flows.purge()
+		sh.mu.Unlock()
+	}
 	return nil
 }
 
-// HandleCustom registers a handler for a custom action name.
+// HandleCustom registers a handler for a custom action name. Call
+// before traffic starts.
 func (s *Switch) HandleCustom(name string, fn CustomActionFunc) {
 	s.customs[name] = fn
 }
 
 // Process runs a packet through the pipeline at virtual time now and
-// returns the egress deliveries.
+// returns the egress deliveries. Safe for concurrent use; the packet is
+// executed on the shard its flow hashes to (flow-less packets use
+// shard 0 — use ProcessBatch to spread those across workers).
 //
 // Per §VI: the ingress pass evaluates each message and builds a port
 // mask; the crossbar replicates the packet once per egress port; egress
@@ -153,66 +233,75 @@ func (s *Switch) HandleCustom(name string, fn CustomActionFunc) {
 // Batches deeper than the static pipeline's parse budget recirculate,
 // adding latency.
 func (s *Switch) Process(pkt *Packet, now time.Duration) []Delivery {
-	s.Stats.Packets++
-	s.Stats.BytesIn += int64(pkt.Bytes)
+	return s.processOn(s.shards[s.shardIndex(pkt.Flow)], pkt, now)
+}
+
+// processOn executes one packet on one shard against the current epoch.
+func (s *Switch) processOn(sh *shard, pkt *Packet, now time.Duration) []Delivery {
+	ep := s.epoch.Load()
+	st := &sh.stats
+	st.packets.Add(1)
+	st.bytesIn.Add(int64(pkt.Bytes))
 
 	// Stream continuation: no application header, forward per the
 	// decision cached by the stream's first packet (§VII-B).
 	if len(pkt.Msgs) == 0 && pkt.Flow != 0 {
-		acts, ok := s.flows.lookup(pkt.Flow, now)
+		sh.mu.Lock()
+		acts, ok := sh.flows.lookup(pkt.Flow, now, ep.gen)
+		sh.mu.Unlock()
 		if !ok {
-			s.Stats.FlowMisses++
+			st.flowMisses.Add(1)
 			return nil
 		}
-		s.Stats.FlowHits++
+		st.flowHits.Add(1)
 		out := make([]Delivery, 0, len(acts.Ports))
 		for _, port := range acts.Ports {
-			if s.Config.DropOnIngressPort && port == pkt.In {
+			if s.cfg.DropOnIngressPort && port == pkt.In {
 				continue
 			}
-			out = append(out, Delivery{Port: port, Latency: s.Config.BaseLatency})
-			s.Stats.BytesOut += int64(pkt.Bytes)
+			out = append(out, Delivery{Port: port, Latency: s.cfg.BaseLatency})
+			st.bytesOut.Add(int64(pkt.Bytes))
 		}
-		s.Stats.Deliveries += int64(len(out))
+		st.deliveries.Add(int64(len(out)))
 		return out
 	}
 
 	passBudget := len(pkt.Msgs)
-	if s.Static != nil && s.Static.MaxParsedMessages > 0 {
-		passBudget = s.Static.MaxParsedMessages
+	if s.static != nil && s.static.MaxParsedMessages > 0 {
+		passBudget = s.static.MaxParsedMessages
 	}
 	passes := 1
 	if len(pkt.Msgs) > passBudget {
 		passes += (len(pkt.Msgs) - 1) / passBudget
-		s.Stats.Recirculations += int64(passes - 1)
+		st.recirculations.Add(int64(passes - 1))
 	}
-	latency := s.Config.BaseLatency + time.Duration(passes-1)*s.Config.RecirculationLatency
+	latency := s.cfg.BaseLatency + time.Duration(passes-1)*s.cfg.RecirculationLatency
 
 	// Ingress: evaluate every message, build per-port masks.
 	portMsgs := make(map[int][]*spec.Message)
 	var flowPorts subscription.ActionSet
 	var extra []Delivery
 	for _, m := range pkt.Msgs {
-		s.Stats.Messages++
-		le := s.Program.Lookup(m, s.State.At(now))
+		st.messages.Add(1)
+		le := ep.prog.Lookup(m, ep.state.At(now))
 		if le == nil {
 			continue
 		}
 		// State updates fire for every message whose stateless context
 		// matched, before forwarding semantics are applied.
 		for _, key := range le.Updates {
-			s.State.Update(key, m, now)
-			s.Stats.StateUpdates++
+			ep.state.Update(key, m, now)
+			st.stateUpdates.Add(1)
 		}
 		if le.Actions.IsEmpty() {
 			continue
 		}
-		s.Stats.Matched++
+		st.matched.Add(1)
 		for _, port := range le.Actions.Ports {
 			// The cached stream decision keeps the full port set;
 			// ingress suppression re-applies per continuation packet.
 			flowPorts.Add(subscription.FwdAction(port))
-			if s.Config.DropOnIngressPort && port == pkt.In {
+			if s.cfg.DropOnIngressPort && port == pkt.In {
 				continue
 			}
 			portMsgs[port] = append(portMsgs[port], m)
@@ -225,9 +314,12 @@ func (s *Switch) Process(pkt *Packet, now time.Duration) []Delivery {
 	}
 
 	// Stream subscriptions: the header-bearing packet installs the
-	// stream's merged port decision for its continuations (§VII-B).
+	// stream's merged port decision for its continuations (§VII-B),
+	// tagged with the epoch it was compiled under.
 	if pkt.Flow != 0 {
-		s.flows.install(pkt.Flow, flowPorts, now)
+		sh.mu.Lock()
+		sh.flows.install(pkt.Flow, flowPorts, now, ep.gen)
+		sh.mu.Unlock()
 	}
 
 	// Crossbar + egress: one pruned replica per port, deterministic
@@ -243,20 +335,22 @@ func (s *Switch) Process(pkt *Packet, now time.Duration) []Delivery {
 		out = append(out, Delivery{Port: port, Msgs: msgs, Latency: latency})
 		// Pruned replica bytes scale with the surviving message share.
 		if len(pkt.Msgs) > 0 {
-			s.Stats.BytesOut += int64(pkt.Bytes * len(msgs) / len(pkt.Msgs))
+			st.bytesOut.Add(int64(pkt.Bytes * len(msgs) / len(pkt.Msgs)))
 		}
 	}
 	out = append(out, extra...)
-	s.Stats.Deliveries += int64(len(out))
+	st.deliveries.Add(int64(len(out)))
 	return out
 }
 
 // EvalMessage evaluates a single message (diagnostics / examples).
 func (s *Switch) EvalMessage(m *spec.Message, now time.Duration) subscription.ActionSet {
-	return s.Program.Eval(m, s.State.At(now))
+	ep := s.epoch.Load()
+	return ep.prog.Eval(m, ep.state.At(now))
 }
 
 func (s *Switch) String() string {
+	prog := s.Program()
 	return fmt.Sprintf("switch %s: %d stages, %d entries, %s",
-		s.ID, len(s.Program.Stages)+1, s.Program.TotalEntries(), s.Program.Resources)
+		s.ID, len(prog.Stages)+1, prog.TotalEntries(), prog.Resources)
 }

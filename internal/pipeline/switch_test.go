@@ -53,15 +53,15 @@ func TestProcessUnicast(t *testing.T) {
 	if len(out) != 1 || out[0].Port != 1 || len(out[0].Msgs) != 1 {
 		t.Fatalf("deliveries = %+v", out)
 	}
-	if out[0].Latency != sw.Config.BaseLatency {
+	if out[0].Latency != sw.Config().BaseLatency {
 		t.Errorf("latency = %v", out[0].Latency)
 	}
 	out2 := sw.Process(&Packet{In: 0, Msgs: []*spec.Message{itchMsg(sp, "MSFT", 50, 10)}}, 0)
 	if len(out2) != 0 {
 		t.Fatalf("MSFT should be dropped, got %+v", out2)
 	}
-	if sw.Stats.Packets != 2 || sw.Stats.Matched != 1 {
-		t.Errorf("stats = %+v", sw.Stats)
+	if st := sw.Stats(); st.Packets != 2 || st.Matched != 1 {
+		t.Errorf("stats = %+v", st)
 	}
 }
 
@@ -114,12 +114,12 @@ func TestRecirculation(t *testing.T) {
 	if len(out) != 1 {
 		t.Fatalf("deliveries = %d", len(out))
 	}
-	wantLat := sw.Config.BaseLatency + 2*sw.Config.RecirculationLatency
+	wantLat := sw.Config().BaseLatency + 2*sw.Config().RecirculationLatency
 	if out[0].Latency != wantLat {
 		t.Errorf("latency = %v, want %v", out[0].Latency, wantLat)
 	}
-	if sw.Stats.Recirculations != 2 {
-		t.Errorf("recirculations = %d, want 2", sw.Stats.Recirculations)
+	if st := sw.Stats(); st.Recirculations != 2 {
+		t.Errorf("recirculations = %d, want 2", st.Recirculations)
 	}
 }
 
@@ -149,9 +149,9 @@ func TestStatefulWindow(t *testing.T) {
 		t.Logf("third packet: %d deliveries", n)
 	}
 	// MSFT traffic must not touch the GOOGL register.
-	before := sw.State.Snapshot(now)
+	before := sw.State().Snapshot(now)
 	send("MSFT", 1000)
-	after := sw.State.Snapshot(now)
+	after := sw.State().Snapshot(now)
 	for k := range before {
 		if before[k] != after[k] {
 			t.Errorf("register %s changed on non-matching packet: %d → %d", k, before[k], after[k])
