@@ -2,14 +2,20 @@
 # leave `make check` green.
 GO ?= go
 
-.PHONY: check vet build test race bench bench-report
+.PHONY: check vet lint build test race bench bench-report fuzz-smoke vet-report
 
-## check: the full tier-1 gate — vet, build, race-enabled tests, and a
-## smoke run of the parallel dataplane benchmark.
-check: vet build race bench
+## check: the full tier-1 gate — vet, custom analyzers, build,
+## race-enabled tests, a short fuzz smoke, and a smoke run of the
+## parallel dataplane benchmark.
+check: vet lint build race fuzz-smoke bench
 
 vet:
 	$(GO) vet ./...
+
+## lint: the Camus-specific static analyzers (internal/analysis) over
+## the whole module, test files included.
+lint:
+	$(GO) run ./cmd/camus-lint ./...
 
 build:
 	$(GO) build ./...
@@ -27,3 +33,20 @@ bench:
 ## bench-report: regenerate bench-report.txt with steady-state numbers.
 bench-report:
 	$(GO) test -run '^$$' -bench=SwitchParallel . | tee bench-report.txt
+
+## fuzz-smoke: a short, deterministic iteration of the subscription
+## parser fuzz target (seed corpus only plus 200 mutations).
+fuzz-smoke:
+	$(GO) test ./internal/subscription -run '^$$' -fuzz '^FuzzParseSubscription$$' -fuzztime 200x
+
+## vet-report: regenerate vet-report.txt by running `camusc vet` over
+## the rule-verifier corpus (findings are the point, so exit 1 is ok).
+vet-report:
+	@rm -f vet-report.txt
+	@for f in internal/analysis/rulecheck/testdata/corpus/*.rules; do \
+		echo "== camusc vet -spec market.spec -rules $$(basename $$f) ==" >> vet-report.txt; \
+		$(GO) run ./cmd/camusc vet -spec internal/analysis/rulecheck/testdata/corpus/market.spec -rules $$f >> vet-report.txt || true; \
+	done
+	@echo "== camusc vet -spec itch.spec -rules itch.rules ==" >> vet-report.txt
+	@$(GO) run ./cmd/camusc vet -spec cmd/camusc/testdata/itch.spec -rules cmd/camusc/testdata/itch.rules >> vet-report.txt || true
+	@cat vet-report.txt

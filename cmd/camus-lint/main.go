@@ -1,0 +1,61 @@
+// Command camus-lint runs the repo's custom static analyzers (see
+// internal/analysis) over Go packages. It is the standalone front-end
+// for the four Camus-specific checks:
+//
+//	camus-snapshot  mutation of StatsSnapshot / Config snapshot values
+//	camus-options   direct construction of pipeline.Switch outside the
+//	                functional-options API
+//	camus-atomic    mixed atomic and plain access to the same field
+//	camus-locksend  locks held across channel sends or ProcessBatch
+//
+// Usage:
+//
+//	camus-lint [-json] [-no-tests] [packages...]
+//
+// Packages default to ./... and use go-list syntax. Exits 1 when any
+// diagnostic is reported and 2 on load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"camus/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	noTests := flag.Bool("no-tests", false, "skip _test.go files and test variants")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := analysis.Run(analysis.LoadConfig{Tests: !*noTests}, analysis.All(), patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "camus-lint: %v\n", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "camus-lint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		fmt.Printf("camus-lint: %d findings\n", len(diags))
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

@@ -7,6 +7,13 @@
 // Usage:
 //
 //	camusc -spec itch.spec -rules feeds.rules [-dot out.dot] [-last-hop]
+//	camusc vet -spec itch.spec -rules feeds.rules [-json]
+//
+// The vet subcommand runs the rule-program verifier instead of the
+// compiler: it reports unsatisfiable filters, fully shadowed rules,
+// contradictory actions on overlapping filters, and references to
+// fields absent from the message spec. It exits 1 when any finding is
+// reported and 2 on usage or I/O errors.
 package main
 
 import (
@@ -14,6 +21,7 @@ import (
 	"fmt"
 	"os"
 
+	"camus/internal/analysis/rulecheck"
 	"camus/internal/bdd"
 	"camus/internal/compiler"
 	"camus/internal/spec"
@@ -21,6 +29,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "vet" {
+		os.Exit(runVet(os.Args[2:], os.Stdout, os.Stderr))
+	}
+	runCompile()
+}
+
+func runCompile() {
 	specPath := flag.String("spec", "", "message format specification file (required)")
 	rulesPath := flag.String("rules", "", "subscription rules file (required)")
 	dotPath := flag.String("dot", "", "write the rule BDD in Graphviz format")
@@ -62,6 +77,48 @@ func main() {
 		check("write dot", os.WriteFile(*dotPath, []byte(prog.BDD.Dot()), 0o644))
 		fmt.Printf("BDD written to %s\n", *dotPath)
 	}
+}
+
+// runVet implements `camusc vet`. It is factored over explicit writers
+// and an exit code so tests can drive it without spawning a process.
+func runVet(args []string, stdout, stderr interface{ Write([]byte) (int, error) }) int {
+	fs := flag.NewFlagSet("camusc vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	specPath := fs.String("spec", "", "message format specification file (required)")
+	rulesPath := fs.String("rules", "", "subscription rules file (required)")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *specPath == "" || *rulesPath == "" {
+		fmt.Fprintln(stderr, "usage: camusc vet -spec <file> -rules <file> [-json]")
+		return 2
+	}
+	specSrc, err := os.ReadFile(*specPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "camusc vet: %v\n", err)
+		return 2
+	}
+	sp, err := spec.Parse(baseName(*specPath), string(specSrc))
+	if err != nil {
+		fmt.Fprintf(stderr, "camusc vet: parse spec: %v\n", err)
+		return 2
+	}
+	rulesSrc, err := os.ReadFile(*rulesPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "camusc vet: %v\n", err)
+		return 2
+	}
+	rep := rulecheck.Verify(sp, baseName(*rulesPath)+".rules", string(rulesSrc))
+	if *jsonOut {
+		fmt.Fprintln(stdout, rep.JSON())
+	} else {
+		fmt.Fprint(stdout, rep.String())
+	}
+	if len(rep.Findings) > 0 {
+		return 1
+	}
+	return 0
 }
 
 func check(what string, err error) {

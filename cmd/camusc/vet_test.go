@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVetCleanExamples runs the vet subcommand over the shipped sample
+// files; the repo's own examples must produce zero findings and exit 0.
+func TestVetCleanExamples(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := runVet([]string{
+		"-spec", filepath.Join("testdata", "itch.spec"),
+		"-rules", filepath.Join("testdata", "itch.rules"),
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s\nstdout: %s", code, errb.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "0 findings") {
+		t.Errorf("expected a zero-findings summary, got: %s", out.String())
+	}
+}
+
+// TestVetDetectsSeededBadRules feeds vet a rule file with one
+// unsatisfiable filter and one unknown field and checks both exit code
+// and the JSON report shape.
+func TestVetDetectsSeededBadRules(t *testing.T) {
+	dir := t.TempDir()
+	rules := filepath.Join(dir, "bad.rules")
+	src := "price > 10 and price < 5: fwd(1)\nnosuchfield == 1: fwd(2)\n"
+	if err := os.WriteFile(rules, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code := runVet([]string{
+		"-spec", filepath.Join("testdata", "itch.spec"),
+		"-rules", rules,
+		"-json",
+	}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errb.String())
+	}
+	var rep struct {
+		Findings []struct {
+			Kind     string `json:"kind"`
+			Severity string `json:"severity"`
+			Line     int    `json:"line"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	kinds := map[string]bool{}
+	for _, f := range rep.Findings {
+		kinds[f.Kind] = true
+	}
+	for _, want := range []string{"unsatisfiable", "unknown-field"} {
+		if !kinds[want] {
+			t.Errorf("missing %q finding; got %v", want, kinds)
+		}
+	}
+}
+
+// TestVetUsageErrors checks flag and I/O failures exit 2.
+func TestVetUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := runVet(nil, &out, &errb); code != 2 {
+		t.Errorf("missing flags: exit = %d, want 2", code)
+	}
+	errb.Reset()
+	code := runVet([]string{"-spec", "nope.spec", "-rules", "nope.rules"}, &out, &errb)
+	if code != 2 {
+		t.Errorf("missing files: exit = %d, want 2", code)
+	}
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicMixAnalyzer flags mixed atomic/plain access: if any statement
+// in a package passes &x.f to a sync/atomic function, every other
+// access to that field in the package must also go through sync/atomic.
+// A plain read racing an atomic write is still a data race (and on
+// 32-bit targets may tear); the analyzer makes the convention
+// mechanical instead of tribal. Fields of the atomic.* value types
+// (atomic.Int64 etc.) are already safe by construction and are not
+// tracked.
+//
+// The analysis is per-package: unexported fields cannot be accessed
+// from elsewhere anyway, and a package that atomically publishes an
+// exported field should migrate it to an atomic.* type rather than rely
+// on cross-package discipline.
+var AtomicMixAnalyzer = &Analyzer{
+	Name: "camus-atomic",
+	Doc:  "flag plain access to fields elsewhere accessed via sync/atomic",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	info := pass.TypesInfo()
+
+	// Pass 1: find fields whose address feeds a sync/atomic call, and
+	// remember the selector nodes inside those calls (they are the
+	// sanctioned accesses).
+	atomicFields := make(map[*types.Var]ast.Node) // field → first atomic call site
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, file := range pass.Pkg.Syntax {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				f := selectionField(info, sel)
+				if f == nil {
+					continue
+				}
+				if _, seen := atomicFields[f]; !seen {
+					atomicFields[f] = call
+				}
+				sanctioned[sel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	// Pass 2: any other selector resolving to a tracked field is a
+	// plain (non-atomic) access.
+	for _, file := range pass.Pkg.Syntax {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			f := selectionField(info, sel)
+			if f == nil {
+				return true
+			}
+			if _, tracked := atomicFields[f]; tracked {
+				pass.Reportf(sel.Pos(),
+					"non-atomic access to field %s, which is accessed with sync/atomic elsewhere in this package",
+					f.Name())
+			}
+			return true
+		})
+	}
+}
+
+// isAtomicCall reports whether the call is to a function in sync/atomic
+// (AddInt64, StoreUint32, CompareAndSwapPointer, ...).
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic"
+}

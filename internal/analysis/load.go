@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded package: parsed syntax plus type information.
+type Package struct {
+	// ImportPath is go list's import path, including any test-variant
+	// suffix ("pkg [pkg.test]" for a package augmented with its
+	// in-package _test.go files).
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+
+	Fset   *token.FileSet
+	Syntax []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+
+	// IllTyped is set when parsing or type-checking failed; Errs holds
+	// the reasons. Analyzers are not run on ill-typed packages.
+	IllTyped bool
+	Errs     []error
+}
+
+// LoadConfig tunes Load.
+type LoadConfig struct {
+	// Tests includes each package's test files: the in-package test
+	// variant ("pkg [pkg.test]") and the external test package
+	// ("pkg_test [pkg.test]") are loaded in addition to the plain
+	// package.
+	Tests bool
+	// Dir is the working directory for the go tool (defaults to the
+	// current directory).
+	Dir string
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	ImportMap  map[string]string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+	Error      *struct{ Err string }
+}
+
+// Load lists the packages matching patterns with `go list -export`,
+// parses their sources, and type-checks them against the export data of
+// their dependencies (produced by the toolchain into the build cache,
+// so loading works fully offline).
+//
+// Patterns follow the go tool: "./...", explicit directories (including
+// directories under testdata, which wildcards skip), or import paths.
+func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
+	byPath, roots, err := goList(cfg, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var out []*Package
+	for _, lp := range roots {
+		out = append(out, typeCheck(fset, lp, byPath))
+	}
+	return out, nil
+}
+
+// goList shells out to `go list` and returns every listed package by
+// import path plus the root (non-dep) packages in listing order.
+func goList(cfg LoadConfig, patterns []string) (map[string]*listPkg, []*listPkg, error) {
+	args := []string{"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,CgoFiles,Imports,ImportMap,Export,Standard,DepOnly,ForTest,Error"}
+	if cfg.Tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	byPath := make(map[string]*listPkg)
+	var roots []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(stdout))
+	for {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list output: %v", err)
+		}
+		byPath[lp.ImportPath] = lp
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		// Skip the synthesized test-main package ("pkg.test"): its
+		// sources are generated and of no analysis interest.
+		if strings.HasSuffix(lp.ImportPath, ".test") && lp.ForTest == "" {
+			continue
+		}
+		if lp.Name == "" || len(lp.GoFiles) == 0 {
+			continue
+		}
+		roots = append(roots, lp)
+	}
+	return byPath, roots, nil
+}
+
+// typeCheck parses and type-checks one listed package from source. The
+// importer resolves every dependency through its export data, honoring
+// go list's ImportMap (which redirects imports of a package under test
+// to its test-augmented variant).
+func typeCheck(fset *token.FileSet, lp *listPkg, byPath map[string]*listPkg) *Package {
+	pkg := &Package{
+		ImportPath: lp.ImportPath,
+		Name:       lp.Name,
+		Dir:        lp.Dir,
+		Fset:       fset,
+	}
+	if lp.Error != nil {
+		pkg.IllTyped = true
+		pkg.Errs = append(pkg.Errs, fmt.Errorf("%s", lp.Error.Err))
+		return pkg
+	}
+	if len(lp.CgoFiles) > 0 {
+		pkg.IllTyped = true
+		pkg.Errs = append(pkg.Errs, fmt.Errorf("%s: cgo packages are not supported", lp.ImportPath))
+		return pkg
+	}
+	for _, f := range lp.GoFiles {
+		path := f
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, f)
+		}
+		pkg.GoFiles = append(pkg.GoFiles, path)
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			pkg.IllTyped = true
+			pkg.Errs = append(pkg.Errs, err)
+			continue
+		}
+		pkg.Syntax = append(pkg.Syntax, file)
+	}
+	if pkg.IllTyped {
+		return pkg
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := lp.ImportMap[path]; ok {
+			path = mapped
+		}
+		dep := byPath[path]
+		if dep == nil || dep.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(dep.Export)
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		// A fresh importer per package: lookup results depend on the
+		// package's ImportMap, so the importer cache must not be shared
+		// across packages.
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error: func(err error) {
+			pkg.IllTyped = true
+			pkg.Errs = append(pkg.Errs, err)
+		},
+	}
+	tpkg, err := conf.Check(basePkgPath(lp.ImportPath), fset, pkg.Syntax, pkg.Info)
+	if err != nil && len(pkg.Errs) == 0 {
+		pkg.IllTyped = true
+		pkg.Errs = append(pkg.Errs, err)
+	}
+	pkg.Types = tpkg
+	return pkg
+}

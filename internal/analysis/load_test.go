@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"testing"
+)
+
+// TestLoadPipeline loads a real repo package with full type info via
+// the export-data importer.
+func TestLoadPipeline(t *testing.T) {
+	pkgs, err := Load(LoadConfig{Dir: "../.."}, "camus/internal/pipeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.IllTyped {
+		t.Fatalf("pipeline ill-typed: %v", p.Errs)
+	}
+	if p.Types == nil || p.Types.Scope().Lookup("Switch") == nil {
+		t.Fatalf("type info missing Switch")
+	}
+	if len(p.Syntax) == 0 {
+		t.Fatal("no syntax")
+	}
+}
+
+// TestLoadTests loads the in-package test variant when Tests is set.
+func TestLoadTests(t *testing.T) {
+	pkgs, err := Load(LoadConfig{Dir: "../..", Tests: true}, "camus/internal/pipeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var variants []string
+	for _, p := range pkgs {
+		if p.IllTyped {
+			t.Errorf("%s ill-typed: %v", p.ImportPath, p.Errs)
+		}
+		variants = append(variants, p.ImportPath)
+	}
+	want := "camus/internal/pipeline [camus/internal/pipeline.test]"
+	found := false
+	for _, v := range variants {
+		if v == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("test variant missing from %v", variants)
+	}
+}

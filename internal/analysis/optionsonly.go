@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// OptionsOnlyAnalyzer enforces the functional-options construction
+// surface of the dataplane: outside internal/pipeline, a Switch must be
+// built with NewSwitch(id, static, prog, opts...) and never by
+// composite literal, field mutation, deprecated pipeline.New, or
+// hand-rolled Config literals. The frozen-Config invariant is what
+// makes the sharded dataplane safe to drive from many goroutines; any
+// other construction path can smuggle in mutable state.
+var OptionsOnlyAnalyzer = &Analyzer{
+	Name: "camus-options",
+	Doc:  "flag direct construction/mutation of pipeline.Switch or Config outside internal/pipeline",
+	Run:  runOptionsOnly,
+}
+
+func runOptionsOnly(pass *Pass) {
+	if pass.PkgPath() == pipelinePath {
+		return
+	}
+	info := pass.TypesInfo()
+	for _, file := range pass.Pkg.Syntax {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CompositeLit:
+				t := info.TypeOf(e)
+				if t == nil {
+					return true
+				}
+				if namedType(t, pipelinePath, "Switch") {
+					pass.Reportf(e.Pos(),
+						"composite literal of pipeline.Switch bypasses NewSwitch; construct switches with functional options")
+				}
+				if namedType(t, pipelinePath, "Config") {
+					pass.Reportf(e.Pos(),
+						"composite literal of pipeline.Config bypasses DefaultConfig; use SwitchOption functional options")
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range e.Lhs {
+					checkSwitchFieldWrite(pass, info, lhs)
+				}
+			case *ast.IncDecStmt:
+				checkSwitchFieldWrite(pass, info, e.X)
+			case *ast.CallExpr:
+				checkDeprecatedNew(pass, info, e)
+			}
+			return true
+		})
+	}
+}
+
+// checkSwitchFieldWrite reports assignments to fields of a
+// pipeline.Switch (its internals are owned by the pipeline package).
+func checkSwitchFieldWrite(pass *Pass, info *types.Info, lhs ast.Expr) {
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if selectionField(info, sel) == nil {
+		return
+	}
+	base := info.TypeOf(sel.X)
+	if base == nil || !namedType(base, pipelinePath, "Switch") {
+		return
+	}
+	pass.Reportf(lhs.Pos(),
+		"mutation of pipeline.Switch field %s outside internal/pipeline; switch internals are frozen after NewSwitch",
+		sel.Sel.Name)
+}
+
+// checkDeprecatedNew reports calls to pipeline.New, the legacy
+// Config-taking constructor.
+func checkDeprecatedNew(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if fn.Pkg().Path() == pipelinePath && fn.Name() == "New" {
+		pass.Reportf(call.Pos(),
+			"pipeline.New is the deprecated Config constructor; use pipeline.NewSwitch with SwitchOption functional options")
+	}
+}

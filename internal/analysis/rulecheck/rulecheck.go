@@ -1,0 +1,411 @@
+// Package rulecheck verifies subscription rule tables symbolically: it
+// compiles the table through the repository's BDD path
+// (subscription.NormalizeRule → bdd.BuildNormalized) with one marker
+// action per rule, then reads rule-level properties straight off the
+// diagram:
+//
+//   - unsatisfiable: the rule's marker reaches no terminal — no packet
+//     can ever match the filter;
+//   - shadowed: at every terminal carrying the rule's marker, earlier
+//     rules are present too AND their merged actions already subsume
+//     this rule's action — the filter is implied by the union of the
+//     rules before it and, under Camus merge semantics (§V-D), removing
+//     the rule would leave the compiled program unchanged. A rule whose
+//     filter is implied but whose action adds a new port or custom
+//     action to some region is NOT shadowed: it still shapes forwarding
+//     (itch.rules' aggregate rule fwd(5) under the broader GOOGL fwd(2)
+//     rule is the canonical example);
+//   - conflict: some terminal carries two markers whose actions
+//     contradict — an explicit drop overlapping a forward, or one
+//     custom action name invoked with different arguments (e.g. two
+//     answerDNS rules giving different addresses for one query).
+//
+// Soundness rests on the builder's domain pruning (reduction iii):
+// with pruning on, every root-to-terminal path is satisfiable — atoms
+// constrain single fields against constants, so per-field consistency
+// is global consistency — which makes the three reads above exact,
+// not approximations.
+//
+// Fields referenced but absent from the message spec, and any other
+// parse or type-check failure, are reported per line with the
+// verifier continuing to the next line.
+package rulecheck
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"camus/internal/bdd"
+	"camus/internal/compiler"
+	"camus/internal/spec"
+	"camus/internal/subscription"
+)
+
+// Kind classifies a finding.
+type Kind string
+
+const (
+	// KindParseError is a rule that failed to parse or type-check.
+	KindParseError Kind = "parse-error"
+	// KindUnknownField is a parse failure caused by a field missing
+	// from the message spec.
+	KindUnknownField Kind = "unknown-field"
+	// KindUnsatisfiable is a filter no packet can match.
+	KindUnsatisfiable Kind = "unsatisfiable"
+	// KindShadowed is a filter implied by the union of earlier rules.
+	KindShadowed Kind = "shadowed"
+	// KindConflict is a pair of overlapping rules with contradictory
+	// actions.
+	KindConflict Kind = "conflict"
+	// KindResources is a table that compiles but exceeds the modeled
+	// switch resources.
+	KindResources Kind = "resources"
+	// KindOverflow reports that symbolic analysis was abandoned
+	// because the diagram exceeded the node budget.
+	KindOverflow Kind = "analysis-overflow"
+)
+
+// Severity grades a finding.
+type Severity string
+
+const (
+	SevError   Severity = "error"
+	SevWarning Severity = "warning"
+)
+
+// Finding is one diagnostic, serializable as JSON.
+type Finding struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line,omitempty"`
+	RuleID   int      `json:"rule"` // -1 for table-level findings
+	Kind     Kind     `json:"kind"`
+	Severity Severity `json:"severity"`
+	Message  string   `json:"message"`
+	// RuleText is the offending rule, pretty-printed.
+	RuleText string `json:"rule_text,omitempty"`
+	// Related lists the other rule IDs involved (the shadowing cover,
+	// the conflicting partner).
+	Related []int `json:"related,omitempty"`
+}
+
+func (f Finding) String() string {
+	loc := f.File
+	if f.Line > 0 {
+		loc = fmt.Sprintf("%s:%d", f.File, f.Line)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s: %s", loc, f.Severity, f.Message)
+	if len(f.Related) > 0 {
+		ids := make([]string, len(f.Related))
+		for i, id := range f.Related {
+			ids[i] = "#" + strconv.Itoa(id)
+		}
+		fmt.Fprintf(&b, " (see rule %s)", strings.Join(ids, ", "))
+	}
+	return b.String()
+}
+
+// Report is the result of verifying one rule file.
+type Report struct {
+	File     string    `json:"file"`
+	Rules    int       `json:"rules"`
+	Findings []Finding `json:"findings"`
+}
+
+// HasErrors reports whether any finding is error-severity.
+func (r *Report) HasErrors() bool {
+	for _, f := range r.Findings {
+		if f.Severity == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// JSON renders the report as indented JSON (findings is never null).
+func (r *Report) JSON() string {
+	cp := *r
+	if cp.Findings == nil {
+		cp.Findings = []Finding{}
+	}
+	out, err := json.MarshalIndent(&cp, "", "  ")
+	if err != nil {
+		return fmt.Sprintf(`{"file":%q,"error":%q}`, r.File, err)
+	}
+	return string(out)
+}
+
+// String renders the human-readable report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d rules, %d findings\n", r.File, r.Rules, len(r.Findings))
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "  %s\n", f)
+	}
+	return b.String()
+}
+
+// maxAnalysisNodes bounds the marker diagram; distinct markers defeat
+// terminal sharing, so the cap guards against pathological tables.
+const maxAnalysisNodes = 1 << 21
+
+// Verify parses and symbolically checks a rule file against a spec.
+// file names the source in diagnostics; src is the file content.
+func Verify(sp *spec.Spec, file, src string) *Report {
+	rep := &Report{File: file}
+	parser := subscription.NewParser(sp)
+
+	// Per-line parse with error recovery: every bad line is reported,
+	// not just the first.
+	var rules []*subscription.Rule
+	ruleLine := make(map[int]int) // rule ID → 1-based line
+	for i, line := range strings.Split(src, "\n") {
+		lineRules, err := parser.ParseRuleLine(line, len(rules))
+		if err != nil {
+			kind, sev := KindParseError, SevError
+			if errors.Is(err, subscription.ErrUnknownField) {
+				kind = KindUnknownField
+			}
+			rep.Findings = append(rep.Findings, Finding{
+				File: file, Line: i + 1, RuleID: -1, Kind: kind, Severity: sev,
+				Message: err.Error(),
+			})
+			continue
+		}
+		for _, r := range lineRules {
+			ruleLine[r.ID] = i + 1
+		}
+		rules = append(rules, lineRules...)
+	}
+	rep.Rules = len(rules)
+	if len(rules) == 0 {
+		sortFindings(rep.Findings)
+		return rep
+	}
+
+	rep.Findings = append(rep.Findings, verifyTable(sp, file, rules, ruleLine)...)
+	sortFindings(rep.Findings)
+	return rep
+}
+
+// verifyTable runs the symbolic checks over successfully parsed rules.
+func verifyTable(sp *spec.Spec, file string, rules []*subscription.Rule, ruleLine map[int]int) []Finding {
+	var out []Finding
+	finding := func(id int, kind Kind, sev Severity, related []int, format string, args ...interface{}) {
+		out = append(out, Finding{
+			File: file, Line: ruleLine[id], RuleID: id, Kind: kind, Severity: sev,
+			Message: fmt.Sprintf(format, args...), RuleText: rules[id].String(),
+			Related: related,
+		})
+	}
+
+	// Re-tag every rule disjunct with a marker action carrying its rule
+	// ID, so terminals of the merged diagram name the exact set of
+	// rules matching each packet region.
+	var normalized []subscription.NormalizedRule
+	analyzable := make(map[int]bool, len(rules))
+	for _, r := range rules {
+		nrs, err := subscription.NormalizeRule(&subscription.Rule{ID: r.ID, Filter: r.Filter, Action: markAction(r.ID)})
+		if err != nil {
+			finding(r.ID, KindParseError, SevError, nil, "cannot normalize filter: %v", err)
+			continue
+		}
+		analyzable[r.ID] = true
+		// A rule whose DNF is empty is already unsatisfiable; keep it
+		// out of the build but let the marker scan report it uniformly.
+		normalized = append(normalized, nrs...)
+	}
+
+	d, err := bdd.BuildNormalized(sp, normalized, bdd.Options{MaxNodes: maxAnalysisNodes})
+	if err != nil {
+		sev := SevError
+		kind := KindParseError
+		if errors.Is(err, bdd.ErrTooLarge) {
+			kind, sev = KindOverflow, SevWarning
+		}
+		return append(out, Finding{
+			File: file, RuleID: -1, Kind: kind, Severity: sev,
+			Message: fmt.Sprintf("symbolic analysis failed: %v", err),
+		})
+	}
+
+	// One pass over the reachable terminals gathers everything the
+	// three checks need.
+	present := make(map[int]bool)
+	shadowed := make(map[int]bool)
+	covers := make(map[int]map[int]bool)    // rule → union of earlier rules co-resident at its terminals
+	conflicts := make(map[[2]int]bool)      // ordered pair → seen
+	for id := range analyzable {
+		shadowed[id] = true // until a terminal proves sole reach
+	}
+	for _, n := range d.Reachable() {
+		if !n.IsTerminal() {
+			continue
+		}
+		ids := markerIDs(n.Actions)
+		if len(ids) == 0 {
+			continue
+		}
+		for _, id := range ids {
+			present[id] = true
+		}
+		// Shadowing: rule id keeps its shadowed flag only if, at every
+		// terminal it reaches, earlier rules are present whose merged
+		// actions subsume its own — i.e. the rule contributes neither
+		// reach nor forwarding behaviour there.
+		for _, id := range ids {
+			earlier := earliestOthers(ids, id)
+			if len(earlier) == 0 {
+				shadowed[id] = false
+				continue
+			}
+			var merged subscription.ActionSet
+			for _, e := range earlier {
+				merged.Add(rules[e].Action)
+			}
+			if !subsumes(merged, rules[id].Action) {
+				shadowed[id] = false
+				continue
+			}
+			if covers[id] == nil {
+				covers[id] = make(map[int]bool)
+			}
+			for _, e := range earlier {
+				covers[id][e] = true
+			}
+		}
+		// Conflicts: check each co-resident pair's original actions.
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				a, b := ids[i], ids[j]
+				if conflicts[[2]int{a, b}] {
+					continue
+				}
+				if reason := actionConflict(rules[a].Action, rules[b].Action); reason != "" {
+					conflicts[[2]int{a, b}] = true
+					finding(b, KindConflict, SevError, []int{a},
+						"overlapping filters with contradictory actions: %s", reason)
+				}
+			}
+		}
+	}
+
+	ids := make([]int, 0, len(analyzable))
+	for id := range analyzable {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if !present[id] {
+			finding(id, KindUnsatisfiable, SevError, nil, "filter can never match any packet")
+			continue
+		}
+		if shadowed[id] && len(covers[id]) > 0 {
+			cov := make([]int, 0, len(covers[id]))
+			for c := range covers[id] {
+				cov = append(cov, c)
+			}
+			sort.Ints(cov)
+			finding(id, KindShadowed, SevWarning, cov,
+				"fully shadowed: the union of earlier rules implies this filter and already performs its action")
+		}
+	}
+
+	// The real compile pass (validity guards, table layout) reports
+	// resource overflow on the table as written.
+	if prog, err := compiler.Compile(sp, rules, compiler.Options{}); err == nil && !prog.Resources.Fits() {
+		out = append(out, Finding{
+			File: file, RuleID: -1, Kind: KindResources, Severity: SevWarning,
+			Message: fmt.Sprintf("compiled table exceeds the modeled switch resources: %s", prog.Resources),
+		})
+	}
+	return out
+}
+
+// markAction builds the per-rule marker action. The name is outside
+// the identifier grammar, so it can never collide with a user action.
+func markAction(id int) subscription.Action {
+	return subscription.Action{Name: "\x00mark", Args: []string{strconv.Itoa(id)}}
+}
+
+// markerIDs extracts the rule IDs present at a terminal.
+func markerIDs(acts subscription.ActionSet) []int {
+	var ids []int
+	for _, c := range acts.Custom {
+		if c.Name != "\x00mark" || len(c.Args) != 1 {
+			continue
+		}
+		if id, err := strconv.Atoi(c.Args[0]); err == nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// subsumes reports whether the merged action set already carries every
+// effect of act: all fwd ports present, and any custom action present
+// by exact key. The empty (drop) action is subsumed by anything.
+func subsumes(set subscription.ActionSet, act subscription.Action) bool {
+	if act.IsFwd() {
+		have := make(map[int]bool, len(set.Ports))
+		for _, p := range set.Ports {
+			have[p] = true
+		}
+		for _, p := range act.Ports {
+			if !have[p] {
+				return false
+			}
+		}
+		return true
+	}
+	key := act.Key()
+	for _, c := range set.Custom {
+		if c.Key() == key {
+			return true
+		}
+	}
+	return false
+}
+
+// earliestOthers returns the IDs in ids smaller than id.
+func earliestOthers(ids []int, id int) []int {
+	var out []int
+	for _, o := range ids {
+		if o < id {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// actionConflict reports why two actions on overlapping filters
+// contradict, or "" when they merge cleanly. Forwarding actions merge
+// into multicast (paper §V-D) unless exactly one side is an explicit
+// drop; custom actions conflict when one name gets different
+// arguments.
+func actionConflict(a, b subscription.Action) string {
+	if a.IsFwd() && b.IsFwd() {
+		if (len(a.Ports) == 0) != (len(b.Ports) == 0) {
+			return fmt.Sprintf("%s vs %s (drop overlaps forward)", a, b)
+		}
+		return ""
+	}
+	if !a.IsFwd() && !b.IsFwd() && a.Name == b.Name && a.Key() != b.Key() {
+		return fmt.Sprintf("%s vs %s (same action, different arguments)", a, b)
+	}
+	return ""
+}
+
+func sortFindings(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		if fs[i].Line != fs[j].Line {
+			return fs[i].Line < fs[j].Line
+		}
+		return fs[i].Kind < fs[j].Kind
+	})
+}

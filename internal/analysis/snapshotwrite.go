@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SnapshotWriteAnalyzer flags writes to fields of snapshot value types:
+// pipeline.StatsSnapshot (returned by Switch.Stats) and pipeline.Config
+// (returned by Switch.Config / DefaultConfig). Both are immutable
+// copies — a StatsSnapshot never feeds back into the switch, and a
+// switch's Config is frozen at construction — so mutating one outside
+// internal/pipeline is at best a useless write and usually a
+// misunderstanding of the snapshot contract (PR 1's concurrency model:
+// read counters only via snapshots, configure only via options).
+//
+// The defining package is exempt: it legitimately assembles snapshots
+// and normalizes Configs before freezing them.
+var SnapshotWriteAnalyzer = &Analyzer{
+	Name: "camus-snapshot",
+	Doc:  "flag mutation of StatsSnapshot/Config snapshot values (useless writes)",
+	Run:  runSnapshotWrite,
+}
+
+// snapshotTypes are the protected value types in pipelinePath.
+var snapshotTypes = []string{"StatsSnapshot", "Config"}
+
+func runSnapshotWrite(pass *Pass) {
+	if pass.PkgPath() == pipelinePath {
+		return
+	}
+	info := pass.TypesInfo()
+	for _, file := range pass.Pkg.Syntax {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range st.Lhs {
+					checkSnapshotLHS(pass, info, lhs)
+				}
+			case *ast.IncDecStmt:
+				checkSnapshotLHS(pass, info, st.X)
+			}
+			return true
+		})
+	}
+}
+
+// checkSnapshotLHS reports when an assignment target is a field
+// selector on one of the snapshot types.
+func checkSnapshotLHS(pass *Pass, info *types.Info, lhs ast.Expr) {
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if selectionField(info, sel) == nil {
+		return
+	}
+	base := info.TypeOf(sel.X)
+	if base == nil {
+		return
+	}
+	for _, name := range snapshotTypes {
+		if namedType(base, pipelinePath, name) {
+			pass.Reportf(lhs.Pos(),
+				"write to %s.%s mutates a %s snapshot copy and has no effect on the switch",
+				exprString(sel.X), sel.Sel.Name, name)
+			return
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Package atomicmix is a fixture for the camus-atomic analyzer: the
+// counters struct mixes sync/atomic access with plain reads and writes.
+package atomicmix
+
+import (
+	"sync/atomic"
+)
+
+type counters struct {
+	hits   int64
+	misses int64
+	cold   int64 // never touched atomically
+}
+
+func (c *counters) record(ok bool) {
+	if ok {
+		atomic.AddInt64(&c.hits, 1)
+		return
+	}
+	atomic.AddInt64(&c.misses, 1)
+}
+
+func (c *counters) snapshot() (int64, int64) {
+	return atomic.LoadInt64(&c.hits), atomic.LoadInt64(&c.misses)
+}
+
+func (c *counters) racyRead() int64 {
+	return c.hits // want `non-atomic access to field hits`
+}
+
+func (c *counters) racyReset() {
+	c.hits = 0   // want `non-atomic access to field hits`
+	c.misses = 0 // want `non-atomic access to field misses`
+}
+
+func (c *counters) plainIsFine() int64 {
+	c.cold++ // cold is never accessed atomically: no finding
+	return c.cold
+}
+
+// taking the address for another atomic call stays sanctioned.
+func (c *counters) swap() int64 {
+	return atomic.SwapInt64(&c.hits, 0)
+}

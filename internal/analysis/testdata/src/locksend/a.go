@@ -1,0 +1,82 @@
+// Package locksend is a fixture for the camus-locksend analyzer:
+// channel sends and ProcessBatch fan-out while holding mutexes.
+package locksend
+
+import (
+	"sync"
+
+	"camus/internal/pipeline"
+)
+
+type queue struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	ch    chan int
+	items []int
+}
+
+func (q *queue) sendLocked(v int) {
+	q.mu.Lock()
+	q.items = append(q.items, v)
+	q.ch <- v // want `channel send while holding q\.mu`
+	q.mu.Unlock()
+}
+
+func (q *queue) sendAfterUnlock(v int) {
+	q.mu.Lock()
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+	q.ch <- v // lock released: no finding
+}
+
+func (q *queue) sendUnderDefer(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.ch <- v // want `channel send while holding q\.mu`
+}
+
+func (q *queue) sendUnderRLock(v int) {
+	q.rw.RLock()
+	defer q.rw.RUnlock()
+	q.ch <- v // want `channel send while holding q\.rw`
+}
+
+func (q *queue) sendInSelect(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.ch <- v: // want `channel send while holding q\.mu`
+	default:
+	}
+}
+
+func (q *queue) fanOutLocked(sw *pipeline.Switch, pkts []*pipeline.Packet) [][]pipeline.Delivery {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return sw.ProcessBatch(pkts, 0) // want `ProcessBatch fan-out while holding q\.mu`
+}
+
+func (q *queue) fanOutUnlocked(sw *pipeline.Switch, pkts []*pipeline.Packet) [][]pipeline.Delivery {
+	q.mu.Lock()
+	n := len(q.items)
+	q.mu.Unlock()
+	_ = n
+	return sw.ProcessBatch(pkts, 0) // no lock held: no finding
+}
+
+func (q *queue) goroutineDoesNotInherit(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	go func() {
+		q.ch <- v // runs without the spawner's lock: no finding
+	}()
+}
+
+func (q *queue) branchLockStaysInBranch(v int, cond bool) {
+	if cond {
+		q.mu.Lock()
+		q.items = append(q.items, v)
+		q.mu.Unlock()
+	}
+	q.ch <- v // no lock held on this path: no finding
+}

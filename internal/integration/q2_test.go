@@ -40,7 +40,7 @@ switch_id == 2 and hop_latency > 100: fwd(2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sw, err := pipeline.New("shared", nil, prog, pipeline.DefaultConfig())
+	sw, err := pipeline.NewSwitch("shared", nil, prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ switch_id == 2 and hop_latency > 100: fwd(2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sw, err := pipeline.New("tor", nil, prog, pipeline.DefaultConfig())
+	sw, err := pipeline.NewSwitch("tor", nil, prog)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -117,7 +117,7 @@ func New(d *controller.Deployment) (*Sim, error) {
 		upRR:        make([]atomic.Int64, len(d.Network.Switches)),
 	}
 	for _, tsw := range d.Network.Switches {
-		sw, err := pipeline.New(tsw.Name, d.Static, d.Programs[tsw.ID], pipeline.DefaultConfig())
+		sw, err := pipeline.NewSwitch(tsw.Name, d.Static, d.Programs[tsw.ID])
 		if err != nil {
 			return nil, fmt.Errorf("netsim: switch %s: %w", tsw.Name, err)
 		}

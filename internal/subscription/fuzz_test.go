@@ -90,6 +90,59 @@ func buildProbes(sp *spec.Spec) []*spec.Message {
 	return probes
 }
 
+// FuzzParseSubscription fuzzes the full subscription line — filter,
+// action, and ';'-separated rule lists — through ParseRuleLine. Beyond
+// no-panic, it checks that every accepted subscription pretty-prints to
+// a form that re-parses to the same rule: identical action (by key) and
+// a filter with identical semantics on the probe set. The on-disk seed
+// corpus lives in testdata/fuzz/FuzzParseSubscription.
+func FuzzParseSubscription(f *testing.F) {
+	seeds := []string{
+		"stock == GOOGL: fwd(1)",
+		"stock == GOOGL and price > 50: fwd(1,2,3)",
+		"price > 10 or shares < 5: answerDNS(10.0.0.1)",
+		"avg(price, 100ms) > 60: fwd(2)",
+		"stock == MSFT: fwd(1); stock == AAPL: fwd(2)",
+		"not (price >= 3)",
+		"my_counter >= 3: fwd(7)",
+		"name prefix \"video/\": fwd(4)",
+		"# comment",
+		"price > 10:",
+		"stock == GOOGL: fwd(",
+		": fwd(1)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	sp := spec.MustParse("fuzz", testSpecSrc)
+	probes := buildProbes(sp)
+	f.Fuzz(func(t *testing.T, src string) {
+		p := NewParser(sp)
+		rules, err := p.ParseRuleLine(src, 0)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		for i, r := range rules {
+			if r.ID != i {
+				t.Fatalf("rule %d has ID %d", i, r.ID)
+			}
+			printed := r.Filter.String() + ": " + r.Action.String()
+			r2, err := p.ParseRule(printed, r.ID)
+			if err != nil {
+				t.Fatalf("round-trip parse of %q (from %q) failed: %v", printed, src, err)
+			}
+			if r2.Action.Key() != r.Action.Key() {
+				t.Fatalf("round-trip changed action: %q vs %q (from %q)", r.Action, r2.Action, src)
+			}
+			for _, m := range probes {
+				if EvalExpr(r.Filter, m, nil) != EvalExpr(r2.Filter, m, nil) {
+					t.Fatalf("round-trip changed filter semantics: %q vs %q on %s", src, printed, m)
+				}
+			}
+		}
+	})
+}
+
 // FuzzParseRules checks the rule-file parser never panics and assigns
 // sequential IDs.
 func FuzzParseRules(f *testing.F) {

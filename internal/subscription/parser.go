@@ -1,12 +1,19 @@
 package subscription
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"time"
 
 	"camus/internal/spec"
 )
+
+// ErrUnknownField marks type-check failures caused by a filter
+// referencing a field (or aggregate argument) absent from the message
+// spec. Diagnostics tools test for it with errors.Is to classify parse
+// failures.
+var ErrUnknownField = errors.New("unknown field")
 
 // Parser parses and type-checks subscriptions against a message spec.
 type Parser struct {
@@ -79,21 +86,36 @@ func (p *Parser) parseRuleBody(id int) (*Rule, error) {
 func (p *Parser) ParseRules(src string) ([]*Rule, error) {
 	var rules []*Rule
 	for lineNo, line := range strings.Split(src, "\n") {
-		line = strings.TrimSpace(line)
-		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "//") {
-			continue
-		}
-		p.lex = newLexer(line)
-		if err := p.advance(); err != nil {
+		lineRules, err := p.ParseRuleLine(line, len(rules))
+		if err != nil {
 			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
 		}
-		for p.tok.kind != tokEOF {
-			r, err := p.parseRuleBody(len(rules))
-			if err != nil {
-				return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
-			}
-			rules = append(rules, r)
+		rules = append(rules, lineRules...)
+	}
+	return rules, nil
+}
+
+// ParseRuleLine parses the rules on a single line (';'-separated),
+// assigning IDs from startID. Blank lines and #- or //-comments yield
+// no rules. It is the per-line building block of ParseRules, exported
+// so diagnostics tools (camusc vet) can keep going past a bad line and
+// report every error in a file.
+func (p *Parser) ParseRuleLine(line string, startID int) ([]*Rule, error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "//") {
+		return nil, nil
+	}
+	p.lex = newLexer(line)
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var rules []*Rule
+	for p.tok.kind != tokEOF {
+		r, err := p.parseRuleBody(startID + len(rules))
+		if err != nil {
+			return nil, err
 		}
+		rules = append(rules, r)
 	}
 	return rules, nil
 }
@@ -249,7 +271,7 @@ func (p *Parser) parseOperand() (FieldRef, error) {
 	}
 	f, ok := p.spec.Field(name)
 	if !ok {
-		return FieldRef{}, p.errf("unknown field %q", name)
+		return FieldRef{}, fmt.Errorf("filter: %w %q (near %q)", ErrUnknownField, name, p.tok)
 	}
 	if !f.Subscribable {
 		return FieldRef{}, p.errf("field %q is not annotated @field", name)
@@ -285,7 +307,7 @@ func (p *Parser) parseAggregate(agg spec.AggFunc) (FieldRef, error) {
 		} else {
 			f, ok := p.spec.Field(name)
 			if !ok {
-				return FieldRef{}, p.errf("unknown field %q in aggregate", name)
+				return FieldRef{}, fmt.Errorf("filter: %w %q in aggregate (near %q)", ErrUnknownField, name, p.tok)
 			}
 			if !f.Subscribable {
 				return FieldRef{}, p.errf("field %q is not annotated @field", name)

@@ -1,0 +1,158 @@
+package subscription
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"camus/internal/spec"
+)
+
+// errSpecSrc extends the shared test spec with the cases the error
+// paths need: an exact-match integer field and a field that is not
+// annotated @field at all.
+const errSpecSrc = `
+header wire {
+    port : u16 @field_exact;
+    seq : u32;
+    price : u32 @field;
+    stock : str8 @field_exact;
+    name : str16 @field;
+}
+`
+
+func errSpec(t *testing.T) *spec.Spec {
+	t.Helper()
+	return spec.MustParse("err", errSpecSrc)
+}
+
+// TestUnknownFieldErrors asserts unknown-field failures are classified
+// with ErrUnknownField on every path that can raise them, so
+// diagnostics tools (camusc vet) can tell them apart from plain syntax
+// errors.
+func TestUnknownFieldErrors(t *testing.T) {
+	p := NewParser(errSpec(t))
+	cases := []string{
+		"bogus == 5",
+		"wire.bogus == 5",
+		"avg(bogus) > 5",
+		"sum(nothere, 10ms) > 1",
+	}
+	for _, src := range cases {
+		_, err := p.ParseFilter(src)
+		if err == nil {
+			t.Errorf("%q: expected error", src)
+			continue
+		}
+		if !errors.Is(err, ErrUnknownField) {
+			t.Errorf("%q: error %v is not ErrUnknownField", src, err)
+		}
+		if !strings.Contains(err.Error(), "unknown field") {
+			t.Errorf("%q: message %q lacks the diagnostic text", src, err)
+		}
+	}
+	// Syntax and typing failures must NOT be classified as unknown-field.
+	for _, src := range []string{"price >", "stock > 5", "price == GOOGL"} {
+		if _, err := p.ParseFilter(src); errors.Is(err, ErrUnknownField) {
+			t.Errorf("%q: wrongly classified as unknown field: %v", src, err)
+		}
+	}
+}
+
+// TestTypeCheckDiagnostics covers the checkAtom/parse paths not already
+// exercised by TestTypeChecking: unannotated fields, exact-match
+// integer fields, and aggregate argument validation.
+func TestTypeCheckDiagnostics(t *testing.T) {
+	p := NewParser(errSpec(t))
+	bad := []struct{ src, want string }{
+		{"seq == 5", "not annotated @field"},
+		{"avg(seq) > 5", "not annotated @field"},
+		{"port > 80", "only == and != allowed"},
+		{"port prefix 8", "prefix relation requires"},
+		{"port == 70000", "out of range"},
+		{"price == -1", "unexpected character"}, // negative literals are rejected by the lexer
+		{"avg(name) > 5", "non-numeric"},
+		{"avg(price, zz) > 5", "bad window"},
+		{"avg(price, 10xs) > 5", "bad window"},
+		{"avg(price, ) > 5", "expected window duration"},
+		{"sum() > 5", "sum() requires a field argument"},
+		{"avg(price > 5", "expected ')' after aggregate"},
+		{"price and 5", "expected relation"},
+		{"wire. == 5", "expected field name"},
+	}
+	for _, tc := range bad {
+		_, err := p.ParseFilter(tc.src)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%q: err = %v, want containing %q", tc.src, err, tc.want)
+		}
+	}
+	// port == 80 is fine: equality on an exact-match int field.
+	if _, err := p.ParseFilter("port == 80"); err != nil {
+		t.Errorf("port == 80 should parse: %v", err)
+	}
+}
+
+// TestActionParseErrors covers the action grammar's failure modes.
+func TestActionParseErrors(t *testing.T) {
+	p := NewParser(errSpec(t))
+	bad := []struct{ src, want string }{
+		{"price > 1: ", "expected action name"},
+		{"price > 1: 5(1)", "expected action name"},
+		{"price > 1: fwd", "expected '(' after action"},
+		{"price > 1: fwd(1", "unterminated action arguments"},
+		{"price > 1: fwd(>)", "bad action argument"},
+		{"price > 1: fwd(eth0)", "fwd() arguments must be port numbers"},
+	}
+	for _, tc := range bad {
+		_, err := p.ParseRule(tc.src, 0)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%q: err = %v, want containing %q", tc.src, err, tc.want)
+		}
+	}
+	// Custom actions accept mixed arguments; a bare rule gets fwd().
+	r, err := p.ParseRule("price > 1: mirror(eth0, 3)", 0)
+	if err != nil {
+		t.Fatalf("mirror action: %v", err)
+	}
+	if r.Action.Name != "mirror" || len(r.Action.Args) != 2 {
+		t.Errorf("mirror action = %+v", r.Action)
+	}
+	r, err = p.ParseRule("price > 1", 0)
+	if err != nil {
+		t.Fatalf("bare rule: %v", err)
+	}
+	if !r.Action.IsFwd() || len(r.Action.Ports) != 0 {
+		t.Errorf("bare rule action = %+v, want empty fwd", r.Action)
+	}
+}
+
+// TestParseRulesLineNumbers asserts file-level errors carry the
+// 1-based line number of the offending rule.
+func TestParseRulesLineNumbers(t *testing.T) {
+	p := NewParser(errSpec(t))
+	src := "price > 1: fwd(1)\n# ok\n\nstock == : fwd(2)\n"
+	_, err := p.ParseRules(src)
+	if err == nil || !strings.Contains(err.Error(), "line 4:") {
+		t.Errorf("err = %v, want line 4 diagnostic", err)
+	}
+}
+
+// TestParseRuleLineRecovery checks the per-line entry point skips
+// blanks and comments and assigns IDs from startID, which camusc vet
+// relies on to keep reporting past a bad line.
+func TestParseRuleLineRecovery(t *testing.T) {
+	p := NewParser(errSpec(t))
+	for _, src := range []string{"", "   ", "# comment", "// comment"} {
+		rules, err := p.ParseRuleLine(src, 3)
+		if err != nil || rules != nil {
+			t.Errorf("ParseRuleLine(%q) = %v, %v; want nil, nil", src, rules, err)
+		}
+	}
+	rules, err := p.ParseRuleLine("price > 1: fwd(1); price > 2: fwd(2)", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 || rules[0].ID != 5 || rules[1].ID != 6 {
+		t.Errorf("IDs = %d,%d (len %d), want 5,6", rules[0].ID, rules[1].ID, len(rules))
+	}
+}
