@@ -2,12 +2,12 @@
 # leave `make check` green.
 GO ?= go
 
-.PHONY: check vet lint build test race bench bench-report fuzz-smoke vet-report
+.PHONY: check vet lint build test race bench bench-report fuzz-smoke vet-report churn-soak soak
 
 ## check: the full tier-1 gate — vet, custom analyzers, build,
-## race-enabled tests, a short fuzz smoke, and a smoke run of the
-## parallel dataplane benchmark.
-check: vet lint build race fuzz-smoke bench
+## race-enabled tests, a short churn soak, a short fuzz smoke, and a
+## smoke run of the parallel dataplane benchmark.
+check: vet lint build race churn-soak fuzz-smoke bench
 
 vet:
 	$(GO) vet ./...
@@ -26,13 +26,24 @@ test:
 race:
 	$(GO) test -race ./...
 
-## bench: one-iteration smoke of the worker-sweep benchmark (fast).
+## bench: one-iteration smoke of the worker-sweep and live-churn
+## benchmarks (fast).
 bench:
-	$(GO) test -run '^$$' -bench=SwitchParallel -benchtime=1x .
+	$(GO) test -run '^$$' -bench='SwitchParallel|Churn' -benchtime=1x .
 
-## bench-report: regenerate bench-report.txt with steady-state numbers.
+## bench-report: regenerate bench-report.txt with steady-state numbers
+## (host header from TestMain records NumCPU / GOMAXPROCS).
 bench-report:
-	$(GO) test -run '^$$' -bench=SwitchParallel . | tee bench-report.txt
+	$(GO) test -run '^$$' -bench='SwitchParallel|Churn' . | tee bench-report.txt
+
+## churn-soak: race-enabled soak of the live control plane — churn +
+## concurrent traffic through the netsim switches (~5s).
+churn-soak:
+	$(GO) test -race -count=1 -run 'TestChurnSoak|TestLiveChurn|TestHotSwapEpochConsistency' ./internal/netsim
+
+## soak: the longer churn soak (CAMUS_SOAK widens the event stream).
+soak:
+	CAMUS_SOAK=1 $(GO) test -race -count=1 -v -run 'TestChurnSoak' ./internal/netsim
 
 ## fuzz-smoke: a short, deterministic iteration of the subscription
 ## parser fuzz target (seed corpus only plus 200 mutations).

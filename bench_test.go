@@ -12,15 +12,35 @@ package camusbench
 
 import (
 	"fmt"
+	"math/rand"
+	"os"
 	"runtime"
+	"sync"
 	"testing"
+	"time"
 
+	"camus/internal/controller"
+	"camus/internal/ctlplane"
 	"camus/internal/experiments"
 	"camus/internal/formats"
+	"camus/internal/netsim"
 	"camus/internal/pipeline"
+	"camus/internal/routing"
 	"camus/internal/spec"
+	"camus/internal/subscription"
+	"camus/internal/topology"
 	"camus/internal/workload"
 )
+
+// TestMain stamps the host shape into every benchmark run (and thus
+// bench-report.txt), so the ROADMAP's single-core caveat is
+// machine-checkable against the recorded numbers.
+func TestMain(m *testing.M) {
+	fmt.Printf("host: NumCPU=%d GOMAXPROCS=%d %s %s/%s\n",
+		runtime.NumCPU(), runtime.GOMAXPROCS(0), runtime.Version(),
+		runtime.GOOS, runtime.GOARCH)
+	os.Exit(m.Run())
+}
 
 func runExperiment(b *testing.B, fn func(experiments.Config) *experiments.Result) {
 	b.Helper()
@@ -133,6 +153,106 @@ func BenchmarkSwitchParallel(b *testing.B) {
 				b.ReportMetric(float64(b.N*len(pkts))/s/1e6, "Mpps")
 			}
 		})
+	}
+}
+
+// BenchmarkChurn — the live control plane under load: a fat-tree(4)
+// netsim with a ctlplane.Service hot-swapping programs while background
+// publishers keep traffic flowing. Each iteration drives a generated
+// Poisson/Zipf churn stream (subscribe:unsubscribe ≈ 1:1 once warm)
+// through Subscribe/Unsubscribe and quiesces; reported metrics are
+// sustained updates/sec and the p50/p99 event→all-switches-applied
+// latency.
+func BenchmarkChurn(b *testing.B) {
+	net := topology.MustFatTree(4)
+	ropts := routing.Options{Policy: routing.TrafficReduction, Alpha: 10}
+	evs, err := workload.Churn(workload.ChurnConfig{
+		Spec: formats.ITCH, Hosts: len(net.Hosts), Events: 600, PoolSize: 40, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var lastStats ctlplane.Snapshot
+	var updatesPerSec float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d, err := controller.Deploy(net, formats.ITCH,
+			make([][]subscription.Expr, len(net.Hosts)), controller.Options{Routing: ropts})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim, err := netsim.New(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim.Workers = 2
+		svc, err := ctlplane.NewService(ctlplane.Config{
+			Net: net, Spec: formats.ITCH, Routing: ropts,
+			Installers: sim.Installers(), Seed: 3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(4))
+			stocks := workload.DefaultSymbols(100)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				pubs := make([]netsim.Publication, 16)
+				for j := range pubs {
+					m := spec.NewMessage(formats.ITCH)
+					m.MustSet("stock", spec.StrVal(stocks[r.Intn(len(stocks))]))
+					m.MustSet("price", spec.IntVal(int64(r.Intn(1000))))
+					m.MustSet("shares", spec.IntVal(1))
+					pubs[j] = netsim.Publication{Host: r.Intn(len(net.Hosts)), Msgs: []*spec.Message{m}, Bytes: 64}
+				}
+				sim.PublishBatch(pubs)
+			}
+		}()
+		live := make(map[int]int)
+		b.StartTimer()
+		start := time.Now()
+		for _, ev := range evs {
+			if ev.Add {
+				_, ids, err := svc.Subscribe(ev.Host, []subscription.Expr{ev.Filter})
+				if err != nil {
+					b.Fatal(err)
+				}
+				live[ev.Key] = ids[0]
+			} else {
+				if _, err := svc.Unsubscribe(ev.Host, []int{live[ev.Key]}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		svc.Quiesce()
+		elapsed := time.Since(start)
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+		lastStats = svc.Stats()
+		svc.Close()
+		updatesPerSec = float64(len(evs)) / elapsed.Seconds()
+		b.StartTimer()
+	}
+	b.ReportMetric(updatesPerSec, "updates/s")
+	b.ReportMetric(float64(lastStats.Latency.P50.Microseconds()), "p50-µs")
+	b.ReportMetric(float64(lastStats.Latency.P99.Microseconds()), "p99-µs")
+	b.ReportMetric(0, "ns/op")
+	b.Logf("churn: %d events, %d batches (coalesced), +%d -%d =%d entries, %d retries, %d fallbacks, latency %s",
+		lastStats.Events, lastStats.Batches, lastStats.Installs, lastStats.Deletes,
+		lastStats.Keeps, lastStats.Retries, lastStats.Fallbacks, lastStats.Latency)
+	if updatesPerSec < 1000 {
+		b.Errorf("sustained %.0f updates/sec, want >= 1000", updatesPerSec)
 	}
 }
 

@@ -7,18 +7,30 @@
 //
 //	camus-sim [-k 4] [-filters 128] [-policy tr|mr] [-alpha 10]
 //	          [-packets 5000] [-seed 1]
+//
+// With -churn N the command instead starts from an empty network and
+// drives N live subscribe/unsubscribe events through the ctlplane
+// service (per-switch incremental deltas, coalescing, retry/backoff)
+// while feed traffic flows, then reports sustained updates/sec and the
+// update-latency percentiles before replaying the feed on the converged
+// network:
+//
+//	camus-sim -churn 1000 [-churn-rate 2000]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"camus/internal/controller"
+	"camus/internal/ctlplane"
 	"camus/internal/formats"
 	"camus/internal/netsim"
 	"camus/internal/routing"
 	"camus/internal/spec"
+	"camus/internal/subscription"
 	"camus/internal/topology"
 	"camus/internal/workload"
 )
@@ -30,6 +42,8 @@ func main() {
 	alpha := flag.Int64("alpha", 0, "discretization unit α (0 = exact)")
 	packets := flag.Int("packets", 5000, "feed packets to publish")
 	seed := flag.Int64("seed", 1, "workload seed")
+	churnEvents := flag.Int("churn", 0, "live-churn mode: number of subscribe/unsubscribe events (0 = static deploy)")
+	churnPool := flag.Int("churn-pool", 64, "distinct filters in the churn pool (Zipf popularity)")
 	flag.Parse()
 
 	var policy routing.Policy
@@ -48,20 +62,27 @@ func main() {
 	fmt.Printf("topology: k=%d fat tree — %d switches, %d hosts\n",
 		*k, len(net.Switches), len(net.Hosts))
 
-	exprs, err := workload.Siena(workload.SienaConfig{
-		Spec: formats.ITCH, Filters: *nFilters,
-		MinPredicates: 2, MaxPredicates: 3, Seed: *seed,
-	})
-	check(err)
-	subs := workload.SpreadOverHosts(exprs, len(net.Hosts))
+	subs := make([][]subscription.Expr, len(net.Hosts))
+	if *churnEvents == 0 {
+		exprs, err := workload.Siena(workload.SienaConfig{
+			Spec: formats.ITCH, Filters: *nFilters,
+			MinPredicates: 2, MaxPredicates: 3, Seed: *seed,
+		})
+		check(err)
+		subs = workload.SpreadOverHosts(exprs, len(net.Hosts))
+	}
 
 	d, err := controller.Deploy(net, formats.ITCH, subs, controller.Options{
 		Routing: routing.Options{Policy: policy, Alpha: *alpha},
 	})
 	check(err)
 	total, byLayer := d.CompileTime()
+	deployed := 0
+	for _, hs := range subs {
+		deployed += len(hs)
+	}
 	fmt.Printf("deployed %d filters with policy %s α=%d in %s (ToR %s, Agg %s, Core %s)\n",
-		*nFilters, policy, *alpha, total.Round(1000),
+		deployed, policy, *alpha, total.Round(1000),
 		byLayer[topology.ToR].Round(1000), byLayer[topology.Agg].Round(1000),
 		byLayer[topology.Core].Round(1000))
 	layers := d.LayerEntries()
@@ -70,6 +91,10 @@ func main() {
 
 	sim, err := netsim.New(d)
 	check(err)
+	if *churnEvents > 0 {
+		runChurn(sim, net, routing.Options{Policy: policy, Alpha: *alpha},
+			*churnEvents, *churnPool, *seed)
+	}
 	feed := workload.ITCHFeed(workload.ITCHFeedConfig{
 		Packets: *packets, BatchZipf: true, InterestFraction: 0.05, Seed: *seed,
 	})
@@ -93,6 +118,45 @@ func main() {
 	fmt.Printf("traffic: ToR=%d Agg=%d Core=%d packets; dropped(no match)=%d loops=%d\n",
 		sim.Traffic().LinkPackets[topology.ToR], sim.Traffic().LinkPackets[topology.Agg],
 		sim.Traffic().CorePackets, sim.Traffic().Dropped, sim.Traffic().Looped)
+}
+
+// runChurn drives a live subscription-churn session against the running
+// simulation and prints the control-plane telemetry.
+func runChurn(sim *netsim.Sim, net *topology.Network, ropts routing.Options, events, pool int, seed int64) {
+	svc, err := ctlplane.NewService(ctlplane.Config{
+		Net: net, Spec: formats.ITCH, Routing: ropts,
+		Installers: sim.Installers(), Seed: seed,
+	})
+	check(err)
+	defer svc.Close()
+	evs, err := workload.Churn(workload.ChurnConfig{
+		Spec: formats.ITCH, Hosts: len(net.Hosts),
+		Events: events, PoolSize: pool, Seed: seed,
+	})
+	check(err)
+	live := make(map[int]int)
+	start := time.Now()
+	for _, ev := range evs {
+		if ev.Add {
+			_, ids, err := svc.Subscribe(ev.Host, []subscription.Expr{ev.Filter})
+			check(err)
+			live[ev.Key] = ids[0]
+		} else {
+			_, err := svc.Unsubscribe(ev.Host, []int{live[ev.Key]})
+			check(err)
+			delete(live, ev.Key)
+		}
+	}
+	svc.Quiesce()
+	elapsed := time.Since(start)
+	snap := svc.Stats()
+	fmt.Printf("churn: %d events in %s (%.0f updates/sec), %d live filters\n",
+		snap.Events, elapsed.Round(time.Millisecond),
+		float64(events)/elapsed.Seconds(), len(live))
+	fmt.Printf("  batches=%d (coalesced) entries +%d -%d =%d retries=%d fallbacks=%d failures=%d\n",
+		snap.Batches, snap.Installs, snap.Deletes, snap.Keeps,
+		snap.Retries, snap.Fallbacks, snap.Failures)
+	fmt.Printf("  update latency: %s\n", snap.Latency)
 }
 
 func check(err error) {

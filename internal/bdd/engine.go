@@ -25,12 +25,17 @@ type Engine struct {
 	dropped int
 }
 
-// NewEngine creates an empty incremental engine for a spec. The variable
-// order grows as rules introduce fields and predicates (arrival order
-// within each field), so opts.Order is not used; pruning follows
-// opts.DisablePruning.
+// NewEngine creates an empty incremental engine for a spec. The
+// universe is pre-seeded with every validity bit and subscribable
+// packet field in canonical spec order, and predicates within a field
+// keep the canonical (relation, constant) order as they arrive, so the
+// variable order — and therefore the compiled program's structure — is
+// independent of rule arrival history for stateless rule sets. Only
+// stateful aggregates append in first-reference order. opts.Order is
+// not used; pruning follows opts.DisablePruning.
 func NewEngine(sp *spec.Spec, opts Options) *Engine {
 	u := NewUniverse(sp, nil, opts.Order)
+	u.seedSpecFields()
 	return &Engine{
 		u:      u,
 		b:      newBuilder(u, !opts.DisablePruning),
@@ -86,10 +91,15 @@ func (e *Engine) Rules() []int {
 
 // Build merges the live chains into a BDD. Thanks to the persistent
 // memo tables, unchanged prefixes of the merge tree are cache hits.
+// Chains merge in ascending rule-ID order — the same order a batch
+// compile of the ID-sorted rule set uses — so with pruning enabled
+// (where the result is merge-order sensitive) an incrementally
+// maintained diagram stays structurally identical to a from-scratch
+// build of the surviving rules, whatever the add/remove history.
 func (e *Engine) Build() *BDD {
 	var chains []*Node
 	seen := make(map[int32]bool)
-	for _, id := range e.order {
+	for _, id := range e.Rules() {
 		for _, c := range e.chains[id] {
 			if seen[c.ID] {
 				continue

@@ -214,14 +214,7 @@ func NewUniverse(sp *spec.Spec, rules []subscription.NormalizedRule, order Field
 	for _, f := range fields {
 		rps := perField[f.Key()]
 		sort.Slice(rps, func(i, j int) bool {
-			a, b := rps[i], rps[j]
-			if a.rel != b.rel {
-				return a.rel < b.rel
-			}
-			if a.c.Kind == spec.StringField {
-				return a.c.Str < b.c.Str
-			}
-			return a.c.Int < b.c.Int
+			return predOrderLess(rps[i].rel, rps[i].c, rps[j].rel, rps[j].c)
 		})
 		for _, rp := range rps {
 			p := &Pred{
@@ -240,12 +233,55 @@ func NewUniverse(sp *spec.Spec, rules []subscription.NormalizedRule, order Field
 	return u
 }
 
+// predOrderLess is the canonical within-field predicate order: by
+// relation, then constant. Both the batch universe and Extend use it, so
+// an incrementally grown universe orders a field's predicates exactly
+// like a from-scratch build of the same rule set — which is what makes
+// incremental programs entry-for-entry comparable to batch compiles.
+func predOrderLess(ar subscription.Relation, ac spec.Value, br subscription.Relation, bc spec.Value) bool {
+	if ar != br {
+		return ar < br
+	}
+	if ac.Kind == spec.StringField {
+		return ac.Str < bc.Str
+	}
+	return ac.Int < bc.Int
+}
+
+// seedSpecFields pre-populates the universe with every field a rule
+// could reference statelessly — header validity bits, then the spec's
+// subscribable packet fields — in the same (group, spec index) order
+// NewUniverse sorts referenced fields into. An engine seeded this way
+// has an arrival-independent variable order for stateless rule sets:
+// only stateful aggregates (whose key space is unbounded) still append
+// in first-reference order.
+func (u *Universe) seedSpecFields() {
+	add := func(ref subscription.FieldRef) {
+		key := ref.Key()
+		if u.fieldByKey[key] != nil {
+			return
+		}
+		f := &FieldVar{Index: len(u.Fields), Ref: ref}
+		u.fieldByKey[key] = f
+		u.Fields = append(u.Fields, f)
+	}
+	for _, h := range u.Spec.Headers {
+		add(subscription.ValidRef(h.Name))
+	}
+	for _, f := range u.Spec.SubscribableFields() {
+		add(subscription.FieldRef{Kind: subscription.PacketRef, Field: f})
+	}
+}
+
 // Extend adds any predicates (and fields) of the atom that the universe
 // does not yet know, returning the atom's canonical predicate and
 // polarity. New fields append after all existing fields; new predicates
-// append after their field's existing predicates, so the variable order
-// of previously built nodes is preserved — the basis of incremental
-// compilation (§V: "BDDs can leverage memoization").
+// insert at their field's canonical (relation, constant) position and
+// later predicates of the field renumber in place. Renumbering never
+// swaps the relative order of two existing predicates, so every
+// previously built node remains a well-ordered BDD and the builder's
+// memo tables (all keyed by node/predicate identity) stay valid — the
+// basis of incremental compilation (§V: "BDDs can leverage memoization").
 func (u *Universe) Extend(a *subscription.Atom) (*Pred, bool) {
 	rel, c, positive := canonicalize(a)
 	key := fmt.Sprintf("%s %s %s", a.Ref.Key(), rel, c)
@@ -262,14 +298,23 @@ func (u *Universe) Extend(a *subscription.Atom) (*Pred, bool) {
 	p := &Pred{
 		ID:       len(u.Preds),
 		FieldIdx: f.Index,
-		Seq:      len(f.Preds),
 		Ref:      a.Ref,
 		Rel:      rel,
 		Const:    c,
 	}
 	u.Preds = append(u.Preds, p)
 	u.predByKey[key] = p
-	f.Preds = append(f.Preds, p)
+	// Insert at the canonical position; Seq values after the insertion
+	// point shift by one (relative order preserved).
+	pos := sort.Search(len(f.Preds), func(i int) bool {
+		return predOrderLess(rel, c, f.Preds[i].Rel, f.Preds[i].Const)
+	})
+	f.Preds = append(f.Preds, nil)
+	copy(f.Preds[pos+1:], f.Preds[pos:])
+	f.Preds[pos] = p
+	for i := pos; i < len(f.Preds); i++ {
+		f.Preds[i].Seq = i
+	}
 	return p, positive
 }
 

@@ -251,6 +251,12 @@ func FromBDD(d *bdd.BDD, opts Options) (*Program, error) {
 			}
 			t.Defaults[u.ID] = n.ID
 		}
+		// Fields no live rule predicates on produce empty tables (the
+		// incremental engine's universe holds every spec field); they are
+		// pure pass-through stages, so don't materialize them.
+		if len(t.Entries) == 0 && len(t.Defaults) == 0 {
+			continue
+		}
 		t.index()
 		classify(t, opts)
 		total += len(t.Entries) + t.MapEntries

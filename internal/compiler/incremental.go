@@ -63,10 +63,25 @@ func (inc *Incremental) Rules() []int { return inc.engine.Rules() }
 
 // Add inserts rules (keyed by Rule.ID) and recompiles.
 func (inc *Incremental) Add(rules ...*subscription.Rule) (*Update, error) {
+	return inc.Apply(rules, nil)
+}
+
+// Apply performs a coalesced batch of rule additions and removals with a
+// single recompilation — the control plane's unit of work when several
+// subscription events target one switch. On error the engine may hold a
+// partially applied batch; callers recover by rebuilding from their rule
+// registry (ctlplane falls back to a full recompile).
+func (inc *Incremental) Apply(add []*subscription.Rule, remove []int) (*Update, error) {
 	start := time.Now()
-	for _, r := range rules {
+	for _, id := range remove {
+		if !inc.engine.Remove(id) {
+			return nil, fmt.Errorf("%w: id %d", ErrUnknownRule, id)
+		}
+		delete(inc.normalized, id)
+	}
+	for _, r := range add {
 		if _, dup := inc.normalized[r.ID]; dup {
-			return nil, fmt.Errorf("compiler: rule %d already installed", r.ID)
+			return nil, fmt.Errorf("%w: id %d", ErrDuplicateRule, r.ID)
 		}
 		nrs, err := subscription.NormalizeRule(r)
 		if err != nil {
@@ -91,14 +106,7 @@ func (inc *Incremental) Add(rules ...*subscription.Rule) (*Update, error) {
 
 // Remove deletes rules by ID and recompiles.
 func (inc *Incremental) Remove(ids ...int) (*Update, error) {
-	start := time.Now()
-	for _, id := range ids {
-		if !inc.engine.Remove(id) {
-			return nil, fmt.Errorf("compiler: rule %d not installed", id)
-		}
-		delete(inc.normalized, id)
-	}
-	return inc.finish(start)
+	return inc.Apply(nil, ids)
 }
 
 func (inc *Incremental) finish(start time.Time) (*Update, error) {

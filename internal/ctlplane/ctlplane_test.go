@@ -1,0 +1,454 @@
+package ctlplane
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"camus/internal/compiler"
+	"camus/internal/routing"
+	"camus/internal/spec"
+	"camus/internal/subscription"
+	"camus/internal/topology"
+)
+
+var itchSpec = spec.MustParse("itch", `
+header itch_order {
+    shares : u32 @field;
+    price : u32 @field;
+    stock : str8 @field_exact;
+}
+`)
+
+func filter(t testing.TB, src string) subscription.Expr {
+	t.Helper()
+	e, err := subscription.NewParser(itchSpec).ParseFilter(src)
+	if err != nil {
+		t.Fatalf("ParseFilter(%q): %v", src, err)
+	}
+	return e
+}
+
+func msg(stock string, price, shares int64) *spec.Message {
+	m := spec.NewMessage(itchSpec)
+	m.MustSet("stock", spec.StrVal(stock))
+	m.MustSet("price", spec.IntVal(price))
+	m.MustSet("shares", spec.IntVal(shares))
+	return m
+}
+
+func randomSubs(r *rand.Rand, hosts, maxPerHost int) [][]subscription.Expr {
+	stocks := []string{"GOOGL", "MSFT", "AAPL", "FB"}
+	parser := subscription.NewParser(itchSpec)
+	subs := make([][]subscription.Expr, hosts)
+	for h := range subs {
+		for i := 0; i < r.Intn(maxPerHost+1); i++ {
+			src := fmt.Sprintf("stock == %s and price > %d",
+				stocks[r.Intn(len(stocks))], r.Intn(80))
+			e, err := parser.ParseFilter(src)
+			if err != nil {
+				panic(err)
+			}
+			subs[h] = append(subs[h], e)
+		}
+	}
+	return subs
+}
+
+// ruleSet flattens rules to a sorted multiset of "filter: action"
+// strings — placement equivalence ignores rule-ID numbering.
+func ruleSet(rules []*subscription.Rule) []string {
+	out := make([]string, len(rules))
+	for i, r := range rules {
+		out[i] = fmt.Sprintf("%s: %s", r.Filter, r.Action)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestPlacementMatchesAlgorithm1 is the routing property test: for
+// random subscription sets, the reconciler's per-filter placement
+// (access port + down-port closure + TR upsets + MR match-all) must
+// produce exactly the per-switch rule sets of the batch Algorithm 1
+// implementation, under both policies and with approximation on and
+// off.
+func TestPlacementMatchesAlgorithm1(t *testing.T) {
+	net := topology.MustFatTree(4)
+	r := rand.New(rand.NewSource(5))
+	for _, policy := range []routing.Policy{routing.MemoryReduction, routing.TrafficReduction} {
+		for _, alpha := range []int64{0, 10} {
+			for trial := 0; trial < 5; trial++ {
+				subs := randomSubs(r, len(net.Hosts), 3)
+				ropts := routing.Options{Policy: policy, Alpha: alpha}
+				rec, err := NewReconciler(net, itchSpec, ropts, compiler.Options{}, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for h, exprs := range subs {
+					for _, e := range exprs {
+						if _, _, err := rec.AddFilter(h, e); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				res, err := routing.ComputeFatTree(net, subs, ropts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for sw := range net.Switches {
+					want := ruleSet(res.RulesForSwitch(sw))
+					got := ruleSet(rec.pendingRules(sw))
+					if fmt.Sprint(got) != fmt.Sprint(want) {
+						t.Fatalf("%v α=%d trial %d switch %s:\n got %v\nwant %v",
+							policy, alpha, trial, net.Switches[sw].Name, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// pendingRules returns the registered rule set of a switch regardless
+// of whether Compile has run (test helper: placement-only view).
+func (r *Reconciler) pendingRules(sw int) []*subscription.Rule {
+	sc := r.switches[sw]
+	out := make([]*subscription.Rule, 0, len(sc.places))
+	for _, pr := range sc.places {
+		out = append(out, pr.rule)
+	}
+	return out
+}
+
+// drain compiles every switch's registered-but-uncompiled rules (test
+// helper for synchronous Reconciler use).
+func drainAll(t *testing.T, rec *Reconciler, ops []RuleOp) map[int]*CompileResult {
+	t.Helper()
+	bySwitch := make(map[int][]RuleOp)
+	for _, op := range ops {
+		bySwitch[op.Switch] = append(bySwitch[op.Switch], op)
+	}
+	out := make(map[int]*CompileResult)
+	for sw, swOps := range bySwitch {
+		res, err := rec.Compile(sw, swOps)
+		if err != nil {
+			t.Fatalf("Compile(%d): %v", sw, err)
+		}
+		out[sw] = res
+	}
+	return out
+}
+
+// TestIncrementalFewerWrites is the acceptance-criteria assertion:
+// applying a single-subscription update through the incremental path
+// must issue strictly fewer table-entry writes on every affected switch
+// than tearing down and reinstalling the full program.
+func TestIncrementalFewerWrites(t *testing.T) {
+	net := topology.MustFatTree(4)
+	r := rand.New(rand.NewSource(11))
+	rec, err := NewReconciler(net, itchSpec,
+		routing.Options{Policy: routing.TrafficReduction}, compiler.Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []RuleOp
+	for h, exprs := range randomSubs(r, len(net.Hosts), 4) {
+		for _, e := range exprs {
+			_, o, err := rec.AddFilter(h, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ops = append(ops, o...)
+		}
+	}
+	drainAll(t, rec, ops)
+	before := make(map[int]int)
+	for sw := range net.Switches {
+		before[sw] = rec.Program(sw).TotalEntries()
+	}
+
+	_, addOps, err := rec.AddFilter(3, filter(t, "stock == NVDA and price > 42"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addOps) == 0 {
+		t.Fatal("single new subscription produced no rule ops")
+	}
+	for sw, res := range drainAll(t, rec, addOps) {
+		writes := res.AddedEntries + res.RemovedEntries
+		full := before[sw] + res.Program.TotalEntries()
+		if writes >= full {
+			t.Errorf("switch %s: delta writes %d not < full reinstall %d",
+				net.Switches[sw].Name, writes, full)
+		}
+		if res.AddedEntries == 0 {
+			t.Errorf("switch %s: update installed no entries", net.Switches[sw].Name)
+		}
+	}
+}
+
+// recordingInstaller counts installs and can fail the first N attempts.
+type recordingInstaller struct {
+	installs atomic.Int64
+	prog     atomic.Pointer[compiler.Program]
+}
+
+func (ri *recordingInstaller) Install(p *compiler.Program) error {
+	ri.installs.Add(1)
+	ri.prog.Store(p)
+	return nil
+}
+
+func newServiceForTest(t *testing.T, net *topology.Network, cfg Config) (*Service, []*recordingInstaller) {
+	t.Helper()
+	ris := make([]*recordingInstaller, len(net.Switches))
+	installers := make([]Installer, len(net.Switches))
+	for i := range ris {
+		ris[i] = &recordingInstaller{}
+		installers[i] = ris[i]
+	}
+	cfg.Net = net
+	cfg.Spec = itchSpec
+	cfg.Installers = installers
+	svc, err := NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	return svc, ris
+}
+
+// TestServiceChurnMatchesBatchDeploy drives randomized subscribe /
+// unsubscribe churn through the async service and asserts the final
+// per-switch programs are semantically identical to a from-scratch
+// batch deployment of the surviving subscriptions.
+func TestServiceChurnMatchesBatchDeploy(t *testing.T) {
+	net := topology.MustFatTree(4)
+	r := rand.New(rand.NewSource(23))
+	svc, ris := newServiceForTest(t, net, Config{
+		Routing: routing.Options{Policy: routing.TrafficReduction, Alpha: 10},
+	})
+	stocks := []string{"GOOGL", "MSFT", "AAPL", "FB"}
+	type liveFilter struct{ host, id int }
+	var live []liveFilter
+	exprByKey := make(map[string]subscription.Expr)
+	liveExprs := make(map[int]map[int]subscription.Expr) // host → id → expr
+	for step := 0; step < 120; step++ {
+		if len(live) > 0 && r.Intn(3) == 0 {
+			i := r.Intn(len(live))
+			lf := live[i]
+			live = append(live[:i], live[i+1:]...)
+			if _, err := svc.Unsubscribe(lf.host, []int{lf.id}); err != nil {
+				t.Fatalf("step %d: Unsubscribe: %v", step, err)
+			}
+			delete(liveExprs[lf.host], lf.id)
+		} else {
+			h := r.Intn(len(net.Hosts))
+			src := fmt.Sprintf("stock == %s and price > %d", stocks[r.Intn(len(stocks))], r.Intn(80))
+			e, ok := exprByKey[src]
+			if !ok {
+				e = filter(t, src)
+				exprByKey[src] = e
+			}
+			_, ids, err := svc.Subscribe(h, []subscription.Expr{e})
+			if err != nil {
+				t.Fatalf("step %d: Subscribe: %v", step, err)
+			}
+			live = append(live, liveFilter{host: h, id: ids[0]})
+			if liveExprs[h] == nil {
+				liveExprs[h] = make(map[int]subscription.Expr)
+			}
+			liveExprs[h][ids[0]] = e
+		}
+	}
+	svc.Quiesce()
+
+	subs := make([][]subscription.Expr, len(net.Hosts))
+	for h := range subs {
+		ids := make([]int, 0, len(liveExprs[h]))
+		for id := range liveExprs[h] {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			subs[h] = append(subs[h], liveExprs[h][id])
+		}
+	}
+	res, err := routing.ComputeFatTree(net, subs, svc.cfg.Routing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sw := range net.Switches {
+		batch, err := compiler.Compile(itchSpec, res.RulesForSwitch(sw), compiler.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst := ris[sw].prog.Load()
+		if inst == nil {
+			if batch.TotalEntries() == 0 {
+				continue
+			}
+			t.Fatalf("switch %s: no program installed but batch has %d entries",
+				net.Switches[sw].Name, batch.TotalEntries())
+		}
+		for trial := 0; trial < 40; trial++ {
+			m := msg(stocks[r.Intn(len(stocks))], int64(r.Intn(100)), 1)
+			want := batch.Eval(m, nil).Key()
+			got := inst.Eval(m, nil).Key()
+			if got != want {
+				t.Fatalf("switch %s: live program %s != batch %s on %s",
+					net.Switches[sw].Name, got, want, m)
+			}
+		}
+	}
+	snap := svc.Stats()
+	if snap.Applied != snap.Events {
+		t.Errorf("applied %d != events %d", snap.Applied, snap.Events)
+	}
+	if snap.Failures != 0 {
+		t.Errorf("unexpected failures: %+v", snap)
+	}
+	if snap.Latency.N == 0 || snap.Latency.P99 <= 0 {
+		t.Errorf("no latency recorded: %+v", snap.Latency)
+	}
+	if snap.Keeps == 0 {
+		t.Errorf("no entry reuse recorded across churn: %+v", snap)
+	}
+}
+
+// TestRetryBackoff injects apply failures and checks the worker retries
+// with backoff until success, and fails the event after MaxRetries.
+func TestRetryBackoff(t *testing.T) {
+	net := topology.MustFatTree(4)
+	var fails atomic.Int64
+	fails.Store(3)
+	svc, ris := newServiceForTest(t, net, Config{
+		Routing:    routing.Options{Policy: routing.TrafficReduction},
+		RetryBase:  1,
+		RetryMax:   100,
+		MaxRetries: 8,
+		ApplyHook: func(sw, attempt int) error {
+			if fails.Add(-1) >= 0 {
+				return errors.New("injected apply fault")
+			}
+			return nil
+		},
+	})
+	ev, _, err := svc.Subscribe(0, []subscription.Expr{filter(t, "stock == GOOGL")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-ev.Done()
+	if ev.Err() != nil {
+		t.Fatalf("event failed despite retries: %v", ev.Err())
+	}
+	snap := svc.Stats()
+	if snap.Retries < 3 {
+		t.Errorf("retries = %d, want >= 3", snap.Retries)
+	}
+	var installed int64
+	for _, ri := range ris {
+		installed += ri.installs.Load()
+	}
+	if installed == 0 {
+		t.Error("nothing installed after retries")
+	}
+
+	// Permanent fault: the event must fail and report it.
+	fails.Store(1 << 30)
+	ev2, _, err := svc.Subscribe(1, []subscription.Expr{filter(t, "stock == MSFT")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-ev2.Done()
+	if !errors.Is(ev2.Err(), ErrApplyFailed) {
+		t.Errorf("event error = %v, want ErrApplyFailed", ev2.Err())
+	}
+	if svc.Stats().Failures == 0 {
+		t.Error("failure not counted")
+	}
+}
+
+// TestDriftFallback forces the drift threshold low and checks the
+// fail-safe full recompile triggers while keeping programs correct.
+func TestDriftFallback(t *testing.T) {
+	net := topology.MustFatTree(4)
+	svc, _ := newServiceForTest(t, net, Config{
+		Routing: routing.Options{Policy: routing.TrafficReduction},
+		Drift:   0.01,
+	})
+	stocks := []string{"GOOGL", "MSFT", "AAPL"}
+	var ids []int
+	for i := 0; i < 12; i++ {
+		_, got, err := svc.Subscribe(0, []subscription.Expr{
+			filter(t, fmt.Sprintf("stock == %s and price > %d", stocks[i%3], i*7)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, got...)
+	}
+	for _, id := range ids[:6] {
+		if _, err := svc.Unsubscribe(0, []int{id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc.Quiesce()
+	if snap := svc.Stats(); snap.Fallbacks == 0 {
+		t.Errorf("no drift fallback under threshold 0.01: %+v", snap)
+	}
+	m := msg("MSFT", 99, 1)
+	sw, _ := net.Access(0)
+	if got := svc.Program(sw).Eval(m, nil).Key(); got == (subscription.ActionSet{}).Key() {
+		t.Errorf("matching message forwards nowhere after fallback: %q", got)
+	}
+}
+
+// TestQueueBackpressure checks MaxPending bounds the in-flight events.
+func TestQueueBackpressure(t *testing.T) {
+	net := topology.MustFatTree(4)
+	svc, _ := newServiceForTest(t, net, Config{
+		Routing:    routing.Options{Policy: routing.TrafficReduction},
+		MaxPending: 2,
+	})
+	for i := 0; i < 40; i++ {
+		if _, _, err := svc.Subscribe(i%len(net.Hosts), []subscription.Expr{
+			filter(t, fmt.Sprintf("price > %d", i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc.Quiesce()
+	snap := svc.Stats()
+	if snap.PeakQueueDepth > 2 {
+		t.Errorf("peak queue depth %d exceeds MaxPending 2", snap.PeakQueueDepth)
+	}
+	if snap.Applied != snap.Events {
+		t.Errorf("applied %d != events %d", snap.Applied, snap.Events)
+	}
+}
+
+// TestUnsubscribeErrors checks classified error paths.
+func TestUnsubscribeErrors(t *testing.T) {
+	net := topology.MustFatTree(4)
+	svc, _ := newServiceForTest(t, net, Config{
+		Routing: routing.Options{Policy: routing.TrafficReduction},
+	})
+	if _, err := svc.Unsubscribe(0, []int{99}); !errors.Is(err, ErrUnknownFilter) {
+		t.Errorf("Unsubscribe(unknown) = %v, want ErrUnknownFilter", err)
+	}
+	_, ids, err := svc.Subscribe(0, []subscription.Expr{filter(t, "stock == GOOGL")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Unsubscribe(1, ids); !errors.Is(err, ErrUnknownFilter) {
+		t.Errorf("cross-host Unsubscribe = %v, want ErrUnknownFilter", err)
+	}
+	if _, _, err := svc.Subscribe(len(net.Hosts)+5, []subscription.Expr{
+		filter(t, "stock == AAPL"),
+	}); !errors.Is(err, ErrBadHost) {
+		t.Errorf("Subscribe(bad host) = %v, want ErrBadHost", err)
+	}
+}

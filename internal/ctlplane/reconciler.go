@@ -1,0 +1,425 @@
+// Package ctlplane is the live control plane the paper's runtime-update
+// story requires (§V memoized recompilation, §VIII-G3 rule-update
+// latency): a long-running service that turns individual subscribe /
+// unsubscribe events into per-switch table-entry deltas and applies
+// them to running switches through the atomic epoch Install, instead of
+// batch-redeploying the whole network.
+//
+// The package splits into a synchronous core and an asynchronous
+// service. Reconciler (this file) owns the routing-placement registry —
+// which (switch, port, filter) rules each host subscription expands to
+// under Algorithm 1 — plus one compiler.Incremental per switch, and
+// compiles coalesced rule batches into entry deltas. Service
+// (service.go) layers per-switch apply workers, bounded queues, retry
+// with backoff, and update-latency telemetry on top.
+package ctlplane
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"camus/internal/compiler"
+	"camus/internal/routing"
+	"camus/internal/spec"
+	"camus/internal/subscription"
+	"camus/internal/topology"
+)
+
+// Classified errors for subscription maintenance.
+var (
+	// ErrUnknownFilter is returned when unsubscribing a filter ID that
+	// is not installed (or belongs to a different host).
+	ErrUnknownFilter = errors.New("ctlplane: filter not installed")
+	// ErrBadHost is returned for a host ID outside the topology.
+	ErrBadHost = errors.New("ctlplane: host out of range")
+)
+
+// RuleOp is one per-switch rule mutation derived from a subscription
+// event: install Rule (Add true) or delete RuleID (Add false).
+type RuleOp struct {
+	Switch int
+	Add    bool
+	Rule   *subscription.Rule // set when Add
+	RuleID int
+}
+
+// CompileResult is one switch's coalesced recompilation outcome.
+type CompileResult struct {
+	*compiler.Update
+	// Full reports that delta drift crossed the threshold and the
+	// switch's engine was rebuilt from its live rule registry (the
+	// fail-safe full recompile).
+	Full bool
+}
+
+// filterRec is one live host subscription.
+type filterRec struct {
+	id     int
+	host   int
+	expr   subscription.Expr
+	places []place
+}
+
+// place is one (switch, port, expression) the filter occupies.
+type place struct {
+	sw   int
+	port int
+	expr subscription.Expr
+}
+
+// placeRec refcounts one distinct (port, expression) rule on a switch —
+// RulesForSwitch collapses duplicate filters per port, and the
+// incremental path must agree entry-for-entry with that collapse.
+type placeRec struct {
+	ruleID int
+	refs   int
+	rule   *subscription.Rule
+}
+
+// swCompiler is the per-switch compile state. The registry fields
+// (places, nextRule) are guarded by the Reconciler mutex in Service use;
+// the Incremental engine and churn accounting are touched only from the
+// owning switch's apply worker (single writer).
+type swCompiler struct {
+	id       int
+	inc      *compiler.Incremental
+	places   map[string]*placeRec // "port|expr" → refcounted rule
+	rules    map[int]*subscription.Rule
+	nextRule int
+	churn    int // entries added+removed since the last full rebuild
+	// prog is the last compiled program, published atomically so the
+	// Service can read it while the owning worker recompiles.
+	prog atomic.Pointer[compiler.Program]
+}
+
+// Reconciler owns the placement registry and the per-switch incremental
+// compilers. It is not internally synchronized: the Service serializes
+// registry mutations under its own lock and dedicates each swCompiler
+// to one worker; single-threaded callers (controller.Resubscribe) need
+// no locking at all.
+type Reconciler struct {
+	net   *topology.Network
+	sp    *spec.Spec
+	ropts routing.Options
+	copts compiler.Options
+	// Drift is the fallback threshold: when a switch's cumulative delta
+	// entries since its last full rebuild exceed Drift × its current
+	// table size, Compile rebuilds the engine from the live rules.
+	drift float64
+
+	// subtree[s][h] reports host h is reachable through switch s's
+	// down/host ports (Algorithm 1's subtree sets, on hosts).
+	subtree [][]bool
+
+	filters    map[int]*filterRec
+	nextFilter int
+	switches   []*swCompiler
+}
+
+// DefaultDrift is the fallback threshold used when Options leave it 0:
+// rebuild after cumulative deltas exceed 4× the table size.
+const DefaultDrift = 4.0
+
+// NewReconciler builds an empty reconciler for a network. Every switch
+// starts with an empty program except for the MR policy's static
+// constant-true up-port rule, which is installed on the first Compile.
+func NewReconciler(net *topology.Network, sp *spec.Spec, ropts routing.Options, copts compiler.Options, drift float64) (*Reconciler, error) {
+	if drift <= 0 {
+		drift = DefaultDrift
+	}
+	r := &Reconciler{
+		net:     net,
+		sp:      sp,
+		ropts:   ropts,
+		copts:   copts,
+		drift:   drift,
+		filters: make(map[int]*filterRec),
+	}
+	r.computeSubtrees()
+	for _, s := range net.Switches {
+		sw := s
+		co := copts
+		// Stateful predicates run only at the hop before the subscriber
+		// (§II), exactly as controller.Deploy configures batch compiles.
+		co.LastHop = false
+		co.LastHopPort = func(port int) bool {
+			return port >= 0 && port < len(sw.Ports) && sw.Ports[port].Kind == topology.PeerHost
+		}
+		inc, err := compiler.NewIncremental(sp, co)
+		if err != nil {
+			return nil, fmt.Errorf("ctlplane: switch %s: %w", s.Name, err)
+		}
+		sc := &swCompiler{
+			id:     s.ID,
+			inc:    inc,
+			places: make(map[string]*placeRec),
+			rules:  make(map[int]*subscription.Rule),
+		}
+		sc.prog.Store(inc.Program())
+		r.switches = append(r.switches, sc)
+	}
+	// MR installs the constant-true filter on every up port (Algorithm 1
+	// lines 13–15); it is permanent, so pin its refcount.
+	if ropts.Policy == routing.MemoryReduction {
+		for _, s := range net.Switches {
+			if len(s.UpPorts()) > 0 {
+				r.retain(s.ID, routing.UpPort, subscription.True)
+			}
+		}
+	}
+	return r, nil
+}
+
+// computeSubtrees mirrors Algorithm 1's bottom-up subtree accumulation,
+// tracking member hosts instead of filter sets.
+func (r *Reconciler) computeSubtrees() {
+	n := r.net
+	r.subtree = make([][]bool, len(n.Switches))
+	for i := range r.subtree {
+		r.subtree[i] = make([]bool, len(n.Hosts))
+	}
+	for h := range n.Hosts {
+		sw, _ := n.Access(h)
+		r.subtree[sw][h] = true
+	}
+	for _, layer := range []topology.Layer{topology.ToR, topology.Agg} {
+		for _, s := range n.LayerSwitches(layer) {
+			for _, up := range s.UpPorts() {
+				dst := r.subtree[up.PeerSwitch]
+				for h, in := range r.subtree[s.ID] {
+					if in {
+						dst[h] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// placements enumerates every (switch, port, expression) a host filter
+// occupies under the configured policy: the exact expression at the
+// access port, the α-approximation on each down port whose subtree
+// contains the host, and — under TR — on the logical up port of every
+// switch whose subtree does not (upset(s) holds exactly the filters not
+// below s).
+func (r *Reconciler) placements(host int, exact subscription.Expr) []place {
+	approx := routing.Approximate(exact, r.ropts.Alpha)
+	asw, aport := r.net.Access(host)
+	out := []place{{sw: asw, port: aport, expr: exact}}
+	for _, s := range r.net.Switches {
+		for _, p := range s.Ports {
+			if p.Kind == topology.PeerDown && r.subtree[p.PeerSwitch][host] {
+				out = append(out, place{sw: s.ID, port: p.Index, expr: approx})
+			}
+		}
+		if r.ropts.Policy == routing.TrafficReduction &&
+			len(s.UpPorts()) > 0 && !r.subtree[s.ID][host] {
+			out = append(out, place{sw: s.ID, port: routing.UpPort, expr: approx})
+		}
+	}
+	return out
+}
+
+func placeKey(port int, expr subscription.Expr) string {
+	return fmt.Sprintf("%d|%s", port, expr)
+}
+
+// retain bumps the refcount of (switch, port, expr), returning a rule
+// install op on the 0→1 transition.
+func (r *Reconciler) retain(sw, port int, expr subscription.Expr) (RuleOp, bool) {
+	sc := r.switches[sw]
+	key := placeKey(port, expr)
+	if pr, ok := sc.places[key]; ok {
+		pr.refs++
+		return RuleOp{}, false
+	}
+	rule := &subscription.Rule{
+		ID:     sc.nextRule,
+		Filter: expr,
+		Action: subscription.FwdAction(port),
+	}
+	sc.nextRule++
+	sc.places[key] = &placeRec{ruleID: rule.ID, refs: 1, rule: rule}
+	return RuleOp{Switch: sw, Add: true, Rule: rule, RuleID: rule.ID}, true
+}
+
+// release drops one reference, returning a delete op on the 1→0
+// transition.
+func (r *Reconciler) release(sw, port int, expr subscription.Expr) (RuleOp, bool) {
+	sc := r.switches[sw]
+	key := placeKey(port, expr)
+	pr, ok := sc.places[key]
+	if !ok {
+		return RuleOp{}, false
+	}
+	pr.refs--
+	if pr.refs > 0 {
+		return RuleOp{}, false
+	}
+	delete(sc.places, key)
+	return RuleOp{Switch: sw, Add: false, RuleID: pr.ruleID}, true
+}
+
+// AddFilter registers one host subscription and returns its filter ID
+// plus the per-switch rule ops the event expands to (empty when every
+// placement was already covered by an identical filter).
+func (r *Reconciler) AddFilter(host int, expr subscription.Expr) (int, []RuleOp, error) {
+	if host < 0 || host >= len(r.net.Hosts) {
+		return 0, nil, fmt.Errorf("%w: %d", ErrBadHost, host)
+	}
+	f := &filterRec{id: r.nextFilter, host: host, expr: expr, places: r.placements(host, expr)}
+	r.nextFilter++
+	r.filters[f.id] = f
+	var ops []RuleOp
+	for _, pl := range f.places {
+		if op, changed := r.retain(pl.sw, pl.port, pl.expr); changed {
+			ops = append(ops, op)
+		}
+	}
+	return f.id, ops, nil
+}
+
+// RemoveFilter unregisters a subscription by filter ID. host guards
+// against cross-host removal; pass -1 to skip the ownership check.
+func (r *Reconciler) RemoveFilter(host, id int) ([]RuleOp, error) {
+	f, ok := r.filters[id]
+	if !ok || (host >= 0 && f.host != host) {
+		return nil, fmt.Errorf("%w: id %d", ErrUnknownFilter, id)
+	}
+	delete(r.filters, id)
+	var ops []RuleOp
+	for _, pl := range f.places {
+		if op, changed := r.release(pl.sw, pl.port, pl.expr); changed {
+			ops = append(ops, op)
+		}
+	}
+	return ops, nil
+}
+
+// Filters returns the live filter IDs for a host (sorted).
+func (r *Reconciler) Filters(host int) []int {
+	var out []int
+	for id, f := range r.filters {
+		if f.host == host {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FilterCount returns the number of live filters.
+func (r *Reconciler) FilterCount() int { return len(r.filters) }
+
+// Program returns a switch's current compiled program. Safe to call
+// concurrently with Compile (atomic snapshot of the last publish).
+func (r *Reconciler) Program(sw int) *compiler.Program { return r.switches[sw].prog.Load() }
+
+// Rules returns a switch's live rule set sorted by rule ID (the
+// canonical merge order).
+func (r *Reconciler) Rules(sw int) []*subscription.Rule {
+	sc := r.switches[sw]
+	out := make([]*subscription.Rule, 0, len(sc.rules))
+	for _, rule := range sc.rules {
+		out = append(out, rule)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Compile applies a coalesced batch of rule ops to one switch's
+// incremental engine and returns the resulting program + entry delta.
+// When cumulative delta drift crosses the threshold — or the batched
+// apply itself fails — it falls back to a full rebuild from the live
+// rule registry. Ops for other switches are rejected.
+func (r *Reconciler) Compile(sw int, ops []RuleOp) (*CompileResult, error) {
+	sc := r.switches[sw]
+	var add []*subscription.Rule
+	var remove []int
+	// A remove can name a rule added earlier in the same coalesced batch
+	// (subscribe and unsubscribe of one filter queued together); the pair
+	// cancels out instead of reaching the engine, which has never seen
+	// the rule.
+	pendingAdd := make(map[int]int) // rule ID → index into add
+	for _, op := range ops {
+		if op.Switch != sw {
+			return nil, fmt.Errorf("ctlplane: op for switch %d applied to %d", op.Switch, sw)
+		}
+		if op.Add {
+			pendingAdd[op.RuleID] = len(add)
+			add = append(add, op.Rule)
+			sc.rules[op.RuleID] = op.Rule
+		} else {
+			if i, ok := pendingAdd[op.RuleID]; ok {
+				add[i] = nil
+				delete(pendingAdd, op.RuleID)
+			} else {
+				remove = append(remove, op.RuleID)
+			}
+			delete(sc.rules, op.RuleID)
+		}
+	}
+	live := add[:0]
+	for _, rule := range add {
+		if rule != nil {
+			live = append(live, rule)
+		}
+	}
+	add = live
+	up, err := sc.inc.Apply(add, remove)
+	if err != nil {
+		// The engine may hold a partial batch; recover from the registry.
+		res, ferr := r.FullRebuild(sw)
+		if ferr != nil {
+			return nil, fmt.Errorf("ctlplane: apply failed (%v); full rebuild failed: %w", err, ferr)
+		}
+		return res, nil
+	}
+	sc.churn += up.AddedEntries + up.RemovedEntries
+	if float64(sc.churn) > r.drift*float64(max(up.Program.TotalEntries(), 1)) {
+		res, ferr := r.FullRebuild(sw)
+		if ferr != nil {
+			return nil, ferr
+		}
+		// Report the incremental delta (what changed semantically); the
+		// rebuilt program is structurally identical rule-for-rule.
+		res.Update = up
+		return res, nil
+	}
+	sc.prog.Store(up.Program)
+	return &CompileResult{Update: up}, nil
+}
+
+// FullRebuild discards a switch's engine (and its accumulated memo
+// tables) and recompiles the live rule registry from scratch — the
+// drift fail-safe, also the recovery path after an apply error.
+func (r *Reconciler) FullRebuild(sw int) (*CompileResult, error) {
+	sc := r.switches[sw]
+	s := r.net.Switches[sw]
+	co := r.copts
+	co.LastHop = false
+	co.LastHopPort = func(port int) bool {
+		return port >= 0 && port < len(s.Ports) && s.Ports[port].Kind == topology.PeerHost
+	}
+	inc, err := compiler.NewIncremental(r.sp, co)
+	if err != nil {
+		return nil, err
+	}
+	up, err := inc.Add(r.Rules(sw)...)
+	if err != nil {
+		return nil, fmt.Errorf("ctlplane: full rebuild of switch %d: %w", sw, err)
+	}
+	sc.inc = inc
+	sc.churn = 0
+	sc.prog.Store(up.Program)
+	return &CompileResult{Update: up, Full: true}, nil
+}
+
+// Drift reports a switch's cumulative delta churn relative to its table
+// size (diagnostics; ≥ the configured threshold triggers fallback).
+func (r *Reconciler) Drift(sw int) float64 {
+	sc := r.switches[sw]
+	return float64(sc.churn) / float64(max(sc.inc.Program().TotalEntries(), 1))
+}

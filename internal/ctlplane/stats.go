@@ -1,0 +1,87 @@
+package ctlplane
+
+import (
+	"fmt"
+	"time"
+
+	"camus/internal/stats"
+)
+
+// LatencyStats summarizes end-to-end update latency: event submission →
+// the moment every affected switch runs the new epoch.
+type LatencyStats struct {
+	N                  int
+	P50, P90, P99, Max time.Duration
+}
+
+// Snapshot is an immutable view of the control plane's counters, in the
+// style of pipeline.StatsSnapshot. Obtain one via Service.Stats().
+type Snapshot struct {
+	// Events counts submitted subscription changes (Subscribes +
+	// Unsubscribes + the initial policy flush); Applied counts those
+	// fully rolled out.
+	Events       int64
+	Subscribes   int64
+	Unsubscribes int64
+	Applied      int64
+	// Batches counts per-switch compile+install rounds; with coalescing
+	// many events share one batch.
+	Batches int64
+	// Installs / Deletes / Keeps are the accumulated table-entry deltas
+	// across all switches (§V "table entry re-use").
+	Installs int64
+	Deletes  int64
+	Keeps    int64
+	// Retries counts backed-off apply attempts; Fallbacks counts
+	// drift-triggered full recompiles; Failures counts batches that
+	// exhausted retries or failed to compile.
+	Retries   int64
+	Fallbacks int64
+	Failures  int64
+	// QueueDepth is the current number of in-flight events;
+	// PeakQueueDepth the high-water mark (bounded by MaxPending).
+	QueueDepth     int
+	PeakQueueDepth int
+	// Latency is the event→all-switches-applied distribution.
+	Latency LatencyStats
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Snapshot {
+	snap := Snapshot{
+		Events:       s.events.Load(),
+		Subscribes:   s.subscribes.Load(),
+		Unsubscribes: s.unsubscribes.Load(),
+		Applied:      s.applied.Load(),
+		Batches:      s.batches.Load(),
+		Installs:     s.installs.Load(),
+		Deletes:      s.deletes.Load(),
+		Keeps:        s.keeps.Load(),
+		Retries:      s.retries.Load(),
+		Fallbacks:    s.fallbacks.Load(),
+		Failures:     s.failures.Load(),
+	}
+	s.mu.Lock()
+	snap.QueueDepth = s.inflight
+	snap.PeakQueueDepth = s.peakDepth
+	lat := append([]float64(nil), s.latency...)
+	s.mu.Unlock()
+	if len(lat) > 0 {
+		var sample stats.Sample
+		for _, v := range lat {
+			sample.Add(v)
+		}
+		snap.Latency = LatencyStats{
+			N:   sample.N(),
+			P50: time.Duration(sample.Percentile(50)),
+			P90: time.Duration(sample.Percentile(90)),
+			P99: time.Duration(sample.Percentile(99)),
+			Max: time.Duration(sample.Max()),
+		}
+	}
+	return snap
+}
+
+func (l LatencyStats) String() string {
+	return fmt.Sprintf("n=%d p50=%v p90=%v p99=%v max=%v", l.N, l.P50, l.P90, l.P99, l.Max)
+}

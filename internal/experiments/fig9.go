@@ -78,13 +78,13 @@ func Fig9(cfg Config) *Result {
 	// pipeline, measured — it behaves like the software baselines
 	// (CPU-bound, far below ASIC line rate), which is the paper's point.
 	res.addFinding("this repo's software pipeline measures %.2f Mpps at 100 filters (CPU-bound, as Fig. 9 predicts for software)",
-		measuredSoftwareMpps(prog, stream[:minInt(20000, len(stream))]))
+		measuredSoftwareMpps(prog, stream[:min(20000, len(stream))]))
 
 	// The concurrent sharded dataplane: the same workload through
 	// Switch.ProcessBatch at 1 worker vs GOMAXPROCS workers. On a
 	// multi-core host the aggregate Mpps scales with the worker count;
 	// it can only saturate at the host's core budget.
-	sample := stream[:minInt(20000, len(stream))]
+	sample := stream[:min(20000, len(stream))]
 	seqMpps := measuredParallelMpps(prog, sample, 1)
 	parWorkers := runtime.GOMAXPROCS(0)
 	parMpps := measuredParallelMpps(prog, sample, parWorkers)
@@ -112,13 +112,6 @@ func measuredParallelMpps(prog *compiler.Program, reports []*formats.INTReport, 
 		return 0
 	}
 	return float64(len(pkts)) / elapsed.Seconds() / 1e6
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 var intParser = subscription.NewParser(formats.INT)

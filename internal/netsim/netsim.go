@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"camus/internal/controller"
+	"camus/internal/ctlplane"
 	"camus/internal/pipeline"
 	"camus/internal/routing"
 	"camus/internal/spec"
@@ -126,6 +127,17 @@ func New(d *controller.Deployment) (*Sim, error) {
 	return s, nil
 }
 
+// Installers adapts the sim's switches to the control-plane apply
+// interface (ctlplane.Config.Installers), so a live ctlplane.Service
+// can hot-swap programs on the running simulation.
+func (s *Sim) Installers() []ctlplane.Installer {
+	out := make([]ctlplane.Installer, len(s.Switches))
+	for i, sw := range s.Switches {
+		out[i] = sw
+	}
+	return out
+}
+
 // Clock returns the current virtual time.
 func (s *Sim) Clock() time.Duration { return time.Duration(s.clock.Load()) }
 
@@ -204,7 +216,7 @@ func (s *Sim) PublishFlow(host int, msgs []*spec.Message, bytes int, flow uint64
 				inPort:  next.PeerPort,
 				fromUp:  peer.Ports[next.PeerPort].Kind == topology.PeerUp,
 				msgs:    d.Msgs,
-				bytes:   f.bytes * maxInt(len(d.Msgs), 1) / maxInt(len(f.msgs), 1),
+				bytes:   f.bytes * max(len(d.Msgs), 1) / max(len(f.msgs), 1),
 				latency: lat,
 				hops:    f.hops + 1,
 				flow:    f.flow,
@@ -244,13 +256,6 @@ func (s *Sim) resolvePort(tsw *topology.Switch, port int, f inFlight) *topology.
 	}
 	p := tsw.Ports[port]
 	return &p
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // ResetTraffic clears traffic counters between experiment phases.

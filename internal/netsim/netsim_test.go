@@ -366,12 +366,18 @@ func TestResubscribe(t *testing.T) {
 	// Migrate the subscription to host 9 (ILA-style service move).
 	subs2 := make([][]subscription.Expr, len(net.Hosts))
 	subs2[9] = []subscription.Expr{filter(t, "stock == GOOGL")}
-	elapsed, err := d.Resubscribe(subs2, opts)
+	rep, err := d.Resubscribe(subs2, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if elapsed <= 0 {
+	if rep.Elapsed <= 0 {
 		t.Error("recompile time not measured")
+	}
+	if rep.Full {
+		t.Errorf("migration took the full-recompile path: %+v", rep)
+	}
+	if rep.Install == 0 || rep.Delete == 0 {
+		t.Errorf("migration delta not reported: %+v", rep)
 	}
 	sim2, err := New(d)
 	if err != nil {
@@ -379,6 +385,25 @@ func TestResubscribe(t *testing.T) {
 	}
 	if out := sim2.Publish(0, []*spec.Message{msg("GOOGL", 1, 1)}, 64); len(out) != 1 || out[0].Host != 9 {
 		t.Fatalf("post-migration deliveries: %+v", out)
+	}
+	// ForceFull is the escape hatch: recompile the world from scratch.
+	subs3 := make([][]subscription.Expr, len(net.Hosts))
+	subs3[4] = []subscription.Expr{filter(t, "stock == GOOGL")}
+	full := opts
+	full.ForceFull = true
+	rep3, err := d.Resubscribe(subs3, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep3.Full {
+		t.Errorf("ForceFull not honoured: %+v", rep3)
+	}
+	sim3, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := sim3.Publish(0, []*spec.Message{msg("GOOGL", 1, 1)}, 64); len(out) != 1 || out[0].Host != 4 {
+		t.Fatalf("post-ForceFull deliveries: %+v", out)
 	}
 }
 

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"camus/internal/spec"
+	"camus/internal/subscription"
+)
+
+// ChurnConfig configures a randomized subscription-churn workload: the
+// event stream the live control plane (internal/ctlplane) consumes.
+// Arrivals are Poisson, filter popularity is Zipf over a fixed pool
+// (popular filters are subscribed — and therefore deduplicated — far
+// more often than tail filters), and the add:remove mix is
+// configurable.
+type ChurnConfig struct {
+	// Spec is the message spec filters are generated against (required
+	// unless Pool is provided).
+	Spec *spec.Spec
+	// Pool overrides the generated filter pool.
+	Pool []subscription.Expr
+	// PoolSize is the number of distinct filters to generate when Pool
+	// is nil (default 64).
+	PoolSize int
+	// Hosts is the subscriber population (required).
+	Hosts int
+	// Events is the stream length (default 1000).
+	Events int
+	// Rate is the mean event arrival rate in events/second for the
+	// Poisson process (default 1000).
+	Rate float64
+	// AddFraction is the target fraction of subscribe events (default
+	// 0.5; removals are drawn from the simulated live set, so the
+	// realized mix leans toward adds while the set is small).
+	AddFraction float64
+	// ZipfS is the Zipf skew over the pool (default 1.2, s > 1).
+	ZipfS float64
+	// Seed makes the stream deterministic.
+	Seed int64
+}
+
+func (c ChurnConfig) withDefaults() ChurnConfig {
+	if c.PoolSize <= 0 {
+		c.PoolSize = 64
+	}
+	if c.Events <= 0 {
+		c.Events = 1000
+	}
+	if c.Rate <= 0 {
+		c.Rate = 1000
+	}
+	if c.AddFraction <= 0 {
+		c.AddFraction = 0.5
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.2
+	}
+	return c
+}
+
+// ChurnEvent is one subscription change. Add events carry a fresh Key
+// and the filter expression; Remove events name the Key of a
+// still-live prior Add (the generator tracks the live set, so every
+// removal is valid). Callers map Key to whatever handle their control
+// plane hands back.
+type ChurnEvent struct {
+	// At is the Poisson arrival offset from the stream start.
+	At   time.Duration
+	Host int
+	Add  bool
+	// Key identifies the subscription instance: assigned on Add,
+	// referenced on Remove.
+	Key int
+	// Filter is the subscribed expression (set on both event kinds).
+	Filter subscription.Expr
+}
+
+// Churn generates a deterministic subscription-churn event stream.
+func Churn(cfg ChurnConfig) ([]ChurnEvent, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Hosts <= 0 {
+		return nil, fmt.Errorf("workload: ChurnConfig.Hosts required")
+	}
+	pool := cfg.Pool
+	if pool == nil {
+		var err error
+		pool, err = Siena(SienaConfig{Spec: cfg.Spec, Filters: cfg.PoolSize, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(r, cfg.ZipfS, 1, uint64(len(pool)-1))
+
+	type liveSub struct {
+		key, host int
+		filter    subscription.Expr
+	}
+	var live []liveSub
+	out := make([]ChurnEvent, 0, cfg.Events)
+	var at time.Duration
+	nextKey := 0
+	for len(out) < cfg.Events {
+		// Exponential inter-arrival for a Poisson process of rate λ.
+		at += time.Duration(-math.Log(1-r.Float64()) / cfg.Rate * float64(time.Second))
+		if len(live) == 0 || r.Float64() < cfg.AddFraction {
+			ev := ChurnEvent{
+				At:     at,
+				Host:   r.Intn(cfg.Hosts),
+				Add:    true,
+				Key:    nextKey,
+				Filter: pool[zipf.Uint64()],
+			}
+			nextKey++
+			live = append(live, liveSub{key: ev.Key, host: ev.Host, filter: ev.Filter})
+			out = append(out, ev)
+		} else {
+			i := r.Intn(len(live))
+			ls := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			out = append(out, ChurnEvent{
+				At: at, Host: ls.host, Key: ls.key, Filter: ls.filter,
+			})
+		}
+	}
+	return out, nil
+}

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"testing"
+	"time"
 
 	"camus/internal/compiler"
 	"camus/internal/spec"
@@ -205,5 +206,85 @@ func TestASGraphShape(t *testing.T) {
 	g2 := ASGraph(cfg)
 	if g2.Edges() != g.Edges() {
 		t.Error("graph generation not deterministic")
+	}
+}
+
+func TestChurnStream(t *testing.T) {
+	cfg := ChurnConfig{
+		Spec: testSpec, Hosts: 16, Events: 2000, Rate: 5000,
+		AddFraction: 0.5, Seed: 9,
+	}
+	evs, err := Churn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2000 {
+		t.Fatalf("events = %d, want 2000", len(evs))
+	}
+	// Arrivals are monotone; removes always reference a live prior add
+	// on the same host with the same filter.
+	live := make(map[int]ChurnEvent)
+	adds := 0
+	var last time.Duration
+	for i, ev := range evs {
+		if ev.At < last {
+			t.Fatalf("event %d: time went backwards (%v < %v)", i, ev.At, last)
+		}
+		last = ev.At
+		if ev.Host < 0 || ev.Host >= cfg.Hosts {
+			t.Fatalf("event %d: host %d out of range", i, ev.Host)
+		}
+		if ev.Filter == nil {
+			t.Fatalf("event %d: nil filter", i)
+		}
+		if ev.Add {
+			adds++
+			if _, dup := live[ev.Key]; dup {
+				t.Fatalf("event %d: duplicate key %d", i, ev.Key)
+			}
+			live[ev.Key] = ev
+		} else {
+			prior, ok := live[ev.Key]
+			if !ok {
+				t.Fatalf("event %d: remove of unknown key %d", i, ev.Key)
+			}
+			if prior.Host != ev.Host || prior.Filter.String() != ev.Filter.String() {
+				t.Fatalf("event %d: remove does not match its add", i)
+			}
+			delete(live, ev.Key)
+		}
+	}
+	// The realized mix should be near the configured ratio.
+	if frac := float64(adds) / float64(len(evs)); frac < 0.45 || frac > 0.65 {
+		t.Errorf("add fraction %.2f far from 0.5", frac)
+	}
+	// Zipf popularity: the most popular filter should dominate the tail.
+	popularity := make(map[string]int)
+	for _, ev := range evs {
+		if ev.Add {
+			popularity[ev.Filter.String()]++
+		}
+	}
+	top := 0
+	for _, n := range popularity {
+		if n > top {
+			top = n
+		}
+	}
+	if top < adds/10 {
+		t.Errorf("no popular filter: top=%d of %d adds over %d distinct",
+			top, adds, len(popularity))
+	}
+	// Determinism.
+	evs2, err := Churn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range evs {
+		a, b := evs[i], evs2[i]
+		if a.At != b.At || a.Host != b.Host || a.Add != b.Add ||
+			a.Key != b.Key || a.Filter.String() != b.Filter.String() {
+			t.Fatalf("event %d not deterministic", i)
+		}
 	}
 }
