@@ -2,12 +2,19 @@
 # leave `make check` green.
 GO ?= go
 
-.PHONY: check vet lint build test race bench bench-report fuzz-smoke vet-report churn-soak soak
+.PHONY: check vet lint build test race bench bench-report fuzz-smoke fuzz-extended vet-report churn-soak soak prove
 
 ## check: the full tier-1 gate — vet, custom analyzers, build,
-## race-enabled tests, a short churn soak, a short fuzz smoke, and a
-## smoke run of the parallel dataplane benchmark.
-check: vet lint build race churn-soak fuzz-smoke bench
+## race-enabled tests, a short churn soak, a short fuzz smoke, a
+## translation-validation pass over the shipped rules, and a smoke run
+## of the parallel dataplane benchmark.
+check: vet lint build race churn-soak fuzz-smoke prove bench
+
+## prove: certify the shipped sample rules with the translation
+## validator (camusc prove), in both last-hop and upstream modes.
+prove:
+	$(GO) run ./cmd/camusc prove -spec cmd/camusc/testdata/itch.spec -rules cmd/camusc/testdata/itch.rules
+	$(GO) run ./cmd/camusc prove -spec cmd/camusc/testdata/itch.spec -rules cmd/camusc/testdata/itch.rules -last-hop=false
 
 vet:
 	$(GO) vet ./...
@@ -45,19 +52,32 @@ churn-soak:
 soak:
 	CAMUS_SOAK=1 $(GO) test -race -count=1 -v -run 'TestChurnSoak' ./internal/netsim
 
-## fuzz-smoke: a short, deterministic iteration of the subscription
-## parser fuzz target (seed corpus only plus 200 mutations).
+## fuzz-smoke: short, deterministic iterations of the fuzz targets —
+## the subscription parser and the compile-then-prove pipeline (seed
+## corpus plus a few hundred mutations each).
 fuzz-smoke:
 	$(GO) test ./internal/subscription -run '^$$' -fuzz '^FuzzParseSubscription$$' -fuzztime 200x
+	$(GO) test ./internal/analysis/prove -run '^$$' -fuzz '^FuzzCompileProve$$' -fuzztime 200x
 
-## vet-report: regenerate vet-report.txt by running `camusc vet` over
-## the rule-verifier corpus (findings are the point, so exit 1 is ok).
+## fuzz-extended: the nightly-CI fuzz budget — minutes, not mutations.
+fuzz-extended:
+	$(GO) test ./internal/subscription -run '^$$' -fuzz '^FuzzParseSubscription$$' -fuzztime 120s
+	$(GO) test ./internal/analysis/prove -run '^$$' -fuzz '^FuzzCompileProve$$' -fuzztime 300s
+
+## vet-report: regenerate vet-report.txt by cross-running `camusc vet`
+## (rule self-consistency) and `camusc prove` (translation validation)
+## over the rule-verifier corpus (findings are the point, so exit 1 is
+## ok).
 vet-report:
 	@rm -f vet-report.txt
 	@for f in internal/analysis/rulecheck/testdata/corpus/*.rules; do \
 		echo "== camusc vet -spec market.spec -rules $$(basename $$f) ==" >> vet-report.txt; \
 		$(GO) run ./cmd/camusc vet -spec internal/analysis/rulecheck/testdata/corpus/market.spec -rules $$f >> vet-report.txt || true; \
+		echo "== camusc prove -spec market.spec -rules $$(basename $$f) ==" >> vet-report.txt; \
+		$(GO) run ./cmd/camusc prove -spec internal/analysis/rulecheck/testdata/corpus/market.spec -rules $$f >> vet-report.txt || true; \
 	done
 	@echo "== camusc vet -spec itch.spec -rules itch.rules ==" >> vet-report.txt
 	@$(GO) run ./cmd/camusc vet -spec cmd/camusc/testdata/itch.spec -rules cmd/camusc/testdata/itch.rules >> vet-report.txt || true
+	@echo "== camusc prove -spec itch.spec -rules itch.rules ==" >> vet-report.txt
+	@$(GO) run ./cmd/camusc prove -spec cmd/camusc/testdata/itch.spec -rules cmd/camusc/testdata/itch.rules >> vet-report.txt || true
 	@cat vet-report.txt

@@ -12,15 +12,18 @@
 //
 //	camus-lint [-json] [-no-tests] [packages...]
 //
-// Packages default to ./... and use go-list syntax. Exits 1 when any
-// diagnostic is reported and 2 on load errors.
+// Packages default to ./... and use go-list syntax. With -json the
+// diagnostics are emitted in the shared analysis report envelope
+// (internal/analysis/report), the same schema camusc vet and camusc
+// prove produce. Exit codes follow the shared contract: 0 clean, 1
+// when any diagnostic is reported, 2 on load errors.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"camus/internal/analysis"
 )
@@ -40,15 +43,8 @@ func main() {
 		os.Exit(2)
 	}
 	if *jsonOut {
-		if diags == nil {
-			diags = []analysis.Diagnostic{}
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(diags); err != nil {
-			fmt.Fprintf(os.Stderr, "camus-lint: %v\n", err)
-			os.Exit(2)
-		}
+		rep := analysis.ToReport(strings.Join(patterns, " "), diags)
+		fmt.Println(rep.JSON())
 	} else {
 		for _, d := range diags {
 			fmt.Println(d)

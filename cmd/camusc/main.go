@@ -8,12 +8,23 @@
 //
 //	camusc -spec itch.spec -rules feeds.rules [-dot out.dot] [-last-hop]
 //	camusc vet -spec itch.spec -rules feeds.rules [-json]
+//	camusc prove -spec itch.spec -rules feeds.rules [-json] [-last-hop=false]
 //
 // The vet subcommand runs the rule-program verifier instead of the
 // compiler: it reports unsatisfiable filters, fully shadowed rules,
 // contradictory actions on overlapping filters, and references to
-// fields absent from the message spec. It exits 1 when any finding is
-// reported and 2 on usage or I/O errors.
+// fields absent from the message spec.
+//
+// The prove subcommand is the translation validator: it compiles the
+// rules and then certifies — with a second implementation that shares
+// nothing with the BDD compilation path — that the emitted tables
+// forward exactly the packets the rules subscribe to. Divergences are
+// reported with concrete counterexample packets replayed through the
+// dataplane.
+//
+// All subcommands share one exit-code contract (see
+// internal/analysis/report): 0 clean, 1 when any finding is reported,
+// 2 on usage or I/O errors.
 package main
 
 import (
@@ -31,6 +42,9 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "vet" {
 		os.Exit(runVet(os.Args[2:], os.Stdout, os.Stderr))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "prove" {
+		os.Exit(runProve(os.Args[2:], os.Stdout, os.Stderr))
 	}
 	runCompile()
 }

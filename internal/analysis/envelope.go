@@ -1,0 +1,22 @@
+package analysis
+
+import "camus/internal/analysis/report"
+
+// Tool is camus-lint's name in the shared report envelope.
+const Tool = "camus-lint"
+
+// ToReport converts analyzer diagnostics into the diagnostic envelope
+// shared with camusc vet and camusc prove (internal/analysis/report):
+// the analyzer name becomes the finding kind, and Go-source findings
+// carry no rule ID (-1).
+func ToReport(target string, diags []Diagnostic) *report.Report {
+	rep := &report.Report{Tool: Tool, File: target}
+	for _, d := range diags {
+		rep.Findings = append(rep.Findings, report.Finding{
+			Tool: Tool, File: d.File, Line: d.Line, RuleID: -1,
+			Kind: report.Kind(d.Analyzer), Severity: report.SevError,
+			Message: d.Message,
+		})
+	}
+	return rep
+}

@@ -1,0 +1,366 @@
+package prove
+
+import (
+	"camus/internal/spec"
+	"camus/internal/subscription"
+)
+
+// tri is three-valued header presence.
+type tri int8
+
+const (
+	triUnknown tri = iota
+	triYes
+	triNo
+)
+
+// pctx is a symbolic packet context: for every header a presence
+// tri-state, for every subscribable field the set of values it may
+// still take, and for every aggregate the set of register values.
+// Atoms constrain single fields against constants, so per-field
+// consistency is global consistency: a pctx with no empty domain and
+// no presence contradiction is satisfiable, and concretize() always
+// succeeds on one. Maps store only refined knowledge; absent keys mean
+// "unconstrained". Contexts are persistent: refinement clones.
+type pctx struct {
+	headers map[string]tri
+	ints    map[string]IntDomain // field qname → value set
+	strs    map[string]StrDomain // field qname → value set
+	aggs    map[string]IntDomain // aggregate key → value set
+}
+
+func newCtx() *pctx {
+	return &pctx{
+		headers: map[string]tri{},
+		ints:    map[string]IntDomain{},
+		strs:    map[string]StrDomain{},
+		aggs:    map[string]IntDomain{},
+	}
+}
+
+func (c *pctx) clone() *pctx {
+	n := &pctx{
+		headers: make(map[string]tri, len(c.headers)),
+		ints:    make(map[string]IntDomain, len(c.ints)),
+		strs:    make(map[string]StrDomain, len(c.strs)),
+		aggs:    make(map[string]IntDomain, len(c.aggs)),
+	}
+	for k, v := range c.headers {
+		n.headers[k] = v
+	}
+	for k, v := range c.ints {
+		n.ints[k] = v
+	}
+	for k, v := range c.strs {
+		n.strs[k] = v
+	}
+	for k, v := range c.aggs {
+		n.aggs[k] = v
+	}
+	return n
+}
+
+func (c *pctx) intDom(f *spec.Field) IntDomain {
+	if d, ok := c.ints[f.QName()]; ok {
+		return d
+	}
+	return fieldIntDomain(f)
+}
+
+func (c *pctx) strDom(f *spec.Field) StrDomain {
+	if d, ok := c.strs[f.QName()]; ok {
+		return d
+	}
+	return StrAll()
+}
+
+func (c *pctx) aggDom(key string) IntDomain {
+	if d, ok := c.aggs[key]; ok {
+		return d
+	}
+	return fullInt
+}
+
+// withPresence returns the context with header h's presence set, or
+// nil on contradiction.
+func (c *pctx) withPresence(h string, present bool) *pctx {
+	want := triNo
+	if present {
+		want = triYes
+	}
+	cur := c.headers[h]
+	if cur == want {
+		return c
+	}
+	if cur != triUnknown {
+		return nil
+	}
+	n := c.clone()
+	n.headers[h] = want
+	return n
+}
+
+// withIntDom returns the context with field f's domain replaced, or
+// nil if the domain is empty. It does not touch presence.
+func (c *pctx) withIntDom(f *spec.Field, d IntDomain) *pctx {
+	if d.IsEmpty() {
+		return nil
+	}
+	n := c.clone()
+	n.ints[f.QName()] = d
+	return n
+}
+
+func (c *pctx) withStrDom(f *spec.Field, d StrDomain) *pctx {
+	if d.EmptyFor(f.Bytes()) {
+		return nil
+	}
+	n := c.clone()
+	n.strs[f.QName()] = d
+	return n
+}
+
+func (c *pctx) withAggDom(key string, d IntDomain) *pctx {
+	if d.IsEmpty() {
+		return nil
+	}
+	n := c.clone()
+	n.aggs[key] = d
+	return n
+}
+
+// validityBits returns which bit values of "valid(h)" satisfy rel c.
+func validityBits(rel relOp, cv spec.Value) (zero, one bool) {
+	if cv.Kind != spec.IntField {
+		return false, false
+	}
+	d := intRelDomain(rel, cv.Int)
+	return d.Contains(0), d.Contains(1)
+}
+
+// refineAtomTrue returns the context refined by "atom holds", or nil
+// when unsatisfiable. Per the reference semantics an atom on an absent
+// field is false, so a packet-field atom holding forces its header
+// present.
+func refineAtomTrue(c *pctx, at atom) *pctx {
+	switch at.ref.Kind {
+	case subscription.AggregateRef:
+		if at.c.Kind != spec.IntField {
+			return nil
+		}
+		key := at.ref.Key()
+		return c.withAggDom(key, c.aggDom(key).Intersect(intRelDomain(at.rel, at.c.Int)))
+	case subscription.ValidityRef:
+		zero, one := validityBits(at.rel, at.c)
+		h := at.ref.Header
+		switch {
+		case zero && one:
+			return c
+		case one:
+			return c.withPresence(h, true)
+		case zero:
+			return c.withPresence(h, false)
+		default:
+			return nil
+		}
+	default: // PacketRef
+		f := at.ref.Field
+		if f.Type == spec.StringField {
+			if at.c.Kind != spec.StringField {
+				return nil
+			}
+			d := c.strDom(f).Intersect(strRelDomain(at.rel, at.c.Str))
+			if d.EmptyFor(f.Bytes()) {
+				return nil
+			}
+			n := c.withPresence(f.Header, true)
+			if n == nil {
+				return nil
+			}
+			return n.withStrDom(f, d)
+		}
+		if at.c.Kind != spec.IntField {
+			return nil
+		}
+		d := c.intDom(f).Intersect(intRelDomain(at.rel, at.c.Int))
+		if d.IsEmpty() {
+			return nil
+		}
+		n := c.withPresence(f.Header, true)
+		if n == nil {
+			return nil
+		}
+		return n.withIntDom(f, d)
+	}
+}
+
+// refineAtomFalse returns the contexts covering "atom does not hold":
+// for a packet-field atom either the header is absent or the value
+// falls outside the relation; for validity/aggregate atoms the value
+// side only (those operands always exist).
+func refineAtomFalse(c *pctx, at atom) []*pctx {
+	switch at.ref.Kind {
+	case subscription.AggregateRef:
+		if at.c.Kind != spec.IntField {
+			return []*pctx{c} // constant-false atom: its negation is free
+		}
+		key := at.ref.Key()
+		if n := c.withAggDom(key, c.aggDom(key).Subtract(intRelDomain(at.rel, at.c.Int))); n != nil {
+			return []*pctx{n}
+		}
+		return nil
+	case subscription.ValidityRef:
+		zero, one := validityBits(at.rel, at.c)
+		h := at.ref.Header
+		var out []*pctx
+		if !one { // bit 1 falsifies the atom
+			if n := c.withPresence(h, true); n != nil {
+				out = append(out, n)
+			}
+		}
+		if !zero {
+			if n := c.withPresence(h, false); n != nil {
+				out = append(out, n)
+			}
+		}
+		if zero && one {
+			return nil // atom true for both bit values: negation unsat
+		}
+		return out
+	default: // PacketRef
+		f := at.ref.Field
+		var valueBranch *pctx
+		if f.Type == spec.StringField {
+			if at.c.Kind != spec.StringField {
+				return []*pctx{c}
+			}
+			d := c.strDom(f).Subtract(strRelDomain(at.rel, at.c.Str))
+			if !d.EmptyFor(f.Bytes()) {
+				if n := c.withPresence(f.Header, true); n != nil {
+					valueBranch = n.withStrDom(f, d)
+				}
+			}
+		} else {
+			if at.c.Kind != spec.IntField {
+				return []*pctx{c}
+			}
+			d := c.intDom(f).Subtract(intRelDomain(at.rel, at.c.Int))
+			if !d.IsEmpty() {
+				if n := c.withPresence(f.Header, true); n != nil {
+					valueBranch = n.withIntDom(f, d)
+				}
+			}
+		}
+		var out []*pctx
+		if absent := c.withPresence(f.Header, false); absent != nil {
+			out = append(out, absent)
+		}
+		if valueBranch != nil {
+			out = append(out, valueBranch)
+		}
+		return out
+	}
+}
+
+// refineConjTrue refines by every atom of a conjunction, or nil.
+func refineConjTrue(c *pctx, atoms conj) *pctx {
+	for _, at := range atoms {
+		if c = refineAtomTrue(c, at); c == nil {
+			return nil
+		}
+	}
+	return c
+}
+
+// refineConjFalse returns disjoint contexts covering "conjunction does
+// not hold": for each i, atoms 0..i-1 hold and atom i does not.
+func refineConjFalse(c *pctx, atoms conj) []*pctx {
+	if len(atoms) == 0 {
+		return nil // the empty conjunction is true: negation unsat
+	}
+	var out []*pctx
+	cur := c
+	for _, at := range atoms {
+		out = append(out, refineAtomFalse(cur, at)...)
+		if cur = refineAtomTrue(cur, at); cur == nil {
+			break
+		}
+	}
+	return out
+}
+
+// refineFilterFalse refines by the negation of a whole processed rule
+// filter (no disjunct holds). budget caps the context fan-out; it
+// returns ok=false when exhausted (the query is then inconclusive).
+func refineFilterFalse(c *pctx, r *provedRule, budget int) (out []*pctx, ok bool) {
+	ctxs := []*pctx{c}
+	for _, d := range r.disjuncts {
+		var next []*pctx
+		for _, x := range ctxs {
+			next = append(next, refineConjFalse(x, d.atoms)...)
+			if len(next) > budget {
+				return nil, false
+			}
+		}
+		ctxs = next
+		if len(ctxs) == 0 {
+			break
+		}
+	}
+	return ctxs, true
+}
+
+// concretize extracts a concrete assignment from a satisfiable
+// context: headers with presence triYes are present (unconstrained
+// headers stay absent), every constrained field takes a witness from
+// its domain, every constrained aggregate likewise.
+func (c *pctx) concretize(sp *spec.Spec) (*Assignment, bool) {
+	a := &Assignment{
+		Headers: map[string]bool{},
+		Fields:  map[string]spec.Value{},
+		State:   map[string]int64{},
+	}
+	for h, t := range c.headers {
+		if t == triYes {
+			a.Headers[h] = true
+		}
+	}
+	for q, d := range c.ints {
+		f, ok := sp.Field(q)
+		if !ok {
+			return nil, false
+		}
+		if !a.Headers[f.Header] {
+			continue // field of an absent header: value irrelevant
+		}
+		w, ok := d.Witness()
+		if !ok {
+			return nil, false
+		}
+		a.Fields[q] = spec.IntVal(w)
+	}
+	for q, d := range c.strs {
+		f, ok := sp.Field(q)
+		if !ok {
+			return nil, false
+		}
+		if !a.Headers[f.Header] {
+			continue
+		}
+		w, ok := d.Witness(f.Bytes())
+		if !ok {
+			return nil, false
+		}
+		a.Fields[q] = spec.StrVal(w)
+	}
+	for k, d := range c.aggs {
+		w, ok := d.Witness()
+		if !ok {
+			return nil, false
+		}
+		if w != 0 {
+			a.State[k] = w
+		}
+	}
+	return a, true
+}

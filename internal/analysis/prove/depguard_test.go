@@ -1,0 +1,30 @@
+package prove_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestNoCompilerDependency is the depguard for the prover's
+// independence claim: the package under test must not depend — directly
+// or transitively — on the BDD engine it validates, nor on the compiler
+// or its match-constraint vocabulary. (This external test package does;
+// `go list -deps` excludes test dependencies.)
+func TestNoCompilerDependency(t *testing.T) {
+	out, err := exec.Command("go", "list", "-deps", "camus/internal/analysis/prove").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go list -deps: %v\n%s", err, out)
+	}
+	deps := strings.Fields(string(out))
+	forbidden := map[string]string{
+		"camus/internal/bdd":      "the engine under validation",
+		"camus/internal/match":    "the compiler's constraint vocabulary",
+		"camus/internal/compiler": "the translation under validation",
+	}
+	for _, d := range deps {
+		if why, bad := forbidden[d]; bad {
+			t.Errorf("prove depends on %s (%s) — independence broken", d, why)
+		}
+	}
+}

@@ -1,0 +1,481 @@
+package prove
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"camus/internal/spec"
+)
+
+// ---------------------------------------------------------------------
+// Integer domains: finite unions of disjoint closed intervals.
+// ---------------------------------------------------------------------
+
+// span is one closed interval [lo, hi], lo <= hi.
+type span struct{ lo, hi int64 }
+
+// IntDomain is a set of int64 values: sorted, disjoint, non-adjacent
+// closed intervals. The zero value is the empty set. IntDomain values
+// are immutable; all operations return new domains.
+type IntDomain struct {
+	spans []span
+}
+
+// IntRange returns the domain [lo, hi] (empty when lo > hi).
+func IntRange(lo, hi int64) IntDomain {
+	if lo > hi {
+		return IntDomain{}
+	}
+	return IntDomain{spans: []span{{lo, hi}}}
+}
+
+// IntPoint returns the singleton domain {v}.
+func IntPoint(v int64) IntDomain { return IntRange(v, v) }
+
+// fullInt is the universe of aggregate values.
+var fullInt = IntRange(math.MinInt64, math.MaxInt64)
+
+// IsEmpty reports whether the domain contains no value.
+func (d IntDomain) IsEmpty() bool { return len(d.spans) == 0 }
+
+// Contains reports whether v is in the domain.
+func (d IntDomain) Contains(v int64) bool {
+	for _, s := range d.spans {
+		if v < s.lo {
+			return false
+		}
+		if v <= s.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// Witness returns the smallest element, preferring a non-negative one
+// when the domain has any (packet fields are unsigned; aggregate
+// witnesses read better non-negative).
+func (d IntDomain) Witness() (int64, bool) {
+	if d.IsEmpty() {
+		return 0, false
+	}
+	for _, s := range d.spans {
+		if s.hi >= 0 {
+			if s.lo >= 0 {
+				return s.lo, true
+			}
+			return 0, true
+		}
+	}
+	return d.spans[0].lo, true
+}
+
+// Intersect returns d ∩ o.
+func (d IntDomain) Intersect(o IntDomain) IntDomain {
+	var out []span
+	i, j := 0, 0
+	for i < len(d.spans) && j < len(o.spans) {
+		a, b := d.spans[i], o.spans[j]
+		lo, hi := a.lo, a.hi
+		if b.lo > lo {
+			lo = b.lo
+		}
+		if b.hi < hi {
+			hi = b.hi
+		}
+		if lo <= hi {
+			out = append(out, span{lo, hi})
+		}
+		if a.hi < b.hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return IntDomain{spans: out}
+}
+
+// Union returns d ∪ o.
+func (d IntDomain) Union(o IntDomain) IntDomain {
+	merged := make([]span, 0, len(d.spans)+len(o.spans))
+	i, j := 0, 0
+	for i < len(d.spans) || j < len(o.spans) {
+		var next span
+		if j >= len(o.spans) || (i < len(d.spans) && d.spans[i].lo <= o.spans[j].lo) {
+			next = d.spans[i]
+			i++
+		} else {
+			next = o.spans[j]
+			j++
+		}
+		if n := len(merged); n > 0 && adjacentOrOverlap(merged[n-1], next) {
+			if next.hi > merged[n-1].hi {
+				merged[n-1].hi = next.hi
+			}
+		} else {
+			merged = append(merged, next)
+		}
+	}
+	return IntDomain{spans: merged}
+}
+
+func adjacentOrOverlap(a, b span) bool {
+	if b.lo <= a.hi {
+		return true
+	}
+	return a.hi != math.MaxInt64 && b.lo == a.hi+1
+}
+
+// Subtract returns d \ o.
+func (d IntDomain) Subtract(o IntDomain) IntDomain {
+	var out []span
+	for _, s := range d.spans {
+		rest := []span{s}
+		for _, x := range o.spans {
+			var next []span
+			for _, r := range rest {
+				if x.hi < r.lo || x.lo > r.hi {
+					next = append(next, r)
+					continue
+				}
+				if x.lo > r.lo {
+					next = append(next, span{r.lo, x.lo - 1})
+				}
+				if x.hi < r.hi {
+					next = append(next, span{x.hi + 1, r.hi})
+				}
+			}
+			rest = next
+		}
+		out = append(out, rest...)
+	}
+	return IntDomain{spans: out}
+}
+
+// Without returns the domain with the single point v removed.
+func (d IntDomain) Without(v int64) IntDomain { return d.Subtract(IntPoint(v)) }
+
+// relDomain returns the set of int64 values standing in the given
+// relation to constant c: the denotation of "x rel c" over integers.
+func intRelDomain(rel relOp, c int64) IntDomain {
+	switch rel {
+	case relEQ:
+		return IntPoint(c)
+	case relNE:
+		return fullInt.Without(c)
+	case relLT:
+		if c == math.MinInt64 {
+			return IntDomain{}
+		}
+		return IntRange(math.MinInt64, c-1)
+	case relLE:
+		return IntRange(math.MinInt64, c)
+	case relGT:
+		if c == math.MaxInt64 {
+			return IntDomain{}
+		}
+		return IntRange(c+1, math.MaxInt64)
+	case relGE:
+		return IntRange(c, math.MaxInt64)
+	default:
+		// PREFIX over integers: the reference semantics
+		// (subscription.Compare) has no integer prefix case and
+		// evaluates it false, so the denotation is the empty set.
+		return IntDomain{}
+	}
+}
+
+func (d IntDomain) String() string {
+	if d.IsEmpty() {
+		return "∅"
+	}
+	var b strings.Builder
+	for i, s := range d.spans {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		if s.lo == s.hi {
+			fmt.Fprintf(&b, "{%d}", s.lo)
+		} else {
+			fmt.Fprintf(&b, "[%d,%d]", s.lo, s.hi)
+		}
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// String domains: finite unions of literals, each either one exact
+// value or a cofinite prefix set (all strings with a required prefix,
+// minus finitely many exact values and prefixes). The family is closed
+// under intersection, union, and complement, which is all the prover
+// needs; emptiness and witness extraction are decided by bounded
+// search below the field's byte width.
+// ---------------------------------------------------------------------
+
+// strLit is one literal of a StrDomain.
+type strLit struct {
+	exact   string
+	isExact bool
+	// Cofinite form: every string with prefix required, except the
+	// exact values exclEq and the prefixes exclPx.
+	required string
+	exclEq   []string
+	exclPx   []string
+}
+
+// StrDomain is a set of strings. The zero value is the empty set.
+// Literals may overlap; the domain denotes their union.
+type StrDomain struct {
+	lits []strLit
+}
+
+// StrAll is the domain of all strings.
+func StrAll() StrDomain { return StrDomain{lits: []strLit{{}}} }
+
+// StrExact returns the singleton domain {s}.
+func StrExact(s string) StrDomain {
+	return StrDomain{lits: []strLit{{exact: s, isExact: true}}}
+}
+
+// StrWithPrefix returns the domain of strings with the given prefix.
+func StrWithPrefix(p string) StrDomain {
+	return StrDomain{lits: []strLit{{required: p}}}
+}
+
+// StrCofinite returns the domain of strings with prefix required minus
+// the given exact values and prefixes (the exporter's entry point for
+// match.StrConstraint residues).
+func StrCofinite(required string, exclEq, exclPx []string) StrDomain {
+	return StrDomain{lits: []strLit{{
+		required: required,
+		exclEq:   append([]string(nil), exclEq...),
+		exclPx:   append([]string(nil), exclPx...),
+	}}}
+}
+
+func (l strLit) contains(s string) bool {
+	if l.isExact {
+		return s == l.exact
+	}
+	if !strings.HasPrefix(s, l.required) {
+		return false
+	}
+	for _, e := range l.exclEq {
+		if s == e {
+			return false
+		}
+	}
+	for _, p := range l.exclPx {
+		if strings.HasPrefix(s, p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether s is in the domain.
+func (d StrDomain) Contains(s string) bool {
+	for _, l := range d.lits {
+		if l.contains(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Intersect returns d ∩ o, distributing over the literal unions.
+func (d StrDomain) Intersect(o StrDomain) StrDomain {
+	var out []strLit
+	for _, a := range d.lits {
+		for _, b := range o.lits {
+			if l, ok := intersectLits(a, b); ok {
+				out = append(out, l)
+			}
+		}
+	}
+	return StrDomain{lits: out}
+}
+
+func intersectLits(a, b strLit) (strLit, bool) {
+	if a.isExact {
+		if b.contains(a.exact) {
+			return a, true
+		}
+		return strLit{}, false
+	}
+	if b.isExact {
+		if a.contains(b.exact) {
+			return b, true
+		}
+		return strLit{}, false
+	}
+	// Both cofinite: the required prefixes must nest.
+	req := a.required
+	if len(b.required) > len(req) {
+		req = b.required
+	}
+	if !strings.HasPrefix(req, a.required) || !strings.HasPrefix(req, b.required) {
+		return strLit{}, false
+	}
+	out := strLit{required: req}
+	out.exclEq = append(append([]string(nil), a.exclEq...), b.exclEq...)
+	out.exclPx = append(append([]string(nil), a.exclPx...), b.exclPx...)
+	return out, true
+}
+
+// Union returns d ∪ o.
+func (d StrDomain) Union(o StrDomain) StrDomain {
+	return StrDomain{lits: append(append([]strLit(nil), d.lits...), o.lits...)}
+}
+
+// Complement returns the set of all strings not in the domain.
+func (d StrDomain) Complement() StrDomain {
+	out := StrAll()
+	for _, l := range d.lits {
+		out = out.Intersect(complementLit(l))
+	}
+	return out
+}
+
+func complementLit(l strLit) StrDomain {
+	if l.isExact {
+		return StrCofinite("", []string{l.exact}, nil)
+	}
+	// ¬(prefix(required) ∧ ∉exclEq ∧ no exclPx prefix)
+	//   = ¬prefix(required) ∨ ∈exclEq ∨ some exclPx prefix.
+	var out StrDomain
+	if l.required != "" {
+		out = out.Union(StrCofinite("", nil, []string{l.required}))
+	}
+	for _, e := range l.exclEq {
+		out = out.Union(StrExact(e))
+	}
+	for _, p := range l.exclPx {
+		out = out.Union(StrWithPrefix(p))
+	}
+	return out
+}
+
+// Subtract returns d \ o.
+func (d StrDomain) Subtract(o StrDomain) StrDomain {
+	return d.Intersect(o.Complement())
+}
+
+// strRelDomain returns the denotation of "x rel c" over strings, per
+// the reference semantics (subscription.Compare): only EQ, NE and
+// PREFIX compare strings; every other relation evaluates false.
+func strRelDomain(rel relOp, c string) StrDomain {
+	switch rel {
+	case relEQ:
+		return StrExact(c)
+	case relNE:
+		return StrCofinite("", []string{c}, nil)
+	case relPREFIX:
+		return StrWithPrefix(c)
+	default:
+		return StrDomain{}
+	}
+}
+
+// witnessAlphabet orders the characters tried when extending a prefix
+// to escape exclusions; ASCII printables that survive the wire
+// round-trip (spec.StrVal trims trailing spaces and NULs).
+const witnessAlphabet = "AB0CDEFGHIJKLMNOPQRSTUVWXYZ123456789"
+
+// Witness returns a string in the domain representable by a width-byte
+// field: at most maxBytes long and with no trailing space or NUL (such
+// strings do not survive the wire round-trip). The search is bounded
+// but, for the exclusion-list sizes the compiler produces (tens), it
+// is exhaustive in practice: a two-character extension already offers
+// more candidates than any exclusion list can block.
+func (d StrDomain) Witness(maxBytes int) (string, bool) {
+	for _, l := range d.lits {
+		if s, ok := l.witness(maxBytes); ok {
+			return s, true
+		}
+	}
+	return "", false
+}
+
+func (l strLit) witness(maxBytes int) (string, bool) {
+	fits := func(s string) bool {
+		return len(s) <= maxBytes && s == strings.TrimRight(s, " \x00") && l.contains(s)
+	}
+	if l.isExact {
+		if fits(l.exact) {
+			return l.exact, true
+		}
+		return "", false
+	}
+	if fits(l.required) {
+		return l.required, true
+	}
+	// Extend the required prefix by up to three characters.
+	free := maxBytes - len(l.required)
+	if free <= 0 {
+		return "", false
+	}
+	for _, c1 := range witnessAlphabet {
+		s1 := l.required + string(c1)
+		if fits(s1) {
+			return s1, true
+		}
+	}
+	if free >= 2 {
+		for _, c1 := range witnessAlphabet {
+			for _, c2 := range witnessAlphabet {
+				s2 := l.required + string(c1) + string(c2)
+				if fits(s2) {
+					return s2, true
+				}
+			}
+		}
+	}
+	if free >= 3 {
+		for _, c1 := range witnessAlphabet {
+			for _, c2 := range witnessAlphabet {
+				for _, c3 := range witnessAlphabet {
+					s3 := l.required + string(c1) + string(c2) + string(c3)
+					if fits(s3) {
+						return s3, true
+					}
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// EmptyFor reports whether the domain has no witness representable in a
+// width-byte field. This is the prover's working notion of emptiness:
+// the value space is exactly the strings a packet can carry.
+func (d StrDomain) EmptyFor(maxBytes int) bool {
+	_, ok := d.Witness(maxBytes)
+	return !ok
+}
+
+func (d StrDomain) String() string {
+	if len(d.lits) == 0 {
+		return "∅"
+	}
+	parts := make([]string, len(d.lits))
+	for i, l := range d.lits {
+		if l.isExact {
+			parts[i] = fmt.Sprintf("%q", l.exact)
+		} else {
+			var b strings.Builder
+			fmt.Fprintf(&b, "^%q", l.required)
+			for _, e := range l.exclEq {
+				fmt.Fprintf(&b, "∖%q", e)
+			}
+			for _, p := range l.exclPx {
+				fmt.Fprintf(&b, "∖^%q", p)
+			}
+			parts[i] = b.String()
+		}
+	}
+	return strings.Join(parts, "∪")
+}
+
+// fieldIntDomain is the full value domain of an integer packet field.
+func fieldIntDomain(f *spec.Field) IntDomain { return IntRange(0, f.MaxValue()) }

@@ -1,0 +1,172 @@
+package prove
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIntDomainOps(t *testing.T) {
+	d := IntRange(0, 100)
+	if d.IsEmpty() || !d.Contains(0) || !d.Contains(100) || d.Contains(101) {
+		t.Fatalf("range basics broken: %v", d)
+	}
+	x := d.Intersect(IntRange(50, 200))
+	if !x.Contains(50) || !x.Contains(100) || x.Contains(49) || x.Contains(101) {
+		t.Fatalf("intersect: %v", x)
+	}
+	s := d.Subtract(IntRange(10, 20))
+	for _, v := range []int64{9, 21, 0, 100} {
+		if !s.Contains(v) {
+			t.Errorf("subtract lost %d: %v", v, s)
+		}
+	}
+	for v := int64(10); v <= 20; v++ {
+		if s.Contains(v) {
+			t.Errorf("subtract kept %d: %v", v, s)
+		}
+	}
+	u := IntRange(0, 4).Union(IntRange(5, 9))
+	if len(u.spans) != 1 || !u.Contains(0) || !u.Contains(9) {
+		t.Errorf("adjacent union should merge: %v", u)
+	}
+	if w, ok := s.Witness(); !ok || !s.Contains(w) {
+		t.Errorf("witness: %d %v", w, ok)
+	}
+	if _, ok := IntRange(5, 4).Witness(); ok {
+		t.Error("empty domain has witness")
+	}
+}
+
+func TestIntDomainBoundaries(t *testing.T) {
+	full := IntRange(math.MinInt64, math.MaxInt64)
+	if d := intRelDomain(relLT, math.MinInt64); !d.IsEmpty() {
+		t.Errorf("x < MinInt64 should be empty: %v", d)
+	}
+	if d := intRelDomain(relGT, math.MaxInt64); !d.IsEmpty() {
+		t.Errorf("x > MaxInt64 should be empty: %v", d)
+	}
+	ne := full.Without(0)
+	if ne.Contains(0) || !ne.Contains(math.MinInt64) || !ne.Contains(math.MaxInt64) {
+		t.Errorf("without(0): %v", ne)
+	}
+	// Complement via subtraction round-trips.
+	d := intRelDomain(relGE, 10).Intersect(intRelDomain(relLE, 20))
+	c := full.Subtract(d)
+	for _, v := range []int64{9, 21} {
+		if !c.Contains(v) {
+			t.Errorf("complement lost %d", v)
+		}
+	}
+	if c.Contains(15) {
+		t.Error("complement kept interior point")
+	}
+	if got := d.Union(c); len(got.spans) != 1 || !got.Contains(math.MinInt64) || !got.Contains(math.MaxInt64) {
+		t.Errorf("d ∪ ¬d should be the universe: %v", got)
+	}
+}
+
+func TestIntRelDomains(t *testing.T) {
+	cases := []struct {
+		rel relOp
+		c   int64
+		in  []int64
+		out []int64
+	}{
+		{relEQ, 5, []int64{5}, []int64{4, 6}},
+		{relNE, 5, []int64{4, 6}, []int64{5}},
+		{relLT, 5, []int64{4, math.MinInt64}, []int64{5, 6}},
+		{relLE, 5, []int64{5}, []int64{6}},
+		{relGT, 5, []int64{6, math.MaxInt64}, []int64{5}},
+		{relGE, 5, []int64{5}, []int64{4}},
+		{relPREFIX, 5, nil, []int64{5}}, // int prefix: constant false
+	}
+	for _, tc := range cases {
+		d := intRelDomain(tc.rel, tc.c)
+		for _, v := range tc.in {
+			if !d.Contains(v) {
+				t.Errorf("rel %d const %d should contain %d", tc.rel, tc.c, v)
+			}
+		}
+		for _, v := range tc.out {
+			if d.Contains(v) {
+				t.Errorf("rel %d const %d should not contain %d", tc.rel, tc.c, v)
+			}
+		}
+	}
+}
+
+func TestStrDomainOps(t *testing.T) {
+	googl := StrExact("GOOGL")
+	if !googl.Contains("GOOGL") || googl.Contains("MSFT") {
+		t.Fatal("exact basics")
+	}
+	px := StrWithPrefix("GO")
+	if !px.Contains("GO") || !px.Contains("GOOGL") || px.Contains("AAPL") {
+		t.Fatal("prefix basics")
+	}
+	both := googl.Intersect(px)
+	if !both.Contains("GOOGL") || both.Contains("GOOG") {
+		t.Fatal("exact ∩ prefix")
+	}
+	none := googl.Intersect(StrExact("MSFT"))
+	if !none.EmptyFor(8) {
+		t.Fatal("disjoint exacts should be empty")
+	}
+	notGoogl := googl.Complement()
+	if notGoogl.Contains("GOOGL") || !notGoogl.Contains("MSFT") || !notGoogl.Contains("") {
+		t.Fatal("complement of exact")
+	}
+	notPx := px.Complement()
+	if notPx.Contains("GOOGL") || !notPx.Contains("AAPL") {
+		t.Fatal("complement of prefix")
+	}
+	diff := px.Subtract(googl)
+	if diff.Contains("GOOGL") || !diff.Contains("GOOG") {
+		t.Fatal("prefix minus exact")
+	}
+}
+
+func TestStrDomainWitness(t *testing.T) {
+	if w, ok := StrExact("GOOGL").Witness(8); !ok || w != "GOOGL" {
+		t.Fatalf("exact witness: %q %v", w, ok)
+	}
+	if _, ok := StrExact("TOOLONGNAME").Witness(8); ok {
+		t.Error("witness wider than the field")
+	}
+	// A cofinite set dodges its exclusions.
+	d := StrAll().Subtract(StrExact("")).Subtract(StrWithPrefix("A"))
+	w, ok := d.Witness(8)
+	if !ok || w == "" || w[0] == 'A' || !d.Contains(w) {
+		t.Fatalf("cofinite witness: %q %v", w, ok)
+	}
+	// Witnesses never end in space (wire round-trip).
+	px := StrWithPrefix("GO")
+	if w, ok := px.Witness(8); !ok || w != "GO" {
+		t.Fatalf("prefix witness should be the prefix: %q", w)
+	}
+	// Exact-width required prefix: only the prefix itself fits.
+	tight := StrWithPrefix("ABCDEFGH")
+	if w, ok := tight.Witness(8); !ok || w != "ABCDEFGH" {
+		t.Fatalf("tight witness: %q %v", w, ok)
+	}
+	if !tight.Subtract(StrExact("ABCDEFGH")).EmptyFor(8) {
+		t.Error("no 8-byte string extends an 8-byte prefix")
+	}
+}
+
+func TestStrRelDomains(t *testing.T) {
+	if d := strRelDomain(relEQ, "X"); !d.Contains("X") || d.Contains("Y") {
+		t.Error("strEQ")
+	}
+	if d := strRelDomain(relNE, "X"); d.Contains("X") || !d.Contains("Y") {
+		t.Error("strNE")
+	}
+	if d := strRelDomain(relPREFIX, "X"); !d.Contains("XY") || d.Contains("Y") {
+		t.Error("strPREFIX")
+	}
+	// Ordering relations over strings are constant-false in the
+	// reference semantics.
+	if d := strRelDomain(relLT, "X"); !d.EmptyFor(8) {
+		t.Error("string LT should denote the empty set")
+	}
+}

@@ -26,27 +26,41 @@
 // is global consistency — which makes the three reads above exact,
 // not approximations.
 //
+// Scope caveat: exact *relative to the BDD engine*. Because this
+// verifier re-queries the same internal/bdd implementation the
+// compiler builds on, its checks are self-consistency checks of the
+// rule table — a bug shared by the engine and the compiler is
+// invisible here by construction. Proving that the *compiled program*
+// implements the rules is translation validation and is deliberately
+// out of scope: internal/analysis/prove (camusc prove) re-derives the
+// semantics independently and certifies the emitted tables.
+//
 // Fields referenced but absent from the message spec, and any other
 // parse or type-check failure, are reported per line with the
 // verifier continuing to the next line.
 package rulecheck
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
 
+	"camus/internal/analysis/report"
 	"camus/internal/bdd"
 	"camus/internal/compiler"
 	"camus/internal/spec"
 	"camus/internal/subscription"
 )
 
-// Kind classifies a finding.
-type Kind string
+// Tool is this verifier's name in the shared report envelope.
+const Tool = "camusc-vet"
+
+// Kind, Severity, Finding and Report alias the shared analysis
+// envelope (internal/analysis/report): camusc vet emits the same
+// diagnostic schema as camus-lint and camusc prove.
+type Kind = report.Kind
 
 const (
 	// KindParseError is a rule that failed to parse or type-check.
@@ -70,84 +84,18 @@ const (
 )
 
 // Severity grades a finding.
-type Severity string
+type Severity = report.Severity
 
 const (
-	SevError   Severity = "error"
-	SevWarning Severity = "warning"
+	SevError   = report.SevError
+	SevWarning = report.SevWarning
 )
 
-// Finding is one diagnostic, serializable as JSON.
-type Finding struct {
-	File     string   `json:"file"`
-	Line     int      `json:"line,omitempty"`
-	RuleID   int      `json:"rule"` // -1 for table-level findings
-	Kind     Kind     `json:"kind"`
-	Severity Severity `json:"severity"`
-	Message  string   `json:"message"`
-	// RuleText is the offending rule, pretty-printed.
-	RuleText string `json:"rule_text,omitempty"`
-	// Related lists the other rule IDs involved (the shadowing cover,
-	// the conflicting partner).
-	Related []int `json:"related,omitempty"`
-}
-
-func (f Finding) String() string {
-	loc := f.File
-	if f.Line > 0 {
-		loc = fmt.Sprintf("%s:%d", f.File, f.Line)
-	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s: %s: %s", loc, f.Severity, f.Message)
-	if len(f.Related) > 0 {
-		ids := make([]string, len(f.Related))
-		for i, id := range f.Related {
-			ids[i] = "#" + strconv.Itoa(id)
-		}
-		fmt.Fprintf(&b, " (see rule %s)", strings.Join(ids, ", "))
-	}
-	return b.String()
-}
+// Finding is one diagnostic in the shared envelope.
+type Finding = report.Finding
 
 // Report is the result of verifying one rule file.
-type Report struct {
-	File     string    `json:"file"`
-	Rules    int       `json:"rules"`
-	Findings []Finding `json:"findings"`
-}
-
-// HasErrors reports whether any finding is error-severity.
-func (r *Report) HasErrors() bool {
-	for _, f := range r.Findings {
-		if f.Severity == SevError {
-			return true
-		}
-	}
-	return false
-}
-
-// JSON renders the report as indented JSON (findings is never null).
-func (r *Report) JSON() string {
-	cp := *r
-	if cp.Findings == nil {
-		cp.Findings = []Finding{}
-	}
-	out, err := json.MarshalIndent(&cp, "", "  ")
-	if err != nil {
-		return fmt.Sprintf(`{"file":%q,"error":%q}`, r.File, err)
-	}
-	return string(out)
-}
-
-// String renders the human-readable report.
-func (r *Report) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s: %d rules, %d findings\n", r.File, r.Rules, len(r.Findings))
-	for _, f := range r.Findings {
-		fmt.Fprintf(&b, "  %s\n", f)
-	}
-	return b.String()
-}
+type Report = report.Report
 
 // maxAnalysisNodes bounds the marker diagram; distinct markers defeat
 // terminal sharing, so the cap guards against pathological tables.
@@ -156,7 +104,7 @@ const maxAnalysisNodes = 1 << 21
 // Verify parses and symbolically checks a rule file against a spec.
 // file names the source in diagnostics; src is the file content.
 func Verify(sp *spec.Spec, file, src string) *Report {
-	rep := &Report{File: file}
+	rep := &Report{Tool: Tool, File: file}
 	parser := subscription.NewParser(sp)
 
 	// Per-line parse with error recovery: every bad line is reported,
@@ -171,7 +119,7 @@ func Verify(sp *spec.Spec, file, src string) *Report {
 				kind = KindUnknownField
 			}
 			rep.Findings = append(rep.Findings, Finding{
-				File: file, Line: i + 1, RuleID: -1, Kind: kind, Severity: sev,
+				Tool: Tool, File: file, Line: i + 1, RuleID: -1, Kind: kind, Severity: sev,
 				Message: err.Error(),
 			})
 			continue
@@ -197,7 +145,7 @@ func verifyTable(sp *spec.Spec, file string, rules []*subscription.Rule, ruleLin
 	var out []Finding
 	finding := func(id int, kind Kind, sev Severity, related []int, format string, args ...interface{}) {
 		out = append(out, Finding{
-			File: file, Line: ruleLine[id], RuleID: id, Kind: kind, Severity: sev,
+			Tool: Tool, File: file, Line: ruleLine[id], RuleID: id, Kind: kind, Severity: sev,
 			Message: fmt.Sprintf(format, args...), RuleText: rules[id].String(),
 			Related: related,
 		})
@@ -228,7 +176,7 @@ func verifyTable(sp *spec.Spec, file string, rules []*subscription.Rule, ruleLin
 			kind, sev = KindOverflow, SevWarning
 		}
 		return append(out, Finding{
-			File: file, RuleID: -1, Kind: kind, Severity: sev,
+			Tool: Tool, File: file, RuleID: -1, Kind: kind, Severity: sev,
 			Message: fmt.Sprintf("symbolic analysis failed: %v", err),
 		})
 	}
@@ -319,7 +267,7 @@ func verifyTable(sp *spec.Spec, file string, rules []*subscription.Rule, ruleLin
 	// resource overflow on the table as written.
 	if prog, err := compiler.Compile(sp, rules, compiler.Options{}); err == nil && !prog.Resources.Fits() {
 		out = append(out, Finding{
-			File: file, RuleID: -1, Kind: KindResources, Severity: SevWarning,
+			Tool: Tool, File: file, RuleID: -1, Kind: KindResources, Severity: SevWarning,
 			Message: fmt.Sprintf("compiled table exceeds the modeled switch resources: %s", prog.Resources),
 		})
 	}

@@ -1,0 +1,73 @@
+package compiler
+
+import (
+	"fmt"
+
+	"camus/internal/analysis/prove"
+	"camus/internal/match"
+	"camus/internal/spec"
+)
+
+// ProveIR exports the compiled program into the translation
+// validator's neutral IR (internal/analysis/prove). The dependency
+// points this way on purpose: prove must not import the compiler (or
+// anything reaching internal/bdd), so the compiler re-expresses its
+// match constraints in the prover's own domain vocabulary here. The
+// conversion is shape-only — intervals and exact/cofinite string sets
+// map one-to-one — so a miscompiled entry survives export and is
+// caught by prove.Check.
+func (p *Program) ProveIR() (*prove.Program, error) {
+	out := &prove.Program{
+		Spec: p.Spec,
+		Init: p.Init,
+	}
+	for _, t := range p.Stages {
+		st := &prove.Stage{
+			Ref:      t.Field.Ref,
+			Defaults: make(map[int32]int32, len(t.Defaults)),
+		}
+		for in, o := range t.Defaults {
+			st.Defaults[in] = o
+		}
+		for _, e := range t.Entries {
+			pe := &prove.Entry{In: e.In, Out: e.Out}
+			switch c := e.Match.(type) {
+			case *match.IntConstraint:
+				if t.Field.Type() != spec.IntField {
+					return nil, fmt.Errorf("compiler: stage %s: integer constraint on %s field", t.Name(), t.Field.Type())
+				}
+				d := prove.IntRange(c.Lo, c.Hi)
+				for _, x := range c.Excluded {
+					d = d.Without(x)
+				}
+				pe.Int = d
+			case *match.StrConstraint:
+				if t.Field.Type() != spec.StringField {
+					return nil, fmt.Errorf("compiler: stage %s: string constraint on %s field", t.Name(), t.Field.Type())
+				}
+				if c.HasKnown {
+					pe.Str = prove.StrExact(c.Known)
+				} else {
+					pe.Str = prove.StrCofinite(c.Required, c.ExcludedEq, c.ExcludedPx)
+				}
+			default:
+				return nil, fmt.Errorf("compiler: stage %s: unknown constraint type %T", t.Name(), e.Match)
+			}
+			st.Entries = append(st.Entries, pe)
+		}
+		out.Stages = append(out.Stages, st)
+	}
+	for _, le := range p.Leaf {
+		out.Leaves = append(out.Leaves, &prove.Leaf{
+			In:      le.In,
+			Actions: le.Actions.Clone(),
+			Group:   le.Group,
+			Updates: append([]string(nil), le.Updates...),
+		})
+	}
+	for _, g := range p.Groups {
+		out.Groups = append(out.Groups, append([]int(nil), g.Ports...))
+	}
+	out.Finalize()
+	return out, nil
+}

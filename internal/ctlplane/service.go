@@ -58,6 +58,16 @@ type Config struct {
 	// fault-injection point for retry/backoff tests. Returning an error
 	// fails the attempt.
 	ApplyHook func(sw, attempt int) error
+	// Validator, when set, certifies each freshly compiled program
+	// against the switch's surviving rule set before the install (see
+	// ProveValidator for the translation-validation hookup). An error
+	// fails the whole batch without installing, leaving the switch on
+	// its previous epoch.
+	Validator Validator
+	// ValidateEvery samples validation under churn: each switch
+	// validates every Nth compiled batch (and always the first). Values
+	// ≤ 1 validate every batch.
+	ValidateEvery int
 	// Seed makes retry jitter reproducible (0 seeds from switch IDs
 	// only).
 	Seed int64
@@ -139,6 +149,9 @@ type Service struct {
 	fallbacks    atomic.Int64
 	failures     atomic.Int64
 	applied      atomic.Int64
+
+	validations        atomic.Int64
+	validationFailures atomic.Int64
 }
 
 // NewService builds the control plane and starts one apply worker per
@@ -331,6 +344,7 @@ func (s *Service) applyWorker(sw int) {
 	defer s.wg.Done()
 	rng := rand.New(rand.NewSource(s.cfg.Seed*0x9E3779B9 + int64(sw) + 1))
 	q := s.queues[sw]
+	batchNo := 0
 	for {
 		s.mu.Lock()
 		ops := q.ops
@@ -360,6 +374,20 @@ func (s *Service) applyWorker(sw int) {
 		if res.Full {
 			s.fallbacks.Add(1)
 		}
+		// Post-compile, pre-install translation validation. The worker
+		// owns this switch's compile state, so rec.Rules(sw) is the
+		// exact survivor set the batch produced.
+		if s.cfg.Validator != nil && (s.cfg.ValidateEvery <= 1 || batchNo%s.cfg.ValidateEvery == 0) {
+			s.validations.Add(1)
+			if verr := s.cfg.Validator(sw, res.Program, s.rec.Rules(sw)); verr != nil {
+				s.validationFailures.Add(1)
+				s.failures.Add(1)
+				batchNo++
+				s.finishSwitch(events, true)
+				continue
+			}
+		}
+		batchNo++
 		s.finishSwitch(events, !s.install(sw, res.Program, rng))
 	}
 }

@@ -34,10 +34,15 @@ type Snapshot struct {
 	Keeps    int64
 	// Retries counts backed-off apply attempts; Fallbacks counts
 	// drift-triggered full recompiles; Failures counts batches that
-	// exhausted retries or failed to compile.
+	// exhausted retries, failed to compile, or failed validation.
 	Retries   int64
 	Fallbacks int64
 	Failures  int64
+	// Validations counts post-compile translation-validation runs
+	// (Config.Validator); ValidationFailures counts batches rejected as
+	// disequivalent — those never reach the installer.
+	Validations        int64
+	ValidationFailures int64
 	// QueueDepth is the current number of in-flight events;
 	// PeakQueueDepth the high-water mark (bounded by MaxPending).
 	QueueDepth     int
@@ -60,6 +65,9 @@ func (s *Service) Stats() Snapshot {
 		Retries:      s.retries.Load(),
 		Fallbacks:    s.fallbacks.Load(),
 		Failures:     s.failures.Load(),
+
+		Validations:        s.validations.Load(),
+		ValidationFailures: s.validationFailures.Load(),
 	}
 	s.mu.Lock()
 	snap.QueueDepth = s.inflight

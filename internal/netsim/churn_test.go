@@ -141,7 +141,7 @@ func deliverySet(ds []HostDelivery) string {
 // wired to the sim's switches while concurrently publishing traffic,
 // then checks the converged network delivers exactly like a fresh batch
 // deployment of the surviving subscriptions. Returns the service stats.
-func runChurn(t *testing.T, events int, seed int64) ctlplane.Snapshot {
+func runChurn(t *testing.T, events int, seed int64, validator ctlplane.Validator) ctlplane.Snapshot {
 	t.Helper()
 	net := topology.MustFatTree(4)
 	ropts := routing.Options{Policy: routing.TrafficReduction, Alpha: 10}
@@ -158,6 +158,7 @@ func runChurn(t *testing.T, events int, seed int64) ctlplane.Snapshot {
 	svc, err := ctlplane.NewService(ctlplane.Config{
 		Net: net, Spec: itchSpec, Routing: ropts,
 		Installers: sim.Installers(), Seed: seed,
+		Validator: validator,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -260,7 +261,7 @@ func runChurn(t *testing.T, events int, seed int64) ctlplane.Snapshot {
 // TestLiveChurn is the end-to-end control-plane integration: churn +
 // traffic, then convergence to the batch-deploy semantics.
 func TestLiveChurn(t *testing.T) {
-	snap := runChurn(t, 150, 31)
+	snap := runChurn(t, 150, 31, nil)
 	if snap.Applied != snap.Events || snap.Failures != 0 {
 		t.Errorf("unclean churn run: %+v", snap)
 	}
@@ -279,10 +280,35 @@ func TestChurnSoak(t *testing.T) {
 	if os.Getenv("CAMUS_SOAK") != "" {
 		events = 3000
 	}
-	snap := runChurn(t, events, 47)
+	snap := runChurn(t, events, 47, nil)
 	if snap.Applied != snap.Events || snap.Failures != 0 {
 		t.Errorf("unclean soak: %+v", snap)
 	}
 	t.Logf("soak: %d events, %d batches, +%d -%d =%d, latency %s",
 		snap.Events, snap.Batches, snap.Installs, snap.Deletes, snap.Keeps, snap.Latency)
+}
+
+// TestChurnValidated is the translation-validation acceptance run: the
+// full churn workload with the symbolic prover always-on as the
+// post-apply validator. Every epoch every switch swaps to during 1000
+// subscription events must be proved equivalent to that switch's
+// surviving rule set — zero disequivalent epochs, zero skipped proofs.
+func TestChurnValidated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	net := topology.MustFatTree(4)
+	snap := runChurn(t, 1000, 61, ctlplane.ProveValidator(net, 0))
+	if snap.Applied != snap.Events || snap.Failures != 0 {
+		t.Errorf("unclean validated churn: %+v", snap)
+	}
+	if snap.ValidationFailures != 0 {
+		t.Errorf("%d disequivalent epochs under churn", snap.ValidationFailures)
+	}
+	if snap.Validations != snap.Batches {
+		t.Errorf("always-on validator skipped proofs: validations %d != batches %d",
+			snap.Validations, snap.Batches)
+	}
+	t.Logf("validated churn: %d events, %d batches, %d proofs, 0 disequivalent",
+		snap.Events, snap.Batches, snap.Validations)
 }
