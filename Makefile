@@ -2,7 +2,7 @@
 # leave `make check` green.
 GO ?= go
 
-.PHONY: check vet lint build test race bench bench-report fuzz-smoke fuzz-extended vet-report churn-soak soak prove
+.PHONY: check vet lint build test race bench bench-report perf-guard fuzz-smoke fuzz-extended vet-report churn-soak soak prove
 
 ## check: the full tier-1 gate — vet, custom analyzers, build,
 ## race-enabled tests, a short churn soak, a short fuzz smoke, a
@@ -11,10 +11,13 @@ GO ?= go
 check: vet lint build race churn-soak fuzz-smoke prove bench
 
 ## prove: certify the shipped sample rules with the translation
-## validator (camusc prove), in both last-hop and upstream modes.
+## validator (camusc prove), in both last-hop and upstream modes, and
+## once through the parallel compile path (the prover is downstream of
+## the worker-pool compiler, so this run certifies parallel output).
 prove:
 	$(GO) run ./cmd/camusc prove -spec cmd/camusc/testdata/itch.spec -rules cmd/camusc/testdata/itch.rules
 	$(GO) run ./cmd/camusc prove -spec cmd/camusc/testdata/itch.spec -rules cmd/camusc/testdata/itch.rules -last-hop=false
+	$(GO) run ./cmd/camusc prove -spec cmd/camusc/testdata/itch.spec -rules cmd/camusc/testdata/itch.rules -parallelism 4
 
 vet:
 	$(GO) vet ./...
@@ -30,8 +33,11 @@ build:
 test:
 	$(GO) test ./...
 
+# -timeout 30m: internal/experiments compiles paper-scale workloads in
+# every figure test; under the race detector on a single-core host the
+# package runs close to the default 10m per-package limit.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 ## bench: one-iteration smoke of the worker-sweep and live-churn
 ## benchmarks (fast).
@@ -39,9 +45,21 @@ bench:
 	$(GO) test -run '^$$' -bench='SwitchParallel|Churn' -benchtime=1x .
 
 ## bench-report: regenerate bench-report.txt with steady-state numbers
-## (host header from TestMain records NumCPU / GOMAXPROCS).
+## (host header from TestMain records NumCPU / GOMAXPROCS), then emit
+## the machine-readable companions: BENCH_compile.json for the
+## CompileParallel worker sweep and BENCH_switch.json for the
+## SwitchParallel sweep (ns/op, allocs/op, host shape).
 bench-report:
-	$(GO) test -run '^$$' -bench='SwitchParallel|Churn' . | tee bench-report.txt
+	$(GO) test -run '^$$' -bench='SwitchParallel|Churn|CompileParallel' -benchmem . | tee bench-report.txt
+	$(GO) run ./cmd/benchjson -filter 'CompileParallel|Churn' -out BENCH_compile.json < bench-report.txt
+	$(GO) run ./cmd/benchjson -filter 'SwitchParallel' -out BENCH_switch.json < bench-report.txt
+
+## perf-guard: the CI allocation guard — run the two canonical compiler
+## benchmarks once and fail on a >2x allocs/op regression against the
+## checked-in baseline (perf-baseline.json).
+perf-guard:
+	$(GO) test -run '^$$' -bench '^BenchmarkCompile500$$|^BenchmarkIncrementalAddOne$$' -benchtime 1x -benchmem ./internal/compiler \
+		| $(GO) run ./cmd/benchjson -baseline perf-baseline.json -max-ratio 2
 
 ## churn-soak: race-enabled soak of the live control plane — churn +
 ## concurrent traffic through the netsim switches (~5s).

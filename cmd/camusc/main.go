@@ -55,6 +55,7 @@ func runCompile() {
 	dotPath := flag.String("dot", "", "write the rule BDD in Graphviz format")
 	lastHop := flag.Bool("last-hop", false, "compile as a last-hop switch (stateful predicates active)")
 	noPrune := flag.Bool("no-prune", false, "disable domain-specific BDD pruning (ablation)")
+	parallelism := flag.Int("parallelism", 0, "compile worker count (0 = GOMAXPROCS); output is identical for every value")
 	quiet := flag.Bool("q", false, "print only the resource summary")
 	flag.Parse()
 
@@ -73,8 +74,9 @@ func runCompile() {
 	check("parse rules", err)
 
 	opts := compiler.Options{
-		LastHop: *lastHop,
-		BDD:     bdd.Options{DisablePruning: *noPrune},
+		LastHop:     *lastHop,
+		BDD:         bdd.Options{DisablePruning: *noPrune},
+		Parallelism: *parallelism,
 	}
 	prog, err := compiler.Compile(sp, rules, opts)
 	check("compile", err)

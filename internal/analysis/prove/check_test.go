@@ -139,13 +139,36 @@ func resolveOp(t *testing.T, p *compiler.Program, op string) corrupt.Mutation {
 		}
 		t.Fatal("no redirectable entry")
 	case "drop-update":
+		// Prefer a pure update leaf (no forwarding): its paths include the
+		// statelessly reachable "rest-of-filter matches, stateful predicate
+		// undecidable" region, so the divergence replays on the wire.
+		// Leaves that both forward and update sit behind a true stateful
+		// branch and yield only register-dependent counterexamples.
+		best := -1
 		for i, le := range p.Leaf {
-			if len(le.Updates) > 0 {
+			if len(le.Updates) == 0 {
+				continue
+			}
+			if best < 0 {
+				best = i
+			}
+			if len(le.Actions.Ports) == 0 {
 				return corrupt.Mutation{Op: op, Leaf: i, Key: le.Updates[0]}
 			}
 		}
+		if best >= 0 {
+			return corrupt.Mutation{Op: op, Leaf: best, Key: p.Leaf[best].Updates[0]}
+		}
 		t.Fatal("no leaf updates any register")
 	case "add-update":
+		// Same reachability concern as drop-update: seed the spurious
+		// update on a leaf without updates (typically the drop leaf),
+		// which non-matching packets reach with no register involved.
+		for i, le := range p.Leaf {
+			if len(le.Updates) == 0 {
+				return corrupt.Mutation{Op: op, Leaf: i, Key: "avg(ord_qty.shares)"}
+			}
+		}
 		if len(p.Leaf) == 0 {
 			t.Fatal("program has no leaves")
 		}

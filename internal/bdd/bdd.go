@@ -2,8 +2,10 @@ package bdd
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"camus/internal/match"
 	"camus/internal/spec"
@@ -39,8 +41,6 @@ type BDD struct {
 	// DroppedRules counts rule disjuncts skipped because their
 	// conjunction was syntactically unsatisfiable.
 	DroppedRules int
-
-	nodes []*Node // every hash-consed node, by ID
 }
 
 // Options configure BDD construction.
@@ -54,6 +54,13 @@ type Options struct {
 	// (0 = unlimited). Without reduction iii, range workloads can blow
 	// up combinatorially; the cap turns an out-of-memory into an error.
 	MaxNodes int
+	// Parallelism is the number of goroutines building per-rule chains
+	// (<= 1 means sequential). Chains are independent, so they fan out
+	// over a worker pool; the OR-merge stays sequential because with
+	// pruning the merge result is order-sensitive. Batch builds are
+	// renumbered to a DFS order afterwards, so the emitted diagram is
+	// byte-identical whatever the worker count.
+	Parallelism int
 }
 
 // ErrTooLarge is returned when construction exceeds Options.MaxNodes.
@@ -62,6 +69,10 @@ var ErrTooLarge = fmt.Errorf("bdd: construction exceeded the node limit")
 // tooLarge is the panic sentinel carrying ErrTooLarge out of the
 // recursive builder.
 type tooLarge struct{}
+
+// parallelChainFanout is the minimum rule count before chain building
+// spawns workers; below it the goroutine overhead dominates.
+const parallelChainFanout = 32
 
 // Build compiles rules into a BDD. Rules are normalized to DNF first;
 // each disjunct becomes an independent conjunction chain OR-ed into the
@@ -79,7 +90,26 @@ func Build(sp *spec.Spec, rules []*subscription.Rule, opts Options) (*BDD, error
 }
 
 // BuildNormalized compiles already-normalized rules into a BDD.
-func BuildNormalized(sp *spec.Spec, rules []subscription.NormalizedRule, opts Options) (d *BDD, err error) {
+func BuildNormalized(sp *spec.Spec, rules []subscription.NormalizedRule, opts Options) (*BDD, error) {
+	return buildIn(NewUniverse(sp, rules, opts.Order), rules, opts)
+}
+
+// BuildInUniverse compiles rules against an existing universe, which
+// must already contain every predicate the rules reference (it is not
+// extended). The universe's memo caches are shared: concurrent
+// BuildInUniverse calls against one universe are safe and warm each
+// other's implication/refinement caches.
+func BuildInUniverse(u *Universe, rules []subscription.NormalizedRule, opts Options) (*BDD, error) {
+	return buildIn(u, rules, opts)
+}
+
+type chainResult struct {
+	node *Node
+	ok   bool
+	err  error
+}
+
+func buildIn(u *Universe, rules []subscription.NormalizedRule, opts Options) (d *BDD, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(tooLarge); ok {
@@ -89,32 +119,94 @@ func BuildNormalized(sp *spec.Spec, rules []subscription.NormalizedRule, opts Op
 			panic(r)
 		}
 	}()
-	u := NewUniverse(sp, rules, opts.Order)
 	b := newBuilder(u, !opts.DisablePruning)
 	b.maxNodes = opts.MaxNodes
+
+	results := make([]chainResult, len(rules))
+	workers := opts.Parallelism
+	if workers > len(rules) {
+		workers = len(rules)
+	}
+	if workers > 1 && len(rules) >= parallelChainFanout {
+		var next atomic.Int64
+		var overflow atomic.Bool
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// A node-cap overflow panics out of the recursive
+				// builder; inside a worker it must not crash the
+				// process, so convert it to the error return here.
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(tooLarge); ok {
+							overflow.Store(true)
+							return
+						}
+						panic(r)
+					}
+				}()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(rules) || overflow.Load() {
+						return
+					}
+					n, ok, err := b.chain(rules[i])
+					results[i] = chainResult{node: n, ok: ok, err: err}
+				}
+			}()
+		}
+		wg.Wait()
+		if overflow.Load() {
+			return nil, ErrTooLarge
+		}
+	} else {
+		for i := range rules {
+			n, ok, cerr := b.chain(rules[i])
+			results[i] = chainResult{node: n, ok: ok, err: cerr}
+		}
+	}
+
 	dropped := 0
 	chains := make([]*Node, 0, len(rules))
-	seenChain := make(map[int32]bool, len(rules))
-	for _, nr := range rules {
-		chain, ok, err := b.chain(nr)
-		if err != nil {
-			return nil, err
+	seenChain := make(map[*Node]bool, len(rules))
+	for i := range results {
+		r := results[i]
+		if r.err != nil {
+			return nil, r.err
 		}
-		if !ok {
+		if !r.ok {
 			dropped++
 			continue
 		}
 		// Hash-consing makes identical rules the same chain node;
 		// OR(x, x) = x, so duplicates are skipped outright.
-		if seenChain[chain.ID] {
+		if seenChain[r.node] {
 			continue
 		}
-		seenChain[chain.ID] = true
-		chains = append(chains, chain)
+		seenChain[r.node] = true
+		chains = append(chains, r.node)
 	}
-	// Balanced pairwise merging: OR-ing similar-sized diagrams keeps
-	// intermediate results small and memo hit rates high, unlike a left
-	// fold that re-walks one ever-growing diagram per rule.
+	root := b.merge(chains)
+	d = &BDD{Universe: u, Root: root, DroppedRules: dropped}
+	// Batch diagrams are renumbered to a structural DFS order: the IDs
+	// no longer depend on which worker allocated a node first, so the
+	// downstream program (table entry order, multicast group numbering,
+	// prover path enumeration) is identical for every worker count.
+	// Engine builds are never renumbered — incremental table diffing
+	// relies on creation-order ID stability across rebuilds.
+	d.renumber()
+	return d, nil
+}
+
+// merge OR-combines chains with balanced pairwise merging: OR-ing
+// similar-sized diagrams keeps intermediate results small and memo hit
+// rates high, unlike a left fold that re-walks one ever-growing diagram
+// per rule. The merge is sequential and in ascending input order — with
+// pruning the result is merge-order sensitive, so this is what keeps
+// parallel chain building deterministic.
+func (b *builder) merge(chains []*Node) *Node {
 	for len(chains) > 1 {
 		next := chains[:0]
 		for i := 0; i+1 < len(chains); i += 2 {
@@ -125,138 +217,180 @@ func BuildNormalized(sp *spec.Spec, rules []subscription.NormalizedRule, opts Op
 		}
 		chains = next
 	}
-	root := b.terminal(subscription.ActionSet{})
 	if len(chains) == 1 {
-		root = chains[0]
+		return chains[0]
 	}
-	return &BDD{Universe: u, Root: root, DroppedRules: dropped, nodes: b.nodes}, nil
+	return b.terminal(subscription.ActionSet{})
+}
+
+// renumber reassigns node IDs in DFS preorder (hi before lo) from the
+// root. The order is derived purely from the diagram structure, which
+// hash-consing and the sequential merge make independent of chain-build
+// scheduling.
+func (d *BDD) renumber() {
+	next := int32(0)
+	seen := make(map[*Node]bool)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		n.ID = next
+		next++
+		if !n.IsTerminal() {
+			walk(n.Hi)
+			walk(n.Lo)
+		}
+	}
+	walk(d.Root)
 }
 
 // builder holds the hash-consing tables during construction.
 //
-// Performance note: the or/apply hot path must not format strings. Path
-// contexts (per-field constraints) are interned to int32 IDs; context
-// refinement is memoized by (ctxID, predID, outcome), so a constraint's
+// Performance notes: the or/apply hot path must not format strings. Path
+// contexts (per-field constraints) are interned to int32 IDs in the
+// universe's persistent cache; context refinement and implication tests
+// are memoized there by small integer tuples, so a constraint's
 // canonical Key() is computed once per distinct refinement rather than
-// once per visit. Memoization keys are then small integer tuples.
+// once per visit — and the results survive across builds sharing the
+// universe (the incremental engine's rebuilds, parallel per-switch
+// compiles in tests).
+//
+// Nodes live in per-shard slab arenas behind a sharded unique table, so
+// chain construction can run on several goroutines: mkNode/terminal are
+// safe for concurrent use. The or-merge memo tables (memo, termMemo)
+// are plain maps — the merge is always sequential.
 type builder struct {
-	u         *Universe
-	pruning   bool
-	nodes     []*Node
-	uniq      map[[3]int32]*Node
-	terminals map[string]*Node
-	memo      map[memoKey]*Node
-	termMemo  map[[2]int32]*Node
+	u       *Universe
+	pruning bool
 
-	ctxs     []match.Constraint // interned contexts by ID
-	ctxField []int              // field index of each context
-	ctxByKey map[string]int32
-	freshIDs map[int]int32 // field index → top context ID
-	refined  map[refineKey]int32
+	nextID atomic.Int32
+	shards [nShards]uniqShard
+
+	termMu    sync.Mutex
+	terminals map[string]*Node
+	termSlab  []Node
+	empty     *Node // cached ∅-action terminal (always ID 0)
+
+	memo     map[memoKey]*Node
+	termMemo map[[2]int32]*Node
 
 	// maxNodes aborts construction via a tooLarge panic when exceeded
 	// (0 = unlimited).
 	maxNodes int
 }
 
-type memoKey struct {
-	u, v, ctx int32
+const (
+	nShards  = 16
+	slabSize = 1024
+)
+
+// uniqShard is one shard of the hash-cons unique table plus its slab
+// arena. Slabs are fixed-capacity and never grow in place, so node
+// pointers stay valid for the builder's lifetime.
+type uniqShard struct {
+	mu   sync.Mutex
+	uniq map[[3]int32]*Node
+	slab []Node
 }
 
-type refineKey struct {
-	ctx     int32
-	pred    int32
-	outcome bool
+func (s *uniqShard) alloc() *Node {
+	if len(s.slab) == cap(s.slab) {
+		s.slab = make([]Node, 0, slabSize)
+	}
+	s.slab = append(s.slab, Node{})
+	return &s.slab[len(s.slab)-1]
+}
+
+func shardOf(key [3]int32) uint32 {
+	h := uint32(key[0])*0x9e3779b1 ^ uint32(key[1])*0x85ebca77 ^ uint32(key[2])*0xc2b2ae3d
+	return (h ^ h>>16) & (nShards - 1)
+}
+
+type memoKey struct {
+	u, v, ctx int32
 }
 
 // noCtx marks "no context" (pruning disabled or not yet entered a field).
 const noCtx int32 = -1
 
 func newBuilder(u *Universe, pruning bool) *builder {
-	return &builder{
+	b := &builder{
 		u:         u,
 		pruning:   pruning,
-		uniq:      make(map[[3]int32]*Node),
 		terminals: make(map[string]*Node),
 		memo:      make(map[memoKey]*Node),
 		termMemo:  make(map[[2]int32]*Node),
-		ctxByKey:  make(map[string]int32),
-		freshIDs:  make(map[int]int32),
-		refined:   make(map[refineKey]int32),
 	}
-}
-
-// internCtx returns the ID of a canonical (fieldIdx, constraint) pair.
-func (b *builder) internCtx(fieldIdx int, c match.Constraint) int32 {
-	full := fmt.Sprintf("%d|%s", fieldIdx, c.Key())
-	if id, ok := b.ctxByKey[full]; ok {
-		return id
-	}
-	id := int32(len(b.ctxs))
-	b.ctxs = append(b.ctxs, c)
-	b.ctxField = append(b.ctxField, fieldIdx)
-	b.ctxByKey[full] = id
-	return id
-}
-
-// freshCtx returns the unconstrained context for a predicate's field.
-func (b *builder) freshCtx(p *Pred) int32 {
-	if id, ok := b.freshIDs[p.FieldIdx]; ok {
-		return id
-	}
-	id := b.internCtx(p.FieldIdx, match.New(p.Ref.Type()))
-	b.freshIDs[p.FieldIdx] = id
-	return id
-}
-
-// refineCtx returns the context refined by a predicate outcome,
-// memoized on (ctx, pred, outcome).
-func (b *builder) refineCtx(ctx int32, p *Pred, outcome bool) int32 {
-	rk := refineKey{ctx: ctx, pred: int32(p.ID), outcome: outcome}
-	if id, ok := b.refined[rk]; ok {
-		return id
-	}
-	c := b.ctxs[ctx].With(p.Rel, p.Const, outcome)
-	id := b.internCtx(p.FieldIdx, c)
-	b.refined[rk] = id
-	return id
+	// The empty terminal exists in every diagram (chain fallthrough);
+	// interning it eagerly gives the hot path a lock-free pointer check
+	// and makes its ID (0) deterministic.
+	b.empty = b.terminal(subscription.ActionSet{})
+	return b
 }
 
 // terminal returns the hash-consed terminal for an action set
 // (reduction i for terminals: equal action sets share one node).
+// Safe for concurrent use.
 func (b *builder) terminal(acts subscription.ActionSet) *Node {
+	if acts.IsEmpty() && b.empty != nil {
+		return b.empty
+	}
 	key := acts.Key()
+	b.termMu.Lock()
+	defer b.termMu.Unlock()
 	if n, ok := b.terminals[key]; ok {
 		return n
 	}
-	b.checkSize()
-	n := &Node{ID: int32(len(b.nodes)), Actions: acts}
-	b.nodes = append(b.nodes, n)
+	if len(b.termSlab) == cap(b.termSlab) {
+		b.termSlab = make([]Node, 0, 64)
+	}
+	b.termSlab = append(b.termSlab, Node{ID: b.allocID(), Actions: acts})
+	n := &b.termSlab[len(b.termSlab)-1]
 	b.terminals[key] = n
 	return n
 }
 
-// checkSize enforces the node cap.
-func (b *builder) checkSize() {
-	if b.maxNodes > 0 && len(b.nodes) >= b.maxNodes {
+// allocID hands out the next node ID, enforcing the node cap.
+func (b *builder) allocID() int32 {
+	id := b.nextID.Add(1) - 1
+	if b.maxNodes > 0 && int(id) >= b.maxNodes {
 		panic(tooLarge{})
 	}
+	return id
 }
 
 // mkNode returns the hash-consed internal node (reductions i and ii).
+// Safe for concurrent use: the key's shard serializes lookup+insert, and
+// node IDs come from one atomic counter.
 func (b *builder) mkNode(p *Pred, hi, lo *Node) *Node {
 	if hi == lo {
 		return hi // reduction ii: both branches agree
 	}
 	key := [3]int32{int32(p.ID), hi.ID, lo.ID}
-	if n, ok := b.uniq[key]; ok {
+	sh := &b.shards[shardOf(key)]
+	sh.mu.Lock()
+	if n, ok := sh.uniq[key]; ok {
+		sh.mu.Unlock()
 		return n // reduction i: isomorphic node exists
 	}
-	b.checkSize()
-	n := &Node{ID: int32(len(b.nodes)), Pred: p, Hi: hi, Lo: lo}
-	b.nodes = append(b.nodes, n)
-	b.uniq[key] = n
+	if sh.uniq == nil {
+		sh.uniq = make(map[[3]int32]*Node)
+	}
+	n := sh.alloc()
+	*n = Node{ID: b.allocID(), Pred: p, Hi: hi, Lo: lo}
+	sh.uniq[key] = n
+	sh.mu.Unlock()
 	return n
+}
+
+// nodeCount reports how many nodes the builder has allocated.
+func (b *builder) nodeCount() int { return int(b.nextID.Load()) }
+
+type lit struct {
+	pred     *Pred
+	positive bool
 }
 
 // chain builds the BDD for one conjunction: a linear chain of predicate
@@ -264,44 +398,48 @@ func (b *builder) mkNode(p *Pred, hi, lo *Node) *Node {
 // Returns ok=false when the conjunction is unsatisfiable (a predicate
 // used with both polarities, or a semantic per-field contradiction such
 // as price > 20 ∧ price < 10). Literals implied by the preceding ones on
-// the same field are elided.
+// the same field are elided. Safe for concurrent use.
 func (b *builder) chain(nr subscription.NormalizedRule) (*Node, bool, error) {
-	type lit struct {
-		pred     *Pred
-		positive bool
-	}
 	lits := make([]lit, 0, len(nr.Conj))
-	polarity := make(map[int]bool, len(nr.Conj))
-	seen := make(map[int]bool, len(nr.Conj))
+atoms:
 	for _, a := range nr.Conj {
 		p, pos, err := b.u.Lookup(a)
 		if err != nil {
 			return nil, false, err
 		}
-		if seen[p.ID] {
-			if polarity[p.ID] != pos {
-				return nil, false, nil // p and ¬p: unsatisfiable
+		// Conjunctions are small; a linear scan beats two maps.
+		for i := range lits {
+			if lits[i].pred == p {
+				if lits[i].positive != pos {
+					return nil, false, nil // p and ¬p: unsatisfiable
+				}
+				continue atoms
 			}
-			continue
 		}
-		seen[p.ID] = true
-		polarity[p.ID] = pos
 		lits = append(lits, lit{pred: p, positive: pos})
 	}
-	sort.Slice(lits, func(i, j int) bool { return lits[i].pred.Less(lits[j].pred) })
+	slices.SortFunc(lits, func(a, b lit) int {
+		if a.pred.FieldIdx != b.pred.FieldIdx {
+			return a.pred.FieldIdx - b.pred.FieldIdx
+		}
+		return a.pred.Seq - b.pred.Seq
+	})
 
 	// Per-field satisfiability and redundancy pass (mirrors reduction
-	// iii at the cheapest possible point).
+	// iii at the cheapest possible point). Contexts are interned and the
+	// implication/refinement results memoized in the universe, so rules
+	// sharing literal prefixes — the common case in generated workloads —
+	// skip the constraint algebra entirely.
 	if b.pruning {
 		kept := lits[:0]
+		ctx := noCtx
 		ctxField := -1
-		var ctx match.Constraint
 		for _, l := range lits {
-			if l.pred.FieldIdx != ctxField {
+			if ctx == noCtx || ctxField != l.pred.FieldIdx {
+				ctx, _ = b.u.freshCtx(l.pred)
 				ctxField = l.pred.FieldIdx
-				ctx = match.New(l.pred.Ref.Type())
 			}
-			switch ctx.Implies(l.pred.Rel, l.pred.Const) {
+			switch b.u.impliesCtx(ctx, l.pred) {
 			case match.True:
 				if !l.positive {
 					return nil, false, nil
@@ -313,7 +451,7 @@ func (b *builder) chain(nr subscription.NormalizedRule) (*Node, bool, error) {
 				}
 				continue
 			}
-			ctx = ctx.With(l.pred.Rel, l.pred.Const, l.positive)
+			ctx, _ = b.u.refineCtx(ctx, l.pred, l.positive)
 			kept = append(kept, l)
 		}
 		lits = kept
@@ -322,7 +460,7 @@ func (b *builder) chain(nr subscription.NormalizedRule) (*Node, bool, error) {
 	var acts subscription.ActionSet
 	acts.Add(nr.Action)
 	node := b.terminal(acts)
-	empty := b.terminal(subscription.ActionSet{})
+	empty := b.empty
 	for i := len(lits) - 1; i >= 0; i-- {
 		if lits[i].positive {
 			node = b.mkNode(lits[i].pred, node, empty)
@@ -341,7 +479,8 @@ func (b *builder) chain(nr subscription.NormalizedRule) (*Node, bool, error) {
 // conjunction of predicate outcomes taken so far on the field currently
 // being tested. Constraints on earlier fields are irrelevant once the
 // variable order moves past them, so one field's context suffices (and
-// keeps memoization effective).
+// keeps memoization effective). NOT safe for concurrent use (sequential
+// merge only).
 func (b *builder) or(u, v *Node) *Node {
 	return b.orCtx(u, v, noCtx)
 }
@@ -376,14 +515,21 @@ func (b *builder) orCtx(u, v *Node, ctx int32) *Node {
 
 	// Fast-forward every predicate the context already decides
 	// (reduction iii) in a tight loop: no memoization or allocation per
-	// skipped node. This is what keeps merging O(100k) equality chains
-	// (hICN-style workloads) tractable — a pinned field value otherwise
-	// walks the whole chain through the memo machinery.
-	if ctx == noCtx || b.ctxField[ctx] != p.FieldIdx {
-		ctx = b.freshCtx(p)
+	// skipped node. The context's constraint is held in a local and
+	// tested with direct calls — fetching it from the shared cache per
+	// node would put a lock and a map probe on the hottest loop in the
+	// compiler for an implication test that is a handful of compares.
+	// This is what keeps merging O(100k) equality chains (hICN-style
+	// workloads) tractable — a pinned field value otherwise walks the
+	// whole chain through the memo machinery.
+	var cur match.Constraint
+	if ctx == noCtx || b.u.cache.fieldOf(ctx) != int32(p.FieldIdx) {
+		ctx, cur = b.u.freshCtx(p)
+	} else {
+		cur = b.u.cache.at(ctx)
 	}
 	for {
-		switch b.ctxs[ctx].Implies(p.Rel, p.Const) {
+		switch cur.Implies(p.Rel, p.Const) {
 		case match.True:
 			u, v = restrict(u, p, true), restrict(v, p, true)
 		case match.False:
@@ -393,8 +539,10 @@ func (b *builder) orCtx(u, v *Node, ctx int32) *Node {
 			if n, ok := b.memo[mk]; ok {
 				return n
 			}
-			hi := b.orCtx(restrict(u, p, true), restrict(v, p, true), b.refineCtx(ctx, p, true))
-			lo := b.orCtx(restrict(u, p, false), restrict(v, p, false), b.refineCtx(ctx, p, false))
+			hiCtx, _ := b.u.refineCtx(ctx, p, true)
+			loCtx, _ := b.u.refineCtx(ctx, p, false)
+			hi := b.orCtx(restrict(u, p, true), restrict(v, p, true), hiCtx)
+			lo := b.orCtx(restrict(u, p, false), restrict(v, p, false), loCtx)
 			result := b.mkNode(p, hi, lo)
 			b.memo[mk] = result
 			return result
@@ -403,8 +551,8 @@ func (b *builder) orCtx(u, v *Node, ctx int32) *Node {
 			return b.orCtx(u, v, ctx) // terminal merge path
 		}
 		p = topPred(u, v)
-		if b.ctxField[ctx] != p.FieldIdx {
-			ctx = b.freshCtx(p)
+		if b.u.cache.fieldOf(ctx) != int32(p.FieldIdx) {
+			ctx, cur = b.u.freshCtx(p)
 		}
 	}
 }

@@ -108,26 +108,15 @@ func (e *Engine) Build() *BDD {
 			chains = append(chains, c)
 		}
 	}
-	for len(chains) > 1 {
-		next := chains[:0]
-		for i := 0; i+1 < len(chains); i += 2 {
-			next = append(next, e.b.or(chains[i], chains[i+1]))
-		}
-		if len(chains)%2 == 1 {
-			next = append(next, chains[len(chains)-1])
-		}
-		chains = next
-	}
-	root := e.b.terminal(subscription.ActionSet{})
-	if len(chains) == 1 {
-		root = chains[0]
-	}
-	return &BDD{Universe: e.u, Root: root, DroppedRules: e.dropped, nodes: e.b.nodes}
+	// Engine diagrams keep their creation-order node IDs (no DFS
+	// renumbering): downstream table diffing relies on IDs being stable
+	// across rebuilds of one engine.
+	return &BDD{Universe: e.u, Root: e.b.merge(chains), DroppedRules: e.dropped}
 }
 
 // CacheSize reports the persistent table sizes (for Compact decisions).
 func (e *Engine) CacheSize() (nodes, memoEntries int) {
-	return len(e.b.nodes), len(e.b.memo)
+	return e.b.nodeCount(), len(e.b.memo)
 }
 
 // chainExtend is chain() against the growable universe.

@@ -3,7 +3,9 @@ package bdd
 import (
 	"fmt"
 	"sort"
+	"sync"
 
+	"camus/internal/match"
 	"camus/internal/spec"
 	"camus/internal/subscription"
 )
@@ -44,10 +46,6 @@ func (p *Pred) String() string {
 	return fmt.Sprintf("%s %s %s", p.Ref, p.Rel, p.Const)
 }
 
-func (p *Pred) key() string {
-	return fmt.Sprintf("%s %s %s", p.Ref.Key(), p.Rel, p.Const)
-}
-
 // Eval evaluates the predicate against a message + state.
 func (p *Pred) Eval(m *spec.Message, st subscription.StateReader) bool {
 	a := subscription.Atom{Ref: p.Ref, Rel: p.Rel, Const: p.Const}
@@ -85,6 +83,36 @@ const (
 	ReverseSpecOrder
 )
 
+// fieldIdent is the comparable identity of a field variable — the struct
+// equivalent of FieldRef.Key(), so the hot lookup paths never format
+// strings. Packet fields identify by their interned *spec.Field,
+// validity bits by header name; aggregates (rare) fall back to the
+// canonical key string so key-equal refs stay merged.
+type fieldIdent struct {
+	kind   subscription.RefKind
+	field  *spec.Field
+	header string
+	agg    string
+}
+
+func identOf(r subscription.FieldRef) fieldIdent {
+	switch r.Kind {
+	case subscription.PacketRef:
+		return fieldIdent{kind: r.Kind, field: r.Field}
+	case subscription.ValidityRef:
+		return fieldIdent{kind: r.Kind, header: r.Header}
+	default:
+		return fieldIdent{kind: r.Kind, agg: r.Key()}
+	}
+}
+
+// predIdent is the comparable identity of a canonical predicate.
+type predIdent struct {
+	f   fieldIdent
+	rel subscription.Relation
+	c   spec.Value
+}
+
 // Universe is the set of BDD variables derived from a rule set: the
 // referenced fields in a fixed order and the canonical predicates on each.
 type Universe struct {
@@ -92,8 +120,170 @@ type Universe struct {
 	Fields []*FieldVar
 	Preds  []*Pred // global variable order
 
-	fieldByKey map[string]*FieldVar
-	predByKey  map[string]*Pred
+	fieldByKey map[fieldIdent]*FieldVar
+	predByKey  map[predIdent]*Pred
+
+	// cache holds the interned per-field constraint contexts and the
+	// memoized implication/refinement results. It is concurrency-safe
+	// and persistent for the universe's lifetime: parallel chain workers
+	// within one build, concurrent builds sharing the universe, and the
+	// incremental engine's successive rebuilds all hit the same entries.
+	// Entries are never invalidated — predicates are append-only and
+	// constraints immutable, so a cached result stays correct when the
+	// universe grows (Extend renumbers Seq, never a Pred's ID).
+	cache ctxCache
+}
+
+// ctxCache interns (field, constraint) contexts to dense int32 IDs and
+// memoizes the two operations the builder performs on them. All methods
+// are safe for concurrent use.
+type ctxCache struct {
+	mu      sync.RWMutex
+	ctxs    []match.Constraint
+	fields  []int32
+	byKey   map[ctxKey]int32
+	fresh   map[int32]int32 // field index → unconstrained context ID
+	refined map[refineKey]int32
+	implied map[implKey]match.Tri
+}
+
+type ctxKey struct {
+	field int32
+	key   string
+}
+
+type refineKey struct {
+	ctx     int32
+	pred    int32
+	outcome bool
+}
+
+type implKey struct {
+	ctx  int32
+	pred int32
+}
+
+func (cc *ctxCache) init() {
+	cc.byKey = make(map[ctxKey]int32)
+	cc.fresh = make(map[int32]int32)
+	cc.refined = make(map[refineKey]int32)
+	cc.implied = make(map[implKey]match.Tri)
+}
+
+// fieldOf returns the field index a context constrains.
+func (cc *ctxCache) fieldOf(ctx int32) int32 {
+	cc.mu.RLock()
+	f := cc.fields[ctx]
+	cc.mu.RUnlock()
+	return f
+}
+
+func (cc *ctxCache) at(ctx int32) match.Constraint {
+	cc.mu.RLock()
+	c := cc.ctxs[ctx]
+	cc.mu.RUnlock()
+	return c
+}
+
+// intern returns the ID of a canonical (field, constraint) pair.
+func (cc *ctxCache) intern(field int32, c match.Constraint) int32 {
+	key := ctxKey{field: field, key: c.Key()}
+	cc.mu.RLock()
+	id, ok := cc.byKey[key]
+	cc.mu.RUnlock()
+	if ok {
+		return id
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if id, ok := cc.byKey[key]; ok {
+		return id
+	}
+	id = int32(len(cc.ctxs))
+	cc.ctxs = append(cc.ctxs, c)
+	cc.fields = append(cc.fields, field)
+	cc.byKey[key] = id
+	return id
+}
+
+// freshCtx returns the unconstrained context for a predicate's field
+// together with its constraint, so callers hold the constraint locally
+// and test implications with direct (lock-free) calls.
+func (u *Universe) freshCtx(p *Pred) (int32, match.Constraint) {
+	cc := &u.cache
+	cc.mu.RLock()
+	id, ok := cc.fresh[int32(p.FieldIdx)]
+	var c match.Constraint
+	if ok {
+		c = cc.ctxs[id]
+	}
+	cc.mu.RUnlock()
+	if ok {
+		return id, c
+	}
+	c = match.New(p.Ref.Type())
+	id = cc.intern(int32(p.FieldIdx), c)
+	cc.mu.Lock()
+	cc.fresh[int32(p.FieldIdx)] = id
+	cc.mu.Unlock()
+	return id, cc.at(id)
+}
+
+// refineCtx returns the context refined by a predicate outcome plus its
+// constraint, memoized on (ctx, pred, outcome). The memo persists for
+// the universe's lifetime, so an incremental engine's rebuilds (and any
+// concurrent builds sharing the universe) never recompute — or
+// re-allocate — a refinement they have seen before.
+func (u *Universe) refineCtx(ctx int32, p *Pred, outcome bool) (int32, match.Constraint) {
+	cc := &u.cache
+	rk := refineKey{ctx: ctx, pred: int32(p.ID), outcome: outcome}
+	cc.mu.RLock()
+	id, ok := cc.refined[rk]
+	var c match.Constraint
+	if ok {
+		c = cc.ctxs[id]
+	}
+	cc.mu.RUnlock()
+	if ok {
+		return id, c
+	}
+	c = cc.at(ctx).With(p.Rel, p.Const, outcome)
+	id = cc.intern(int32(p.FieldIdx), c)
+	cc.mu.Lock()
+	cc.refined[rk] = id
+	cc.mu.Unlock()
+	return id, cc.at(id)
+}
+
+// impliesCtx reports whether a context decides a predicate, memoized on
+// (ctx, pred). This is the single hottest operation of the or-merge's
+// fast-forward loop.
+func (u *Universe) impliesCtx(ctx int32, p *Pred) match.Tri {
+	cc := &u.cache
+	ik := implKey{ctx: ctx, pred: int32(p.ID)}
+	cc.mu.RLock()
+	v, ok := cc.implied[ik]
+	var c match.Constraint
+	if !ok {
+		c = cc.ctxs[ctx]
+	}
+	cc.mu.RUnlock()
+	if ok {
+		return v
+	}
+	v = c.Implies(p.Rel, p.Const)
+	cc.mu.Lock()
+	cc.implied[ik] = v
+	cc.mu.Unlock()
+	return v
+}
+
+// CtxCacheSize reports the number of interned contexts and memoized
+// implication results (diagnostics and tests).
+func (u *Universe) CtxCacheSize() (ctxs, implied int) {
+	u.cache.mu.RLock()
+	defer u.cache.mu.RUnlock()
+	return len(u.cache.ctxs), len(u.cache.implied)
 }
 
 // canonicalize maps an atom to its canonical predicate form plus the
@@ -118,32 +308,34 @@ func canonicalize(a *subscription.Atom) (rel subscription.Relation, c spec.Value
 func NewUniverse(sp *spec.Spec, rules []subscription.NormalizedRule, order FieldOrder) *Universe {
 	u := &Universe{
 		Spec:       sp,
-		fieldByKey: make(map[string]*FieldVar),
-		predByKey:  make(map[string]*Pred),
+		fieldByKey: make(map[fieldIdent]*FieldVar),
+		predByKey:  make(map[predIdent]*Pred),
 	}
+	u.cache.init()
 	// Collect referenced fields and raw predicates.
 	type rawPred struct {
-		ref  subscription.FieldRef
-		rel  subscription.Relation
-		c    spec.Value
-		key  string
-		fkey string
+		ref subscription.FieldRef
+		rel subscription.Relation
+		c   spec.Value
+		fv  *FieldVar
 	}
 	var raws []rawPred
-	seenPred := make(map[string]bool)
+	seenPred := make(map[predIdent]bool)
 	for _, nr := range rules {
 		for _, a := range nr.Conj {
 			rel, c, _ := canonicalize(a)
-			fkey := a.Ref.Key()
-			if u.fieldByKey[fkey] == nil {
-				u.fieldByKey[fkey] = &FieldVar{Ref: a.Ref}
+			fid := identOf(a.Ref)
+			fv := u.fieldByKey[fid]
+			if fv == nil {
+				fv = &FieldVar{Ref: a.Ref}
+				u.fieldByKey[fid] = fv
 			}
-			key := fmt.Sprintf("%s %s %s", fkey, rel, c)
+			key := predIdent{f: fid, rel: rel, c: c}
 			if seenPred[key] {
 				continue
 			}
 			seenPred[key] = true
-			raws = append(raws, rawPred{ref: a.Ref, rel: rel, c: c, key: key, fkey: fkey})
+			raws = append(raws, rawPred{ref: a.Ref, rel: rel, c: c, fv: fv})
 		}
 	}
 	// Order fields.
@@ -192,12 +384,12 @@ func NewUniverse(sp *spec.Spec, rules []subscription.NormalizedRule, order Field
 			fields[i], fields[j] = fields[j], fields[i]
 		}
 	case SelectivityOrder:
-		counts := make(map[string]int)
+		counts := make(map[*FieldVar]int)
 		for _, rp := range raws {
-			counts[rp.fkey]++
+			counts[rp.fv]++
 		}
 		sort.SliceStable(fields, func(i, j int) bool {
-			return counts[fields[i].Key()] > counts[fields[j].Key()]
+			return counts[fields[i]] > counts[fields[j]]
 		})
 	}
 	for i, f := range fields {
@@ -207,12 +399,12 @@ func NewUniverse(sp *spec.Spec, rules []subscription.NormalizedRule, order Field
 
 	// Order predicates within each field deterministically, then assign
 	// global IDs in field order.
-	perField := make(map[string][]rawPred)
+	perField := make(map[*FieldVar][]rawPred)
 	for _, rp := range raws {
-		perField[rp.fkey] = append(perField[rp.fkey], rp)
+		perField[rp.fv] = append(perField[rp.fv], rp)
 	}
 	for _, f := range fields {
-		rps := perField[f.Key()]
+		rps := perField[f]
 		sort.Slice(rps, func(i, j int) bool {
 			return predOrderLess(rps[i].rel, rps[i].c, rps[j].rel, rps[j].c)
 		})
@@ -226,7 +418,7 @@ func NewUniverse(sp *spec.Spec, rules []subscription.NormalizedRule, order Field
 				Const:    rp.c,
 			}
 			u.Preds = append(u.Preds, p)
-			u.predByKey[rp.key] = p
+			u.predByKey[predIdent{f: identOf(rp.ref), rel: rp.rel, c: rp.c}] = p
 			f.Preds = append(f.Preds, p)
 		}
 	}
@@ -257,12 +449,12 @@ func predOrderLess(ar subscription.Relation, ac spec.Value, br subscription.Rela
 // in first-reference order.
 func (u *Universe) seedSpecFields() {
 	add := func(ref subscription.FieldRef) {
-		key := ref.Key()
-		if u.fieldByKey[key] != nil {
+		fid := identOf(ref)
+		if u.fieldByKey[fid] != nil {
 			return
 		}
 		f := &FieldVar{Index: len(u.Fields), Ref: ref}
-		u.fieldByKey[key] = f
+		u.fieldByKey[fid] = f
 		u.Fields = append(u.Fields, f)
 	}
 	for _, h := range u.Spec.Headers {
@@ -282,17 +474,21 @@ func (u *Universe) seedSpecFields() {
 // previously built node remains a well-ordered BDD and the builder's
 // memo tables (all keyed by node/predicate identity) stay valid — the
 // basis of incremental compilation (§V: "BDDs can leverage memoization").
+//
+// Extend is a mutation of the universe's variable order and is NOT safe
+// to run concurrently with builds sharing the universe; it belongs to
+// the single-threaded incremental engine.
 func (u *Universe) Extend(a *subscription.Atom) (*Pred, bool) {
 	rel, c, positive := canonicalize(a)
-	key := fmt.Sprintf("%s %s %s", a.Ref.Key(), rel, c)
+	fid := identOf(a.Ref)
+	key := predIdent{f: fid, rel: rel, c: c}
 	if p, ok := u.predByKey[key]; ok {
 		return p, positive
 	}
-	fkey := a.Ref.Key()
-	f, ok := u.fieldByKey[fkey]
+	f, ok := u.fieldByKey[fid]
 	if !ok {
 		f = &FieldVar{Index: len(u.Fields), Ref: a.Ref}
-		u.fieldByKey[fkey] = f
+		u.fieldByKey[fid] = f
 		u.Fields = append(u.Fields, f)
 	}
 	p := &Pred{
@@ -318,13 +514,14 @@ func (u *Universe) Extend(a *subscription.Atom) (*Pred, bool) {
 	return p, positive
 }
 
-// Lookup resolves an atom to its canonical predicate and polarity.
+// Lookup resolves an atom to its canonical predicate and polarity. Safe
+// for concurrent use with other lookups (the universe is read-only
+// during builds).
 func (u *Universe) Lookup(a *subscription.Atom) (*Pred, bool, error) {
 	rel, c, positive := canonicalize(a)
-	key := fmt.Sprintf("%s %s %s", a.Ref.Key(), rel, c)
-	p, ok := u.predByKey[key]
+	p, ok := u.predByKey[predIdent{f: identOf(a.Ref), rel: rel, c: c}]
 	if !ok {
-		return nil, false, fmt.Errorf("bdd: predicate %q not in universe", key)
+		return nil, false, fmt.Errorf("bdd: predicate %q not in universe", a.Key())
 	}
 	return p, positive, nil
 }

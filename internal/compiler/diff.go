@@ -71,7 +71,6 @@ func (p *Program) Canonical() *Program {
 		Spec:      p.Spec,
 		BDD:       p.BDD,
 		Init:      canon[p.Init],
-		Groups:    p.Groups,
 		Resources: p.Resources,
 	}
 	for _, t := range p.Stages {
@@ -110,8 +109,22 @@ func (p *Program) Canonical() *Program {
 	leaf := append([]*LeafEntry(nil), p.Leaf...)
 	sort.Slice(leaf, func(i, j int) bool { return stateLess(canon, leaf[i].In, leaf[j].In) })
 	np.leafByState = make(map[StateID]*LeafEntry, len(leaf))
+	// Multicast group IDs were allocated in terminal creation order, which
+	// differs between compilers; renumber them in canonical-leaf
+	// first-encounter order so group tables compare too.
+	groupMap := make(map[int]int, len(p.Groups))
 	for _, le := range leaf {
-		nl := &LeafEntry{In: get(le.In), Actions: le.Actions, Group: le.Group, Updates: le.Updates}
+		g := le.Group
+		if g >= 0 {
+			ng, ok := groupMap[g]
+			if !ok {
+				ng = len(np.Groups)
+				groupMap[g] = ng
+				np.Groups = append(np.Groups, MulticastGroup{ID: ng, Ports: p.Groups[g].Ports})
+			}
+			g = ng
+		}
+		nl := &LeafEntry{In: get(le.In), Actions: le.Actions, Group: g, Updates: le.Updates}
 		np.Leaf = append(np.Leaf, nl)
 		np.leafByState[nl.In] = nl
 	}

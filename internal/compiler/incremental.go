@@ -2,6 +2,7 @@ package compiler
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"camus/internal/bdd"
@@ -83,11 +84,16 @@ func (inc *Incremental) Apply(add []*subscription.Rule, remove []int) (*Update, 
 		if _, dup := inc.normalized[r.ID]; dup {
 			return nil, fmt.Errorf("%w: id %d", ErrDuplicateRule, r.ID)
 		}
-		nrs, err := subscription.NormalizeRule(r)
-		if err != nil {
-			return nil, err
-		}
-		expanded := expandStateful(nrs, inc.opts)
+	}
+	// Normalization is pure per-rule work; fan it out for large batches
+	// (the ctlplane drift fallback re-adds a switch's whole registry in
+	// one Apply). Engine mutation below stays sequential.
+	perRule, err := normalizeRulesPer(add, inc.opts.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range add {
+		expanded := expandStateful(perRule[i], inc.opts)
 		if !inc.opts.DisableValidityGuards {
 			expanded = injectValidityGuards(expanded)
 		}
@@ -130,25 +136,39 @@ func (inc *Incremental) rebuild() (*Program, error) {
 	return prog, nil
 }
 
-// entryKey identifies a table entry for control-plane diffing. BDD node
-// IDs are stable across incremental rebuilds (hash-consing), so
-// unchanged pipeline regions produce byte-identical keys.
-func entryKeys(p *Program) map[string]int {
-	out := make(map[string]int)
+// entryIdent identifies a table entry for control-plane diffing. BDD
+// node IDs are stable across incremental rebuilds (hash-consing), so
+// unchanged pipeline regions produce identical idents. A comparable
+// struct key keeps the diff off the fmt hot path: diffing runs over
+// every entry of the old and new programs on each Apply.
+type entryIdent struct {
+	table   string
+	in, out StateID
+	match   string // constraint key; "absent" for defaults; action-set key for leaves
+	updates string // leaf entries only: joined register updates
+}
+
+func entryKeys(p *Program) map[entryIdent]int {
+	out := make(map[entryIdent]int)
 	if p == nil {
 		return out
 	}
 	for _, t := range p.Stages {
 		name := t.Name()
 		for _, e := range t.Entries {
-			out[fmt.Sprintf("%s|%d|%s|%d", name, e.In, e.Match.Key(), e.Out)]++
+			out[entryIdent{table: name, in: e.In, out: e.Out, match: e.Match.Key()}]++
 		}
 		for in, next := range t.Defaults {
-			out[fmt.Sprintf("%s|%d|absent|%d", name, in, next)]++
+			out[entryIdent{table: name, in: in, out: next, match: "absent"}]++
 		}
 	}
 	for _, le := range p.Leaf {
-		out[fmt.Sprintf("leaf|%d|%s|%v", le.In, le.Actions.Key(), le.Updates)]++
+		out[entryIdent{
+			table:   "leaf",
+			in:      le.In,
+			match:   le.Actions.Key(),
+			updates: strings.Join(le.Updates, "\x1f"),
+		}]++
 	}
 	return out
 }

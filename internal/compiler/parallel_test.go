@@ -1,0 +1,228 @@
+package compiler
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"camus/internal/formats"
+	"camus/internal/spec"
+	"camus/internal/subscription"
+	"camus/internal/workload"
+)
+
+// canonicalString is the byte-level identity the parallel compiler is
+// held to: the Canonical() renumbering of a program rendered through
+// the deterministic String form.
+func canonicalString(p *Program) string { return p.Canonical().String() }
+
+// TestParallelCompileCanonicalIdentity: the tentpole determinism
+// guarantee. Batch-built diagrams are DFS-renumbered before table
+// emission and the OR-merge is sequential, so the compiled program
+// must be byte-for-byte canonical for every worker count, on every
+// workload in the corpus.
+func TestParallelCompileCanonicalIdentity(t *testing.T) {
+	sp := testSpec(t)
+	r := rand.New(rand.NewSource(11))
+
+	type load struct {
+		name  string
+		sp    *spec.Spec
+		rules []*subscription.Rule
+		opts  Options
+	}
+	var loads []load
+	for _, n := range []int{10, 64, 300} {
+		loads = append(loads, load{
+			name:  fmt.Sprintf("random-%d", n),
+			sp:    sp,
+			rules: randomRules(r, sp, n),
+		})
+	}
+	// Siena-style ITCH workload; a high equality bias keeps the ordering-
+	// relation partition count (and thus test runtime) bounded.
+	itchRules, err := workload.SienaRules(workload.SienaConfig{
+		Spec: formats.ITCH, Filters: 100, Seed: 7, EqualityBias: 0.9,
+	}, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads = append(loads, load{name: "siena-itch-100", sp: formats.ITCH, rules: itchRules})
+	// Stateful last-hop compile exercises expandStateful + update rules.
+	loads = append(loads, load{
+		name: "stateful-lasthop",
+		sp:   sp,
+		rules: mustRules(t, sp, `
+count(1s) > 3 and stock == GOOGL: fwd(1)
+shares > 5 or price < 2: fwd(2)
+avg(price, 1s) > 4: fwd(3)
+`),
+		opts: Options{LastHop: true},
+	})
+
+	for _, ld := range loads {
+		t.Run(ld.name, func(t *testing.T) {
+			seqOpts := ld.opts
+			seqOpts.Parallelism = 1
+			seq, err := Compile(ld.sp, ld.rules, seqOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := canonicalString(seq)
+			for _, w := range []int{2, 4, 8} {
+				parOpts := ld.opts
+				parOpts.Parallelism = w
+				par, err := Compile(ld.sp, ld.rules, parOpts)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				if got := canonicalString(par); got != want {
+					t.Errorf("workers=%d: canonical program differs from sequential\nseq:\n%s\npar:\n%s", w, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelNormalizeError: a bad rule deep inside a large batch must
+// surface its error through the worker-pool normalization path.
+func TestParallelNormalizeError(t *testing.T) {
+	sp := testSpec(t)
+	r := rand.New(rand.NewSource(3))
+	rules := randomRules(r, sp, 100)
+	p := subscription.NewParser(sp)
+	bad, err := p.ParseRule("not (name prefix AB): fwd(1)", len(rules))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules = append(rules[:70], append([]*subscription.Rule{bad}, rules[70:]...)...)
+	if _, err := Compile(sp, rules, Options{Parallelism: 4}); err == nil {
+		t.Fatal("expected normalization error for negated prefix constraint")
+	}
+}
+
+// TestIncrementalParallelBatchEquivalence: a large Apply batch (the
+// drift-rebuild shape) through the parallel normalization path must
+// produce the same canonical program as a batch compile of the same
+// rules.
+func TestIncrementalParallelBatchEquivalence(t *testing.T) {
+	sp := testSpec(t)
+	r := rand.New(rand.NewSource(5))
+	rules := randomRules(r, sp, 200)
+
+	inc, err := NewIncremental(sp, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Apply(rules, nil); err != nil {
+		t.Fatal(err)
+	}
+	batch, err := Compile(sp, rules, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := canonicalString(inc.Program()), canonicalString(batch); got != want {
+		t.Errorf("incremental parallel batch differs from sequential batch compile")
+	}
+}
+
+// TestCanonicalGroupRenumbering: Canonical() must renumber multicast
+// groups in canonical-leaf encounter order and remap leaf Group
+// references, so programs from compilers that allocated group IDs in
+// different orders still compare equal.
+func TestCanonicalGroupRenumbering(t *testing.T) {
+	sp := testSpec(t)
+	p := compile(t, sp, `
+stock == GOOGL: fwd(1)
+stock == GOOGL: fwd(2)
+stock == MSFT: fwd(3)
+stock == MSFT: fwd(4)
+`, Options{})
+	if len(p.Groups) < 2 {
+		t.Fatalf("want >=2 multicast groups, got %d", len(p.Groups))
+	}
+	c := p.Canonical()
+	if len(c.Groups) != len(p.Groups) {
+		t.Fatalf("canonical group count %d != %d", len(c.Groups), len(p.Groups))
+	}
+	seen := make(map[int]bool)
+	next := 0
+	for _, le := range c.Leaf {
+		if le.Group < 0 {
+			continue
+		}
+		if le.Group >= len(c.Groups) {
+			t.Fatalf("leaf references group %d of %d", le.Group, len(c.Groups))
+		}
+		if !seen[le.Group] {
+			if le.Group != next {
+				t.Errorf("groups not renumbered in leaf encounter order: got %d want %d", le.Group, next)
+			}
+			seen[le.Group] = true
+			next++
+		}
+	}
+	for i, g := range c.Groups {
+		if g.ID != i {
+			t.Errorf("canonical group %d carries ID %d", i, g.ID)
+		}
+	}
+}
+
+// TestConcurrentIncrementalChurn is -race stress for the allocation-lean
+// compile pipeline under concurrent use: independent Incremental
+// compilers churn simultaneously (each owns its engine, but they share
+// package-level code paths and, through bdd, the sharded-table and
+// memo-cache implementations).
+func TestConcurrentIncrementalChurn(t *testing.T) {
+	sp := testSpec(t)
+	var wg sync.WaitGroup
+	errc := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			rules := randomRules(r, sp, 120)
+			inc, err := NewIncremental(sp, Options{Parallelism: 2})
+			if err != nil {
+				errc <- err
+				return
+			}
+			for i, rule := range rules {
+				if _, err := inc.Add(rule); err != nil {
+					errc <- err
+					return
+				}
+				if i%3 == 2 {
+					if _, err := inc.Remove(rules[i-1].ID); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}
+		}(int64(g + 1))
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkCompile500Parallel: the same workload as BenchmarkCompile500
+// through the maximum chain fan-out, for the worker-overhead
+// comparison on single-core hosts.
+func BenchmarkCompile500Parallel(b *testing.B) {
+	sp := testSpec(b)
+	r := rand.New(rand.NewSource(4))
+	rules := randomRules(r, sp, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(sp, rules, Options{Parallelism: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -6,6 +6,7 @@ package compiler
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"camus/internal/bdd"
@@ -210,8 +211,13 @@ func (p *Program) String() string {
 		for _, e := range t.Entries {
 			fmt.Fprintf(&b, "  %s\n", e)
 		}
-		for in, out := range t.Defaults {
-			fmt.Fprintf(&b, "  (%d, absent) -> %d\n", in, out)
+		ins := make([]StateID, 0, len(t.Defaults))
+		for in := range t.Defaults {
+			ins = append(ins, in)
+		}
+		sort.Slice(ins, func(i, j int) bool { return ins[i] < ins[j] })
+		for _, in := range ins {
+			fmt.Fprintf(&b, "  (%d, absent) -> %d\n", in, t.Defaults[in])
 		}
 	}
 	fmt.Fprintf(&b, "table Leaf (%d entries):\n", len(p.Leaf))

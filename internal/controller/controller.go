@@ -6,6 +6,9 @@ package controller
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"camus/internal/compiler"
@@ -98,18 +101,28 @@ func copySubs(net *topology.Network, subs [][]subscription.Expr) [][]subscriptio
 	return out
 }
 
-// recompile runs the dynamic compilation step for every switch.
+// recompile runs the dynamic compilation step for every switch. The
+// per-switch compiles share nothing mutable (each builds its own
+// universe and BDD), so they fan out across opts.Compiler.Parallelism
+// workers; results land in per-switch slots, making the deployment
+// independent of completion order.
 func (d *Deployment) recompile(opts Options) error {
-	for _, s := range d.Network.Switches {
+	workers := opts.Compiler.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(d.Network.Switches) {
+		workers = len(d.Network.Switches)
+	}
+	compileOne := func(s *topology.Switch) error {
 		copts := opts.Compiler
 		// Stateful predicates are evaluated only at the hop immediately
 		// before the subscriber (§II): rules forwarding to host-facing
 		// ports. Transit rules (up ports, switch-to-switch) are erased
 		// to their stateless superset.
-		sw := s
 		copts.LastHop = false
 		copts.LastHopPort = func(port int) bool {
-			return port >= 0 && port < len(sw.Ports) && sw.Ports[port].Kind == topology.PeerHost
+			return port >= 0 && port < len(s.Ports) && s.Ports[port].Kind == topology.PeerHost
 		}
 		rules := d.Routing.RulesForSwitch(s.ID)
 		start := time.Now()
@@ -125,6 +138,40 @@ func (d *Deployment) recompile(opts Options) error {
 			Entries: prog.TotalEntries(),
 			Elapsed: time.Since(start),
 		}
+		return nil
+	}
+	if workers <= 1 {
+		for _, s := range d.Network.Switches {
+			if err := compileOne(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		firstErr atomic.Pointer[error]
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(d.Network.Switches) || firstErr.Load() != nil {
+					return
+				}
+				if err := compileOne(d.Network.Switches[i]); err != nil {
+					firstErr.CompareAndSwap(nil, &err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if ep := firstErr.Load(); ep != nil {
+		return *ep
 	}
 	return nil
 }

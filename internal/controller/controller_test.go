@@ -115,3 +115,47 @@ func TestDeployErrors(t *testing.T) {
 		t.Error("spec without subscribable fields accepted")
 	}
 }
+
+// TestDeployParallelEquivalence: per-switch compiles fanned out across
+// workers must produce the same canonical program per switch as the
+// sequential controller — the parallel path changes scheduling only.
+func TestDeployParallelEquivalence(t *testing.T) {
+	net := topology.MustFatTree(4)
+	subs := subsFor(t, net)
+	opts := Options{Routing: routing.Options{Policy: routing.TrafficReduction}}
+
+	opts.Compiler.Parallelism = 1
+	seq, err := Deploy(net, testSpec, subs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Compiler.Parallelism = 6
+	par, err := Deploy(net, testSpec, subs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sw := range seq.Programs {
+		want := seq.Programs[sw].Canonical().String()
+		got := par.Programs[sw].Canonical().String()
+		if got != want {
+			t.Errorf("switch %s: parallel deploy differs from sequential", net.Switches[sw].Name)
+		}
+	}
+	for sw, st := range par.Stats {
+		if st.Switch != seq.Stats[sw].Switch || st.Entries != seq.Stats[sw].Entries {
+			t.Errorf("switch %d stats landed out of order: %+v vs %+v", sw, st, seq.Stats[sw])
+		}
+	}
+}
+
+// TestDeployParallelErrorPropagation: a compile failure on any switch
+// must surface through the worker fan-out.
+func TestDeployParallelErrorPropagation(t *testing.T) {
+	net := topology.MustFatTree(4)
+	opts := Options{Routing: routing.Options{Policy: routing.TrafficReduction}}
+	opts.Compiler.Parallelism = 6
+	opts.Compiler.MaxEntries = 1 // every switch exceeds this
+	if _, err := Deploy(net, testSpec, subsFor(t, net), opts); err == nil {
+		t.Fatal("expected MaxEntries compile failure through the parallel path")
+	}
+}

@@ -452,3 +452,56 @@ func TestUnsubscribeErrors(t *testing.T) {
 		t.Errorf("Subscribe(bad host) = %v, want ErrBadHost", err)
 	}
 }
+
+// TestParallelismThreading: Config.Parallelism reaches the per-switch
+// compiler options (unless the caller pinned Compiler.Parallelism
+// itself), and a service configured with a worker fan-out converges to
+// the same per-switch programs as a sequential one under identical
+// churn — including drift-fallback full rebuilds, which take the
+// parallel normalization path.
+func TestParallelismThreading(t *testing.T) {
+	cfg := Config{Parallelism: 3}.withDefaults()
+	if got := cfg.Compiler.Parallelism; got != 3 {
+		t.Fatalf("Compiler.Parallelism = %d, want 3 (threaded from Config.Parallelism)", got)
+	}
+	pinned := Config{Parallelism: 3, Compiler: compiler.Options{Parallelism: 2}}.withDefaults()
+	if got := pinned.Compiler.Parallelism; got != 2 {
+		t.Fatalf("Compiler.Parallelism = %d, want the explicit 2 to win", got)
+	}
+
+	net := topology.MustFatTree(4)
+	run := func(parallelism int) *Service {
+		svc, _ := newServiceForTest(t, net, Config{
+			Routing:     routing.Options{Policy: routing.TrafficReduction},
+			Drift:       0.01, // force full rebuilds through the parallel compile path
+			Parallelism: parallelism,
+		})
+		stocks := []string{"GOOGL", "MSFT", "AAPL"}
+		var ids []int
+		for i := 0; i < 12; i++ {
+			_, got, err := svc.Subscribe(i%4, []subscription.Expr{
+				filter(t, fmt.Sprintf("stock == %s and price > %d", stocks[i%3], i*7)),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, got...)
+		}
+		for _, id := range ids[:4] {
+			if _, err := svc.Unsubscribe(id%4, []int{id}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		svc.Quiesce()
+		return svc
+	}
+	seq := run(1)
+	par := run(4)
+	for sw := range net.Switches {
+		want := seq.Program(sw).Canonical().String()
+		got := par.Program(sw).Canonical().String()
+		if got != want {
+			t.Errorf("switch %d: parallel service program differs from sequential", sw)
+		}
+	}
+}

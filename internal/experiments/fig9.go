@@ -85,18 +85,20 @@ func Fig9(cfg Config) *Result {
 	// multi-core host the aggregate Mpps scales with the worker count;
 	// it can only saturate at the host's core budget.
 	sample := stream[:min(20000, len(stream))]
-	seqMpps := measuredParallelMpps(prog, sample, 1)
-	parWorkers := runtime.GOMAXPROCS(0)
-	parMpps := measuredParallelMpps(prog, sample, parWorkers)
-	res.addFinding("sharded dataplane (ProcessBatch): %.2f Mpps @1 worker, %.2f Mpps @%d workers (GOMAXPROCS=%d)",
-		seqMpps, parMpps, parWorkers, runtime.GOMAXPROCS(0))
+	seqMpps, seqWorkers := measuredParallelMpps(prog, sample, 1)
+	parMpps, parWorkers := measuredParallelMpps(prog, sample, runtime.GOMAXPROCS(0))
+	res.addFinding("sharded dataplane (ProcessBatch): %.2f Mpps @%d worker, %.2f Mpps @%d workers (GOMAXPROCS=%d)",
+		seqMpps, seqWorkers, parMpps, parWorkers, runtime.GOMAXPROCS(0))
 	return res
 }
 
 // measuredParallelMpps pushes the sampled INT stream through the
 // concurrent sharded dataplane with the given worker count and reports
-// aggregate packet throughput.
-func measuredParallelMpps(prog *compiler.Program, reports []*formats.INTReport, workers int) float64 {
+// aggregate packet throughput plus the worker count the switch actually
+// ran (the switch, not the request, is authoritative — printing the
+// requested count produced a stale "@1 workers" line on single-core
+// hosts).
+func measuredParallelMpps(prog *compiler.Program, reports []*formats.INTReport, workers int) (float64, int) {
 	sw, err := pipeline.NewSwitch("fig9", nil, prog, pipeline.WithWorkers(workers))
 	if err != nil {
 		panic(err)
@@ -109,9 +111,9 @@ func measuredParallelMpps(prog *compiler.Program, reports []*formats.INTReport, 
 	sw.ProcessBatch(pkts, 0)
 	elapsed := time.Since(start)
 	if elapsed <= 0 {
-		return 0
+		return 0, sw.Workers()
 	}
-	return float64(len(pkts)) / elapsed.Seconds() / 1e6
+	return float64(len(pkts)) / elapsed.Seconds() / 1e6, sw.Workers()
 }
 
 var intParser = subscription.NewParser(formats.INT)

@@ -15,9 +15,9 @@
 package match
 
 import (
-	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 
 	"camus/internal/spec"
@@ -310,12 +310,17 @@ func rangePrefixCount(lo, hi uint64, bits int) int {
 
 // Key implements Constraint.
 func (ic *IntConstraint) Key() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "[%d,%d]", ic.Lo, ic.Hi)
+	buf := make([]byte, 0, 24+12*len(ic.Excluded))
+	buf = append(buf, '[')
+	buf = strconv.AppendInt(buf, ic.Lo, 10)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, ic.Hi, 10)
+	buf = append(buf, ']')
 	for _, v := range ic.Excluded {
-		fmt.Fprintf(&b, "!%d", v)
+		buf = append(buf, '!')
+		buf = strconv.AppendInt(buf, v, 10)
 	}
-	return b.String()
+	return string(buf)
 }
 
 func (ic *IntConstraint) String() string { return ic.Key() }
@@ -460,19 +465,23 @@ func (sc *StrConstraint) TCAMEntries(int) int {
 
 // Key implements Constraint.
 func (sc *StrConstraint) Key() string {
-	var b strings.Builder
 	if sc.HasKnown {
-		fmt.Fprintf(&b, "=%q", sc.Known)
-		return b.String()
+		buf := make([]byte, 0, 3+len(sc.Known))
+		buf = append(buf, '=')
+		return string(strconv.AppendQuote(buf, sc.Known))
 	}
-	fmt.Fprintf(&b, "^%q", sc.Required)
+	buf := make([]byte, 0, 16)
+	buf = append(buf, '^')
+	buf = strconv.AppendQuote(buf, sc.Required)
 	for _, v := range sc.ExcludedEq {
-		fmt.Fprintf(&b, "!=%q", v)
+		buf = append(buf, '!', '=')
+		buf = strconv.AppendQuote(buf, v)
 	}
 	for _, v := range sc.ExcludedPx {
-		fmt.Fprintf(&b, "!^%q", v)
+		buf = append(buf, '!', '^')
+		buf = strconv.AppendQuote(buf, v)
 	}
-	return b.String()
+	return string(buf)
 }
 
 func (sc *StrConstraint) String() string { return sc.Key() }

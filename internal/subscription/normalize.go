@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"camus/internal/spec"
 )
 
 // Conjunction is a conjunction of atomic constraints. An empty conjunction
@@ -48,30 +50,38 @@ func Normalize(e Expr) ([]Conjunction, error) {
 	}
 	disj := distribute(pushed)
 	out := make([]Conjunction, 0, len(disj))
-	seen := make(map[string]bool)
+	// Cross-disjunct dedup only matters for multi-disjunct filters; the
+	// common single-conjunction case skips the key computation entirely.
+	var seen map[string]bool
+	if len(disj) > 1 {
+		seen = make(map[string]bool, len(disj))
+	}
 conj:
 	for _, c := range disj {
 		// Deduplicate atoms within the conjunction and detect syntactic
 		// contradictions (semantic contradictions are the BDD's job).
-		byKey := make(map[string]*Atom, len(c))
+		// Atom identity is structural (FieldRef, relation, and constant
+		// are all comparable), so no string keys are formatted here.
+		byIdent := make(map[atomIdent]bool, len(c))
 		ordered := make(Conjunction, 0, len(c))
 		for _, a := range c {
-			k := a.Key()
-			if byKey[k] != nil {
+			id := atomIdent{ref: a.Ref, rel: a.Rel, c: a.Const}
+			if byIdent[id] {
 				continue
 			}
-			neg := (&Atom{Ref: a.Ref, Rel: negOf(a.Rel), Const: a.Const}).Key()
-			if canNegate(a.Rel) && byKey[neg] != nil {
+			if canNegate(a.Rel) && byIdent[atomIdent{ref: a.Ref, rel: negOf(a.Rel), c: a.Const}] {
 				continue conj // contains p and not p
 			}
-			byKey[k] = a
+			byIdent[id] = true
 			ordered = append(ordered, a)
 		}
-		key := ordered.Key()
-		if seen[key] {
-			continue
+		if seen != nil {
+			key := ordered.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
 		}
-		seen[key] = true
 		out = append(out, ordered)
 	}
 	// If any conjunction is empty (true), the whole filter is true.
@@ -81,6 +91,15 @@ conj:
 		}
 	}
 	return out, nil
+}
+
+// atomIdent is an Atom's structural identity (every field of FieldRef
+// and spec.Value is comparable), the allocation-free equivalent of
+// Atom.Key for dedup maps.
+type atomIdent struct {
+	ref FieldRef
+	rel Relation
+	c   spec.Value
 }
 
 func canNegate(r Relation) bool { return r != PREFIX }
