@@ -2,13 +2,14 @@
 # leave `make check` green.
 GO ?= go
 
-.PHONY: check vet lint build test race bench bench-report perf-guard fuzz-smoke fuzz-extended vet-report churn-soak soak prove
+.PHONY: check vet lint build test race bench bench-report perf-guard fuzz-smoke fuzz-extended vet-report churn-soak serve-soak soak prove
 
 ## check: the full tier-1 gate — vet, custom analyzers, build,
-## race-enabled tests, a short churn soak, a short fuzz smoke, a
-## translation-validation pass over the shipped rules, and a smoke run
-## of the parallel dataplane benchmark.
-check: vet lint build race churn-soak fuzz-smoke prove bench
+## race-enabled tests, a short churn soak, a serve soak of the
+## multi-tenant daemon, a short fuzz smoke, a translation-validation
+## pass over the shipped rules, and a smoke run of the parallel
+## dataplane benchmark.
+check: vet lint build race churn-soak serve-soak fuzz-smoke prove bench
 
 ## prove: certify the shipped sample rules with the translation
 ## validator (camusc prove), in both last-hop and upstream modes, and
@@ -39,20 +40,23 @@ test:
 race:
 	$(GO) test -race -timeout 30m ./...
 
-## bench: one-iteration smoke of the worker-sweep and live-churn
-## benchmarks (fast).
+## bench: one-iteration smoke of the worker-sweep, live-churn and
+## daemon benchmarks (fast).
 bench:
-	$(GO) test -run '^$$' -bench='SwitchParallel|Churn' -benchtime=1x .
+	$(GO) test -run '^$$' -bench='SwitchParallel|Churn|CtlplaneDaemon' -benchtime=1x .
 
 ## bench-report: regenerate bench-report.txt with steady-state numbers
 ## (host header from TestMain records NumCPU / GOMAXPROCS), then emit
 ## the machine-readable companions: BENCH_compile.json for the
-## CompileParallel worker sweep and BENCH_switch.json for the
-## SwitchParallel sweep (ns/op, allocs/op, host shape).
+## CompileParallel worker sweep, BENCH_switch.json for the
+## SwitchParallel sweep (ns/op, allocs/op, host shape), and
+## BENCH_ctlplane.json for the multi-tenant daemon (updates/s and
+## client-observed p50/p99 request latency over the HTTP API).
 bench-report:
-	$(GO) test -run '^$$' -bench='SwitchParallel|Churn|CompileParallel' -benchmem . | tee bench-report.txt
-	$(GO) run ./cmd/benchjson -filter 'CompileParallel|Churn' -out BENCH_compile.json < bench-report.txt
+	$(GO) test -run '^$$' -bench='SwitchParallel|Churn|CompileParallel|CtlplaneDaemon' -benchmem . | tee bench-report.txt
+	$(GO) run ./cmd/benchjson -filter 'CompileParallel|Churn$$' -out BENCH_compile.json < bench-report.txt
 	$(GO) run ./cmd/benchjson -filter 'SwitchParallel' -out BENCH_switch.json < bench-report.txt
+	$(GO) run ./cmd/benchjson -filter 'CtlplaneDaemon' -out BENCH_ctlplane.json < bench-report.txt
 
 ## perf-guard: the CI allocation guard — run the two canonical compiler
 ## benchmarks once and fail on a >2x allocs/op regression against the
@@ -65,6 +69,15 @@ perf-guard:
 ## concurrent traffic through the netsim switches (~5s).
 churn-soak:
 	$(GO) test -race -count=1 -run 'TestChurnSoak|TestLiveChurn|TestHotSwapEpochConsistency' ./internal/netsim
+
+## serve-soak: end-to-end soak of the multi-tenant daemon — an
+## in-process camusd with a durable event log, 1000 tenants of
+## Zipf-skewed churn driven through the HTTP API by concurrent
+## tenant-sharded workers, translation validation sampling every 16th
+## batch. Fails on any HTTP error, apply failure, validation failure,
+## or unhealthy /healthz.
+serve-soak:
+	$(GO) run ./cmd/camus-sim -serve -tenants 1000 -churn 1000 -validate-every 16 -seed 7
 
 ## soak: the longer churn soak (CAMUS_SOAK widens the event stream).
 soak:

@@ -11,10 +11,15 @@
 package camusbench
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -22,6 +27,7 @@ import (
 	"camus/internal/compiler"
 	"camus/internal/controller"
 	"camus/internal/ctlplane"
+	"camus/internal/ctlplane/server"
 	"camus/internal/experiments"
 	"camus/internal/formats"
 	"camus/internal/netsim"
@@ -223,10 +229,10 @@ func BenchmarkChurn(b *testing.B) {
 			b.Fatal(err)
 		}
 		sim.Workers = 2
-		svc, err := ctlplane.NewService(ctlplane.Config{
-			Net: net, Spec: formats.ITCH, Routing: ropts,
-			Installers: sim.Installers(), Seed: 3,
-		})
+		svc, err := ctlplane.New(net, formats.ITCH,
+			ctlplane.WithRouting(ropts),
+			ctlplane.WithInstallers(sim.Installers()...),
+			ctlplane.WithSeed(3))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -290,6 +296,129 @@ func BenchmarkChurn(b *testing.B) {
 	if updatesPerSec < 1000 {
 		b.Errorf("sustained %.0f updates/sec, want >= 1000", updatesPerSec)
 	}
+}
+
+// BenchmarkCtlplaneDaemon — the multi-tenant control-plane daemon end
+// to end: HTTP+JSON API → tenancy admission → round-robin dispatch →
+// reconciler → netsim switches, with every event appended to the
+// durable log (group-commit fsync). Each iteration boots a fresh daemon
+// with a fresh log, drives a Zipf multi-tenant churn stream through the
+// wire API, and reports sustained updates/sec plus client-observed
+// p50/p99 request latency (parse + admission + fairness queue + apply
+// fan-out + fsync, as a tenant experiences it).
+func BenchmarkCtlplaneDaemon(b *testing.B) {
+	net := topology.MustFatTree(4)
+	ropts := routing.Options{Policy: routing.TrafficReduction, Alpha: 10}
+	evs, err := workload.TenantChurn(workload.TenantChurnConfig{
+		ChurnConfig: workload.ChurnConfig{
+			Spec: formats.ITCH, Hosts: len(net.Hosts), Events: 400, PoolSize: 40, Seed: 5,
+		},
+		Tenants: 200,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	post := func(client *http.Client, method, url string, body any) ([]byte, error) {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		req, err := http.NewRequest(method, url, bytes.NewReader(buf))
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		var out bytes.Buffer
+		out.ReadFrom(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("%s %s: status %d: %s", method, url, resp.StatusCode, out.String())
+		}
+		return out.Bytes(), nil
+	}
+	var p50, p99, updatesPerSec float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dep, err := controller.Deploy(net, formats.ITCH,
+			make([][]subscription.Expr, len(net.Hosts)), controller.Options{Routing: ropts})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim, err := netsim.New(dep)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim.Workers = 2
+		d, err := server.New(net, formats.ITCH,
+			server.WithEventLog(filepath.Join(b.TempDir(), "events.log")),
+			server.WithService(
+				ctlplane.WithRouting(ropts),
+				ctlplane.WithInstallers(sim.Installers()...),
+				ctlplane.WithSeed(5)),
+			server.WithTenancy(ctlplane.WithAutoCreate()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		addr, err := d.Start("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := "http://" + addr
+		client := &http.Client{}
+		live := make(map[int]struct{ host, id int })
+		lats := make([]time.Duration, 0, len(evs))
+		b.StartTimer()
+		start := time.Now()
+		for _, ev := range evs {
+			reqStart := time.Now()
+			if ev.Add {
+				raw, err := post(client, http.MethodPost,
+					base+"/v1/tenants/"+ev.Tenant+"/subscriptions",
+					map[string]any{"host": ev.Host, "filters": []string{ev.Filter.String()}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var resp struct {
+					IDs []int `json:"ids"`
+				}
+				json.Unmarshal(raw, &resp)
+				live[ev.Key] = struct{ host, id int }{ev.Host, resp.IDs[0]}
+			} else {
+				s := live[ev.Key]
+				delete(live, ev.Key)
+				if _, err := post(client, http.MethodDelete,
+					base+"/v1/tenants/"+ev.Tenant+"/subscriptions",
+					map[string]any{"host": s.host, "ids": []int{s.id}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			lats = append(lats, time.Since(reqStart))
+		}
+		elapsed := time.Since(start)
+		b.StopTimer()
+		snap := d.Service().Stats()
+		if snap.Failures != 0 {
+			b.Fatalf("daemon churn: %d apply failures", snap.Failures)
+		}
+		if err := d.Close(); err != nil {
+			b.Fatal(err)
+		}
+		sort.Slice(lats, func(x, y int) bool { return lats[x] < lats[y] })
+		ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+		p50, p99 = ms(lats[len(lats)/2]), ms(lats[len(lats)*99/100])
+		updatesPerSec = float64(len(evs)) / elapsed.Seconds()
+		b.StartTimer()
+	}
+	b.ReportMetric(updatesPerSec, "updates/s")
+	b.ReportMetric(p50, "p50-ms")
+	b.ReportMetric(p99, "p99-ms")
+	b.ReportMetric(0, "ns/op")
+	b.Logf("daemon churn: %d events over HTTP, %.0f updates/s, p50 %.2fms p99 %.2fms",
+		len(evs), updatesPerSec, p50, p99)
 }
 
 // BenchmarkAblationNoImplicationPruning — DESIGN.md §5.1: effect of the

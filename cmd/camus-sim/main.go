@@ -16,6 +16,12 @@
 // network:
 //
 //	camus-sim -churn 1000 [-churn-rate 2000]
+//
+// With -serve the command instead starts an in-process camusd daemon
+// and soaks its HTTP API with a multi-tenant churn workload (see
+// runServe) — the `make serve-soak` CI gate:
+//
+//	camus-sim -serve [-tenants 1000] [-churn 1000] [-validate-every 16]
 package main
 
 import (
@@ -24,8 +30,8 @@ import (
 	"os"
 	"time"
 
+	"camus/camus"
 	"camus/internal/controller"
-	"camus/internal/ctlplane"
 	"camus/internal/formats"
 	"camus/internal/netsim"
 	"camus/internal/routing"
@@ -44,6 +50,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	churnEvents := flag.Int("churn", 0, "live-churn mode: number of subscribe/unsubscribe events (0 = static deploy)")
 	churnPool := flag.Int("churn-pool", 64, "distinct filters in the churn pool (Zipf popularity)")
+	serve := flag.Bool("serve", false, "serve-soak mode: start an in-process camusd and churn tenants against its HTTP API")
+	serveAddr := flag.String("serve-addr", "127.0.0.1:0", "daemon listen address for -serve")
+	serveLog := flag.String("serve-log", "", "event log path for -serve (empty = throwaway temp file)")
+	serveWorkers := flag.Int("serve-workers", 8, "concurrent HTTP workers for -serve")
+	tenants := flag.Int("tenants", 1000, "simulated tenant population for -serve")
+	validateEvery := flag.Int("validate-every", 16, "translation-validate every Nth batch per switch in -serve (0 = off)")
 	flag.Parse()
 
 	var policy routing.Policy
@@ -55,6 +67,26 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policyName)
 		os.Exit(2)
+	}
+
+	if *serve {
+		events := *churnEvents
+		if events == 0 {
+			events = 1000
+		}
+		runServe(serveConfig{
+			k:             *k,
+			policy:        camus.DeployOptions{Policy: policy, Alpha: *alpha},
+			tenants:       *tenants,
+			events:        events,
+			pool:          *churnPool,
+			validateEvery: *validateEvery,
+			workers:       *serveWorkers,
+			addr:          *serveAddr,
+			logPath:       *serveLog,
+			seed:          *seed,
+		})
+		return
 	}
 
 	net, err := topology.FatTree(*k)
@@ -123,10 +155,10 @@ func main() {
 // runChurn drives a live subscription-churn session against the running
 // simulation and prints the control-plane telemetry.
 func runChurn(sim *netsim.Sim, net *topology.Network, ropts routing.Options, events, pool int, seed int64) {
-	svc, err := ctlplane.NewService(ctlplane.Config{
-		Net: net, Spec: formats.ITCH, Routing: ropts,
-		Installers: sim.Installers(), Seed: seed,
-	})
+	svc, err := camus.NewControlPlane(net, formats.ITCH,
+		camus.WithPolicy(ropts.Policy, ropts.Alpha),
+		camus.WithInstallers(sim.Installers()...),
+		camus.WithSeed(seed))
 	check(err)
 	defer svc.Close()
 	evs, err := workload.Churn(workload.ChurnConfig{

@@ -14,6 +14,10 @@ func TestOptionsOnlyAnalyzer(t *testing.T) {
 	RunFixture(t, OptionsOnlyAnalyzer, "./testdata/src/optionsonly")
 }
 
+func TestOptionsOnlyAnalyzerCtlplane(t *testing.T) {
+	RunFixture(t, OptionsOnlyAnalyzer, "./testdata/src/ctlplaneopts")
+}
+
 func TestAtomicMixAnalyzer(t *testing.T) {
 	RunFixture(t, AtomicMixAnalyzer, "./testdata/src/atomicmix")
 }

@@ -5,23 +5,35 @@ import (
 	"go/types"
 )
 
+// ctlplanePath is the control-plane package whose construction surface
+// the suite protects alongside the dataplane's.
+const ctlplanePath = "camus/internal/ctlplane"
+
 // OptionsOnlyAnalyzer enforces the functional-options construction
-// surface of the dataplane: outside internal/pipeline, a Switch must be
-// built with NewSwitch(id, static, prog, opts...) and never by
-// composite literal, field mutation, deprecated pipeline.New, or
-// hand-rolled Config literals. The frozen-Config invariant is what
-// makes the sharded dataplane safe to drive from many goroutines; any
-// other construction path can smuggle in mutable state.
+// surface of the dataplane and the control plane: outside
+// internal/pipeline, a Switch must be built with NewSwitch(id, static,
+// prog, opts...) and never by composite literal, field mutation,
+// deprecated pipeline.New, or hand-rolled Config literals; outside
+// internal/ctlplane, a Service must be built with ctlplane.New(net,
+// spec, opts...) and a Reconciler with NewReconcilerWith — never via
+// ctlplane.Config literals or the deprecated NewService /
+// five-positional-argument NewReconciler shims. The frozen-Config
+// invariant is what makes both layers safe to drive from many
+// goroutines; any other construction path can smuggle in mutable
+// state.
 var OptionsOnlyAnalyzer = &Analyzer{
 	Name: "camus-options",
-	Doc:  "flag direct construction/mutation of pipeline.Switch or Config outside internal/pipeline",
+	Doc:  "flag direct construction/mutation of pipeline or ctlplane configuration outside their owning packages",
 	Run:  runOptionsOnly,
 }
 
 func runOptionsOnly(pass *Pass) {
-	if pass.PkgPath() == pipelinePath {
-		return
-	}
+	// Exemptions are per-owning-package: pipeline may build its own
+	// Switch/Config, ctlplane may use its own Config (the Option target
+	// and the shim's plumbing), and neither exemption leaks to the
+	// other layer's checks.
+	inPipeline := pass.PkgPath() == pipelinePath
+	inCtlplane := pass.PkgPath() == ctlplanePath
 	info := pass.TypesInfo()
 	for _, file := range pass.Pkg.Syntax {
 		ast.Inspect(file, func(n ast.Node) bool {
@@ -31,22 +43,37 @@ func runOptionsOnly(pass *Pass) {
 				if t == nil {
 					return true
 				}
-				if namedType(t, pipelinePath, "Switch") {
-					pass.Reportf(e.Pos(),
-						"composite literal of pipeline.Switch bypasses NewSwitch; construct switches with functional options")
+				if !inPipeline {
+					if namedType(t, pipelinePath, "Switch") {
+						pass.Reportf(e.Pos(),
+							"composite literal of pipeline.Switch bypasses NewSwitch; construct switches with functional options")
+					}
+					if namedType(t, pipelinePath, "Config") {
+						pass.Reportf(e.Pos(),
+							"composite literal of pipeline.Config bypasses DefaultConfig; use SwitchOption functional options")
+					}
 				}
-				if namedType(t, pipelinePath, "Config") {
+				if !inCtlplane && namedType(t, ctlplanePath, "Config") {
 					pass.Reportf(e.Pos(),
-						"composite literal of pipeline.Config bypasses DefaultConfig; use SwitchOption functional options")
+						"composite literal of ctlplane.Config bypasses the functional options; construct services with ctlplane.New(net, spec, opts...)")
 				}
 			case *ast.AssignStmt:
-				for _, lhs := range e.Lhs {
-					checkSwitchFieldWrite(pass, info, lhs)
+				if !inPipeline {
+					for _, lhs := range e.Lhs {
+						checkSwitchFieldWrite(pass, info, lhs)
+					}
 				}
 			case *ast.IncDecStmt:
-				checkSwitchFieldWrite(pass, info, e.X)
+				if !inPipeline {
+					checkSwitchFieldWrite(pass, info, e.X)
+				}
 			case *ast.CallExpr:
-				checkDeprecatedNew(pass, info, e)
+				if !inPipeline {
+					checkDeprecatedNew(pass, info, e)
+				}
+				if !inCtlplane {
+					checkDeprecatedCtlplane(pass, info, e)
+				}
 			}
 			return true
 		})
@@ -75,17 +102,41 @@ func checkSwitchFieldWrite(pass *Pass, info *types.Info, lhs ast.Expr) {
 // checkDeprecatedNew reports calls to pipeline.New, the legacy
 // Config-taking constructor.
 func checkDeprecatedNew(pass *Pass, info *types.Info, call *ast.CallExpr) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return
-	}
-	obj := info.Uses[sel.Sel]
-	fn, ok := obj.(*types.Func)
-	if !ok || fn.Pkg() == nil {
-		return
-	}
-	if fn.Pkg().Path() == pipelinePath && fn.Name() == "New" {
+	if fn := calledFunc(info, call); fn != nil &&
+		fn.Pkg().Path() == pipelinePath && fn.Name() == "New" {
 		pass.Reportf(call.Pos(),
 			"pipeline.New is the deprecated Config constructor; use pipeline.NewSwitch with SwitchOption functional options")
 	}
+}
+
+// checkDeprecatedCtlplane reports calls to the control plane's
+// deprecated shims: the Config-taking NewService and the
+// five-positional-argument NewReconciler.
+func checkDeprecatedCtlplane(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	fn := calledFunc(info, call)
+	if fn == nil || fn.Pkg().Path() != ctlplanePath {
+		return
+	}
+	switch fn.Name() {
+	case "NewService":
+		pass.Reportf(call.Pos(),
+			"ctlplane.NewService is the deprecated Config constructor; use ctlplane.New(net, spec, opts...) with functional options")
+	case "NewReconciler":
+		pass.Reportf(call.Pos(),
+			"ctlplane.NewReconciler is the deprecated positional constructor; use ctlplane.NewReconcilerWith(net, spec, opts...) with functional options")
+	}
+}
+
+// calledFunc resolves a call through a package selector to the callee,
+// or nil when the call is not pkg.Func(...).
+func calledFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	return fn
 }

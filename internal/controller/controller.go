@@ -278,7 +278,8 @@ func (d *Deployment) resubscribeFull(subs [][]subscription.Expr, opts Options) (
 // subscription set and replaces Programs with the reconciler's compiled
 // (semantically identical) programs, so later deltas apply on top.
 func (d *Deployment) initReconciler(opts Options) error {
-	rec, err := ctlplane.NewReconciler(d.Network, d.Spec, opts.Routing, opts.Compiler, 0)
+	rec, err := ctlplane.NewReconcilerWith(d.Network, d.Spec,
+		ctlplane.WithRouting(opts.Routing), ctlplane.WithCompiler(opts.Compiler))
 	if err != nil {
 		return err
 	}

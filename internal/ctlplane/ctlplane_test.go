@@ -83,7 +83,7 @@ func TestPlacementMatchesAlgorithm1(t *testing.T) {
 			for trial := 0; trial < 5; trial++ {
 				subs := randomSubs(r, len(net.Hosts), 3)
 				ropts := routing.Options{Policy: policy, Alpha: alpha}
-				rec, err := NewReconciler(net, itchSpec, ropts, compiler.Options{}, 0)
+				rec, err := NewReconcilerWith(net, itchSpec, WithRouting(ropts))
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -148,8 +148,8 @@ func drainAll(t *testing.T, rec *Reconciler, ops []RuleOp) map[int]*CompileResul
 func TestIncrementalFewerWrites(t *testing.T) {
 	net := topology.MustFatTree(4)
 	r := rand.New(rand.NewSource(11))
-	rec, err := NewReconciler(net, itchSpec,
-		routing.Options{Policy: routing.TrafficReduction}, compiler.Options{}, 0)
+	rec, err := NewReconcilerWith(net, itchSpec,
+		WithRouting(routing.Options{Policy: routing.TrafficReduction}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +201,7 @@ func (ri *recordingInstaller) Install(p *compiler.Program) error {
 	return nil
 }
 
-func newServiceForTest(t *testing.T, net *topology.Network, cfg Config) (*Service, []*recordingInstaller) {
+func newServiceForTest(t *testing.T, net *topology.Network, opts ...Option) (*Service, []*recordingInstaller) {
 	t.Helper()
 	ris := make([]*recordingInstaller, len(net.Switches))
 	installers := make([]Installer, len(net.Switches))
@@ -209,10 +209,7 @@ func newServiceForTest(t *testing.T, net *topology.Network, cfg Config) (*Servic
 		ris[i] = &recordingInstaller{}
 		installers[i] = ris[i]
 	}
-	cfg.Net = net
-	cfg.Spec = itchSpec
-	cfg.Installers = installers
-	svc, err := NewService(cfg)
+	svc, err := New(net, itchSpec, append(opts, WithInstallers(installers...))...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,9 +224,8 @@ func newServiceForTest(t *testing.T, net *topology.Network, cfg Config) (*Servic
 func TestServiceChurnMatchesBatchDeploy(t *testing.T) {
 	net := topology.MustFatTree(4)
 	r := rand.New(rand.NewSource(23))
-	svc, ris := newServiceForTest(t, net, Config{
-		Routing: routing.Options{Policy: routing.TrafficReduction, Alpha: 10},
-	})
+	svc, ris := newServiceForTest(t, net,
+		WithRouting(routing.Options{Policy: routing.TrafficReduction, Alpha: 10}))
 	stocks := []string{"GOOGL", "MSFT", "AAPL", "FB"}
 	type liveFilter struct{ host, id int }
 	var live []liveFilter
@@ -324,18 +320,15 @@ func TestRetryBackoff(t *testing.T) {
 	net := topology.MustFatTree(4)
 	var fails atomic.Int64
 	fails.Store(3)
-	svc, ris := newServiceForTest(t, net, Config{
-		Routing:    routing.Options{Policy: routing.TrafficReduction},
-		RetryBase:  1,
-		RetryMax:   100,
-		MaxRetries: 8,
-		ApplyHook: func(sw, attempt int) error {
+	svc, ris := newServiceForTest(t, net,
+		WithRouting(routing.Options{Policy: routing.TrafficReduction}),
+		WithRetry(1, 100, 8),
+		WithApplyHook(func(sw, attempt int) error {
 			if fails.Add(-1) >= 0 {
 				return errors.New("injected apply fault")
 			}
 			return nil
-		},
-	})
+		}))
 	ev, _, err := svc.Subscribe(0, []subscription.Expr{filter(t, "stock == GOOGL")})
 	if err != nil {
 		t.Fatal(err)
@@ -375,10 +368,9 @@ func TestRetryBackoff(t *testing.T) {
 // fail-safe full recompile triggers while keeping programs correct.
 func TestDriftFallback(t *testing.T) {
 	net := topology.MustFatTree(4)
-	svc, _ := newServiceForTest(t, net, Config{
-		Routing: routing.Options{Policy: routing.TrafficReduction},
-		Drift:   0.01,
-	})
+	svc, _ := newServiceForTest(t, net,
+		WithRouting(routing.Options{Policy: routing.TrafficReduction}),
+		WithDrift(0.01))
 	stocks := []string{"GOOGL", "MSFT", "AAPL"}
 	var ids []int
 	for i := 0; i < 12; i++ {
@@ -409,10 +401,9 @@ func TestDriftFallback(t *testing.T) {
 // TestQueueBackpressure checks MaxPending bounds the in-flight events.
 func TestQueueBackpressure(t *testing.T) {
 	net := topology.MustFatTree(4)
-	svc, _ := newServiceForTest(t, net, Config{
-		Routing:    routing.Options{Policy: routing.TrafficReduction},
-		MaxPending: 2,
-	})
+	svc, _ := newServiceForTest(t, net,
+		WithRouting(routing.Options{Policy: routing.TrafficReduction}),
+		WithQueueDepth(2))
 	for i := 0; i < 40; i++ {
 		if _, _, err := svc.Subscribe(i%len(net.Hosts), []subscription.Expr{
 			filter(t, fmt.Sprintf("price > %d", i)),
@@ -433,9 +424,8 @@ func TestQueueBackpressure(t *testing.T) {
 // TestUnsubscribeErrors checks classified error paths.
 func TestUnsubscribeErrors(t *testing.T) {
 	net := topology.MustFatTree(4)
-	svc, _ := newServiceForTest(t, net, Config{
-		Routing: routing.Options{Policy: routing.TrafficReduction},
-	})
+	svc, _ := newServiceForTest(t, net,
+		WithRouting(routing.Options{Policy: routing.TrafficReduction}))
 	if _, err := svc.Unsubscribe(0, []int{99}); !errors.Is(err, ErrUnknownFilter) {
 		t.Errorf("Unsubscribe(unknown) = %v, want ErrUnknownFilter", err)
 	}
@@ -471,11 +461,10 @@ func TestParallelismThreading(t *testing.T) {
 
 	net := topology.MustFatTree(4)
 	run := func(parallelism int) *Service {
-		svc, _ := newServiceForTest(t, net, Config{
-			Routing:     routing.Options{Policy: routing.TrafficReduction},
-			Drift:       0.01, // force full rebuilds through the parallel compile path
-			Parallelism: parallelism,
-		})
+		svc, _ := newServiceForTest(t, net,
+			WithRouting(routing.Options{Policy: routing.TrafficReduction}),
+			WithDrift(0.01), // force full rebuilds through the parallel compile path
+			WithParallelism(parallelism))
 		stocks := []string{"GOOGL", "MSFT", "AAPL"}
 		var ids []int
 		for i := 0; i < 12; i++ {

@@ -1,0 +1,121 @@
+package ctlplane
+
+import (
+	"time"
+
+	"camus/internal/compiler"
+	"camus/internal/routing"
+	"camus/internal/spec"
+	"camus/internal/topology"
+)
+
+// Option configures the control plane at construction time, in the
+// style of camus.SwitchOption: the resulting configuration is frozen
+// into the Service (or Reconciler), so no caller can reach racy mutable
+// state after start. Construct services with New and synchronous
+// reconcilers with NewReconcilerWith; the Config struct and the
+// positional NewReconciler remain only as deprecated shims.
+type Option func(*Config)
+
+// WithRouting selects the routing policy (MR/TR) and discretization α.
+func WithRouting(ro routing.Options) Option {
+	return func(c *Config) { c.Routing = ro }
+}
+
+// WithCompiler sets the per-switch compiler options (LastHop is forced
+// per switch exactly as controller.Deploy does).
+func WithCompiler(co compiler.Options) Option {
+	return func(c *Config) { c.Compiler = co }
+}
+
+// WithParallelism bounds the worker fan-out inside each switch compile
+// (0 = GOMAXPROCS); it is copied into the compiler options when those
+// leave Parallelism unset.
+func WithParallelism(n int) Option {
+	return func(c *Config) { c.Parallelism = n }
+}
+
+// WithInstallers wires live apply targets by switch ID; nil entries
+// leave a switch compile-only.
+func WithInstallers(ins ...Installer) Option {
+	return func(c *Config) { c.Installers = ins }
+}
+
+// WithQueueDepth bounds in-flight subscription events; Subscribe and
+// Unsubscribe block when the queue is full (backpressure). Default
+// 1024.
+func WithQueueDepth(n int) Option {
+	return func(c *Config) { c.MaxPending = n }
+}
+
+// WithRetry bounds the exponential backoff between apply attempts
+// (base/max, ±50% jitter) and caps attempts per batch at maxRetries.
+// Zero values keep the defaults (1ms / 100ms / 8).
+func WithRetry(base, max time.Duration, maxRetries int) Option {
+	return func(c *Config) {
+		c.RetryBase = base
+		c.RetryMax = max
+		c.MaxRetries = maxRetries
+	}
+}
+
+// WithDrift sets the full-recompile fallback threshold (see
+// Reconciler); 0 means DefaultDrift.
+func WithDrift(d float64) Option {
+	return func(c *Config) { c.Drift = d }
+}
+
+// WithApplyHook runs fn before every install attempt — the
+// fault-injection point for retry/backoff tests. Returning an error
+// fails the attempt.
+func WithApplyHook(fn func(sw, attempt int) error) Option {
+	return func(c *Config) { c.ApplyHook = fn }
+}
+
+// WithValidator certifies each freshly compiled program against the
+// switch's surviving rule set before the install (see ProveValidator).
+// every samples validation under churn: each switch validates every
+// Nth compiled batch (and always the first); values ≤ 1 validate every
+// batch.
+func WithValidator(v Validator, every int) Option {
+	return func(c *Config) {
+		c.Validator = v
+		c.ValidateEvery = every
+	}
+}
+
+// WithSeed makes retry jitter reproducible (0 seeds from switch IDs
+// only).
+func WithSeed(seed int64) Option {
+	return func(c *Config) { c.Seed = seed }
+}
+
+// New builds the control plane for a network and starts one apply
+// worker per switch:
+//
+//	svc, err := ctlplane.New(net, spec,
+//	    ctlplane.WithRouting(ropts),
+//	    ctlplane.WithInstallers(sim.Installers()...),
+//	    ctlplane.WithValidator(ctlplane.ProveValidator(net, 0), 16))
+//
+// Close must be called to stop the workers.
+func New(net *topology.Network, sp *spec.Spec, opts ...Option) (*Service, error) {
+	cfg := Config{Net: net, Spec: sp}
+	for _, fn := range opts {
+		fn(&cfg)
+	}
+	return newService(cfg)
+}
+
+// NewReconcilerWith builds the synchronous placement/compile core
+// without the async Service on top (single-threaded callers such as
+// controller.Resubscribe). Only WithRouting, WithCompiler,
+// WithParallelism and WithDrift are meaningful here; the queue and
+// retry options apply to the Service layer.
+func NewReconcilerWith(net *topology.Network, sp *spec.Spec, opts ...Option) (*Reconciler, error) {
+	cfg := Config{Net: net, Spec: sp}
+	for _, fn := range opts {
+		fn(&cfg)
+	}
+	return newReconciler(cfg.withDefaults())
+}

@@ -1,0 +1,109 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"camus/internal/ctlplane"
+)
+
+// handleMetrics renders the Prometheus text exposition format by hand —
+// the repo takes no external dependencies, and the format is three line
+// shapes (# HELP, # TYPE, sample). Catalog:
+//
+//	camus_*_total                     service counters (Snapshot)
+//	camus_queue_depth{,_peak}         in-flight event gauges
+//	camus_apply_latency_seconds       event→applied summary (quantiles)
+//	camus_log_{seq,bytes}             durable log position
+//	camus_tenants                     registered tenant count
+//	camus_tenant_live{tenant}         per-tenant live subscriptions
+//	camus_tenant_pending{tenant}      per-tenant fairness-queue depth
+//	camus_tenant_events_total{tenant,op}        dispatched sub/unsub
+//	camus_tenant_rejected_total{tenant,reason}  quota/rate refusals
+//	camus_tenant_latency_seconds{tenant,quantile}
+func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	snap := d.svc.Stats()
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP camus_%s %s\n# TYPE camus_%s counter\ncamus_%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP camus_%s %s\n# TYPE camus_%s gauge\ncamus_%s %g\n", name, help, name, name, v)
+	}
+
+	counter("events_total", "Submitted subscription changes.", snap.Events)
+	counter("subscribes_total", "Submitted subscribe events.", snap.Subscribes)
+	counter("unsubscribes_total", "Submitted unsubscribe events.", snap.Unsubscribes)
+	counter("applied_total", "Events fully rolled out on every affected switch.", snap.Applied)
+	counter("batches_total", "Per-switch compile+install rounds.", snap.Batches)
+	counter("installs_total", "Table entries installed.", snap.Installs)
+	counter("deletes_total", "Table entries deleted.", snap.Deletes)
+	counter("keeps_total", "Table entries reused across epochs.", snap.Keeps)
+	counter("retries_total", "Backed-off apply attempts.", snap.Retries)
+	counter("fallbacks_total", "Drift-triggered full recompiles.", snap.Fallbacks)
+	counter("failures_total", "Batches that exhausted retries or failed compile/validation.", snap.Failures)
+	counter("validations_total", "Translation-validation runs.", snap.Validations)
+	counter("validation_failures_total", "Batches rejected as disequivalent.", snap.ValidationFailures)
+	gauge("queue_depth", "In-flight subscription events.", float64(snap.QueueDepth))
+	gauge("queue_depth_peak", "High-water mark of in-flight events.", float64(snap.PeakQueueDepth))
+
+	writeSummary(&b, "apply_latency_seconds", "Event submission to all-switches-applied latency.", "", snap.Latency)
+
+	if d.log != nil {
+		gauge("log_seq", "Last durable event-log sequence number.", float64(d.log.Seq()))
+		gauge("log_bytes", "Event log size in bytes.", float64(d.log.Size()))
+	}
+
+	tenants := d.tenants.Snapshots()
+	gauge("tenants", "Registered tenants.", float64(len(tenants)))
+
+	fmt.Fprintf(&b, "# HELP camus_tenant_live Live subscriptions per tenant.\n# TYPE camus_tenant_live gauge\n")
+	for _, t := range tenants {
+		fmt.Fprintf(&b, "camus_tenant_live{tenant=%q} %d\n", t.Name, t.Live)
+	}
+	fmt.Fprintf(&b, "# HELP camus_tenant_pending Fairness-queue depth per tenant.\n# TYPE camus_tenant_pending gauge\n")
+	for _, t := range tenants {
+		fmt.Fprintf(&b, "camus_tenant_pending{tenant=%q} %d\n", t.Name, t.Pending)
+	}
+	fmt.Fprintf(&b, "# HELP camus_tenant_events_total Dispatched events per tenant.\n# TYPE camus_tenant_events_total counter\n")
+	for _, t := range tenants {
+		fmt.Fprintf(&b, "camus_tenant_events_total{tenant=%q,op=\"sub\"} %d\n", t.Name, t.Subscribes)
+		fmt.Fprintf(&b, "camus_tenant_events_total{tenant=%q,op=\"unsub\"} %d\n", t.Name, t.Unsubscribes)
+	}
+	fmt.Fprintf(&b, "# HELP camus_tenant_rejected_total Admission refusals per tenant.\n# TYPE camus_tenant_rejected_total counter\n")
+	for _, t := range tenants {
+		fmt.Fprintf(&b, "camus_tenant_rejected_total{tenant=%q,reason=\"quota\"} %d\n", t.Name, t.RejectedQuota)
+		fmt.Fprintf(&b, "camus_tenant_rejected_total{tenant=%q,reason=\"rate\"} %d\n", t.Name, t.RejectedRate)
+	}
+	fmt.Fprintf(&b, "# HELP camus_tenant_latency_seconds Admission to all-switches-applied latency per tenant.\n# TYPE camus_tenant_latency_seconds summary\n")
+	for _, t := range tenants {
+		if t.Latency.N == 0 {
+			continue
+		}
+		writeSummary(&b, "tenant_latency_seconds", "", fmt.Sprintf("tenant=%q,", t.Name), t.Latency)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String()))
+}
+
+// writeSummary emits quantile samples plus _count for one latency
+// distribution. help == "" suppresses the HELP/TYPE header (repeated
+// per-label-set summaries share one header).
+func writeSummary(b *strings.Builder, name, help, labels string, l ctlplane.LatencyStats) {
+	sec := func(d time.Duration) float64 { return d.Seconds() }
+	if help != "" {
+		fmt.Fprintf(b, "# HELP camus_%s %s\n# TYPE camus_%s summary\n", name, help, name)
+	}
+	fmt.Fprintf(b, "camus_%s{%squantile=\"0.5\"} %g\n", name, labels, sec(l.P50))
+	fmt.Fprintf(b, "camus_%s{%squantile=\"0.9\"} %g\n", name, labels, sec(l.P90))
+	fmt.Fprintf(b, "camus_%s{%squantile=\"0.99\"} %g\n", name, labels, sec(l.P99))
+	if lbl := strings.TrimSuffix(labels, ","); lbl != "" {
+		fmt.Fprintf(b, "camus_%s_count{%s} %d\n", name, lbl, l.N)
+	} else {
+		fmt.Fprintf(b, "camus_%s_count %d\n", name, l.N)
+	}
+}

@@ -30,6 +30,11 @@ var ErrClosed = errors.New("ctlplane: service closed")
 var ErrApplyFailed = errors.New("ctlplane: apply failed after retries")
 
 // Config configures a Service.
+//
+// Deprecated: construct services with New and functional Options
+// (WithRouting, WithDrift, WithQueueDepth, ...) instead of Config
+// literals; this struct remains exported for one release as the shim
+// behind NewService and as the Option target.
 type Config struct {
 	Net  *topology.Network
 	Spec *spec.Spec
@@ -165,9 +170,15 @@ type Service struct {
 
 // NewService builds the control plane and starts one apply worker per
 // switch. Close must be called to stop the workers.
-func NewService(cfg Config) (*Service, error) {
+//
+// Deprecated: use New with functional options.
+func NewService(cfg Config) (*Service, error) { return newService(cfg) }
+
+// newService is the single construction path behind New and the
+// deprecated NewService shim.
+func newService(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
-	rec, err := NewReconciler(cfg.Net, cfg.Spec, cfg.Routing, cfg.Compiler, cfg.Drift)
+	rec, err := newReconciler(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -460,6 +471,13 @@ func (s *Service) Program(sw int) *compiler.Program {
 	defer s.mu.Unlock()
 	return s.rec.Program(sw)
 }
+
+// Spec returns the message spec the control plane compiles against
+// (the Tenants replay path re-parses logged filter sources with it).
+func (s *Service) Spec() *spec.Spec { return s.cfg.Spec }
+
+// Net returns the topology the control plane places subscriptions on.
+func (s *Service) Net() *topology.Network { return s.cfg.Net }
 
 // Filters returns a host's live filter IDs.
 func (s *Service) Filters(host int) []int {

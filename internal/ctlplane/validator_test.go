@@ -18,13 +18,12 @@ import (
 func TestValidatorRejectsBatch(t *testing.T) {
 	net := topology.MustFatTree(4)
 	var calls atomic.Int64
-	svc, ris := newServiceForTest(t, net, Config{
-		Routing: routing.Options{Policy: routing.TrafficReduction},
-		Validator: func(sw int, prog *compiler.Program, rules []*subscription.Rule) error {
+	svc, ris := newServiceForTest(t, net,
+		WithRouting(routing.Options{Policy: routing.TrafficReduction}),
+		WithValidator(func(sw int, prog *compiler.Program, rules []*subscription.Rule) error {
 			calls.Add(1)
 			return fmt.Errorf("%w: injected", ErrValidationFailed)
-		},
-	})
+		}, 0))
 	ev, _, err := svc.Subscribe(0, []subscription.Expr{filter(t, "stock == GOOGL")})
 	if err != nil {
 		t.Fatal(err)
@@ -55,10 +54,9 @@ func TestValidatorRejectsBatch(t *testing.T) {
 // sequence — and the programs still install normally.
 func TestProveValidatorCertifiesService(t *testing.T) {
 	net := topology.MustFatTree(4)
-	svc, ris := newServiceForTest(t, net, Config{
-		Routing:   routing.Options{Policy: routing.TrafficReduction, Alpha: 10},
-		Validator: ProveValidator(net, 0),
-	})
+	svc, ris := newServiceForTest(t, net,
+		WithRouting(routing.Options{Policy: routing.TrafficReduction, Alpha: 10}),
+		WithValidator(ProveValidator(net, 0), 0))
 	ev, ids, err := svc.Subscribe(2, []subscription.Expr{
 		filter(t, "stock == GOOGL and price > 50"),
 		filter(t, "stock == MSFT"),
@@ -99,11 +97,9 @@ func TestProveValidatorCertifiesService(t *testing.T) {
 // batches pay for a proof.
 func TestValidateEverySampling(t *testing.T) {
 	net := topology.MustFatTree(4)
-	svc, _ := newServiceForTest(t, net, Config{
-		Routing:       routing.Options{Policy: routing.TrafficReduction},
-		Validator:     ProveValidator(net, 0),
-		ValidateEvery: 4,
-	})
+	svc, _ := newServiceForTest(t, net,
+		WithRouting(routing.Options{Policy: routing.TrafficReduction}),
+		WithValidator(ProveValidator(net, 0), 4))
 	for i := 0; i < 12; i++ {
 		stock := []string{"GOOGL", "MSFT", "AAPL"}[i%3]
 		ev, _, err := svc.Subscribe(i%4, []subscription.Expr{

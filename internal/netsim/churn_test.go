@@ -155,11 +155,11 @@ func runChurn(t *testing.T, events int, seed int64, validator ctlplane.Validator
 		t.Fatal(err)
 	}
 	sim.Workers = 4
-	svc, err := ctlplane.NewService(ctlplane.Config{
-		Net: net, Spec: itchSpec, Routing: ropts,
-		Installers: sim.Installers(), Seed: seed,
-		Validator: validator,
-	})
+	svc, err := ctlplane.New(net, itchSpec,
+		ctlplane.WithRouting(ropts),
+		ctlplane.WithInstallers(sim.Installers()...),
+		ctlplane.WithSeed(seed),
+		ctlplane.WithValidator(validator, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,8 +191,8 @@ func runChurn(t *testing.T, events int, seed int64, validator ctlplane.Validator
 			pubs := make([]Publication, 32)
 			for i := range pubs {
 				pubs[i] = Publication{
-					Host: r.Intn(len(net.Hosts)),
-					Msgs: []*spec.Message{msg(fmt.Sprintf("S%03d", r.Intn(100)), int64(r.Intn(1000)), 1)},
+					Host:  r.Intn(len(net.Hosts)),
+					Msgs:  []*spec.Message{msg(fmt.Sprintf("S%03d", r.Intn(100)), int64(r.Intn(1000)), 1)},
 					Bytes: 64,
 				}
 			}

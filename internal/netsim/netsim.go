@@ -128,7 +128,7 @@ func New(d *controller.Deployment) (*Sim, error) {
 }
 
 // Installers adapts the sim's switches to the control-plane apply
-// interface (ctlplane.Config.Installers), so a live ctlplane.Service
+// interface (ctlplane.WithInstallers), so a live ctlplane.Service
 // can hot-swap programs on the running simulation.
 func (s *Sim) Installers() []ctlplane.Installer {
 	out := make([]ctlplane.Installer, len(s.Switches))

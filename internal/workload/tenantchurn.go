@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// TenantChurnConfig configures a multi-tenant churn workload: the base
+// churn stream partitioned across a simulated tenant population with
+// Zipf-skewed activity (a few hot tenants dominate, a long tail barely
+// subscribes — the daemon's fairness and quota machinery sees both
+// shapes at once).
+type TenantChurnConfig struct {
+	ChurnConfig
+	// Tenants is the population size (default 100).
+	Tenants int
+	// TenantZipfS is the Zipf skew of tenant activity (default 1.2,
+	// s > 1).
+	TenantZipfS float64
+}
+
+// TenantChurnEvent is one subscription change attributed to a tenant.
+// Remove events carry the tenant that performed the matching Add, so
+// replaying the stream through per-tenant namespaces is always valid.
+type TenantChurnEvent struct {
+	ChurnEvent
+	Tenant string
+}
+
+// TenantName formats the canonical simulated tenant name for index i.
+func TenantName(i int) string { return fmt.Sprintf("tenant-%04d", i) }
+
+// TenantChurn generates a deterministic multi-tenant churn stream. The
+// per-tenant event subsequences are internally consistent: within one
+// tenant every Remove follows its Add, so a harness may partition the
+// stream by tenant and drive each partition concurrently.
+func TenantChurn(cfg TenantChurnConfig) ([]TenantChurnEvent, error) {
+	if cfg.Tenants <= 0 {
+		cfg.Tenants = 100
+	}
+	if cfg.TenantZipfS <= 1 {
+		cfg.TenantZipfS = 1.2
+	}
+	base, err := Churn(cfg.ChurnConfig)
+	if err != nil {
+		return nil, err
+	}
+	// A separate stream keeps tenant assignment independent of the base
+	// churn draw (same base stream for any tenant population).
+	r := rand.New(rand.NewSource(cfg.Seed + 0x7e9a97))
+	zipf := rand.NewZipf(r, cfg.TenantZipfS, 1, uint64(cfg.Tenants-1))
+	owner := make(map[int]string) // churn key → tenant
+	out := make([]TenantChurnEvent, len(base))
+	for i, ev := range base {
+		var tn string
+		if ev.Add {
+			tn = TenantName(int(zipf.Uint64()))
+			owner[ev.Key] = tn
+		} else {
+			tn = owner[ev.Key]
+			delete(owner, ev.Key)
+		}
+		out[i] = TenantChurnEvent{ChurnEvent: ev, Tenant: tn}
+	}
+	return out, nil
+}
