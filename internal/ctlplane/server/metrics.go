@@ -9,6 +9,21 @@ import (
 	"camus/internal/ctlplane"
 )
 
+// labelEscaper escapes a label value per the Prometheus text
+// exposition format, which defines exactly three escapes: backslash,
+// double-quote, and newline. Go's %q is not usable here — it emits
+// \t / \xNN sequences the format does not define, so one odd tenant
+// name would make the whole page unparseable.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// maxTenantSeries caps per-tenant label cardinality: auto-create lets
+// clients mint tenants freely, and an unbounded label set is how a
+// scrape target kills its own Prometheus. Beyond the cap (first N in
+// name order — Snapshots is sorted, so membership is stable), the
+// omitted remainder is counted in camus_tenant_series_omitted; the
+// service-wide aggregates still include every tenant.
+const maxTenantSeries = 256
+
 // handleMetrics renders the Prometheus text exposition format by hand —
 // the repo takes no external dependencies, and the format is three line
 // shapes (# HELP, # TYPE, sample). Catalog:
@@ -17,7 +32,9 @@ import (
 //	camus_queue_depth{,_peak}         in-flight event gauges
 //	camus_apply_latency_seconds       event→applied summary (quantiles)
 //	camus_log_{seq,bytes}             durable log position
+//	camus_log_truncated_bytes         torn-tail bytes dropped at open
 //	camus_tenants                     registered tenant count
+//	camus_tenant_series_omitted       tenants beyond the label-cardinality cap
 //	camus_tenant_live{tenant}         per-tenant live subscriptions
 //	camus_tenant_pending{tenant}      per-tenant fairness-queue depth
 //	camus_tenant_events_total{tenant,op}        dispatched sub/unsub
@@ -55,35 +72,42 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if d.log != nil {
 		gauge("log_seq", "Last durable event-log sequence number.", float64(d.log.Seq()))
 		gauge("log_bytes", "Event log size in bytes.", float64(d.log.Size()))
+		gauge("log_truncated_bytes", "Torn-tail bytes discarded when the log was opened.", float64(d.log.Truncated()))
 	}
 
 	tenants := d.tenants.Snapshots()
 	gauge("tenants", "Registered tenants.", float64(len(tenants)))
+	if len(tenants) > maxTenantSeries {
+		gauge("tenant_series_omitted", "Tenants beyond the per-tenant series cap (service aggregates still count them).", float64(len(tenants)-maxTenantSeries))
+		tenants = tenants[:maxTenantSeries]
+	}
 
 	fmt.Fprintf(&b, "# HELP camus_tenant_live Live subscriptions per tenant.\n# TYPE camus_tenant_live gauge\n")
 	for _, t := range tenants {
-		fmt.Fprintf(&b, "camus_tenant_live{tenant=%q} %d\n", t.Name, t.Live)
+		fmt.Fprintf(&b, "camus_tenant_live{tenant=\"%s\"} %d\n", labelEscaper.Replace(t.Name), t.Live)
 	}
 	fmt.Fprintf(&b, "# HELP camus_tenant_pending Fairness-queue depth per tenant.\n# TYPE camus_tenant_pending gauge\n")
 	for _, t := range tenants {
-		fmt.Fprintf(&b, "camus_tenant_pending{tenant=%q} %d\n", t.Name, t.Pending)
+		fmt.Fprintf(&b, "camus_tenant_pending{tenant=\"%s\"} %d\n", labelEscaper.Replace(t.Name), t.Pending)
 	}
 	fmt.Fprintf(&b, "# HELP camus_tenant_events_total Dispatched events per tenant.\n# TYPE camus_tenant_events_total counter\n")
 	for _, t := range tenants {
-		fmt.Fprintf(&b, "camus_tenant_events_total{tenant=%q,op=\"sub\"} %d\n", t.Name, t.Subscribes)
-		fmt.Fprintf(&b, "camus_tenant_events_total{tenant=%q,op=\"unsub\"} %d\n", t.Name, t.Unsubscribes)
+		name := labelEscaper.Replace(t.Name)
+		fmt.Fprintf(&b, "camus_tenant_events_total{tenant=\"%s\",op=\"sub\"} %d\n", name, t.Subscribes)
+		fmt.Fprintf(&b, "camus_tenant_events_total{tenant=\"%s\",op=\"unsub\"} %d\n", name, t.Unsubscribes)
 	}
 	fmt.Fprintf(&b, "# HELP camus_tenant_rejected_total Admission refusals per tenant.\n# TYPE camus_tenant_rejected_total counter\n")
 	for _, t := range tenants {
-		fmt.Fprintf(&b, "camus_tenant_rejected_total{tenant=%q,reason=\"quota\"} %d\n", t.Name, t.RejectedQuota)
-		fmt.Fprintf(&b, "camus_tenant_rejected_total{tenant=%q,reason=\"rate\"} %d\n", t.Name, t.RejectedRate)
+		name := labelEscaper.Replace(t.Name)
+		fmt.Fprintf(&b, "camus_tenant_rejected_total{tenant=\"%s\",reason=\"quota\"} %d\n", name, t.RejectedQuota)
+		fmt.Fprintf(&b, "camus_tenant_rejected_total{tenant=\"%s\",reason=\"rate\"} %d\n", name, t.RejectedRate)
 	}
 	fmt.Fprintf(&b, "# HELP camus_tenant_latency_seconds Admission to all-switches-applied latency per tenant.\n# TYPE camus_tenant_latency_seconds summary\n")
 	for _, t := range tenants {
 		if t.Latency.N == 0 {
 			continue
 		}
-		writeSummary(&b, "tenant_latency_seconds", "", fmt.Sprintf("tenant=%q,", t.Name), t.Latency)
+		writeSummary(&b, "tenant_latency_seconds", "", fmt.Sprintf("tenant=\"%s\",", labelEscaper.Replace(t.Name)), t.Latency)
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -92,7 +116,8 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // writeSummary emits quantile samples plus _count for one latency
 // distribution. help == "" suppresses the HELP/TYPE header (repeated
-// per-label-set summaries share one header).
+// per-label-set summaries share one header). labels, if non-empty, is
+// a trailing-comma label prefix whose values are already escaped.
 func writeSummary(b *strings.Builder, name, help, labels string, l ctlplane.LatencyStats) {
 	sec := func(d time.Duration) float64 { return d.Seconds() }
 	if help != "" {

@@ -25,6 +25,7 @@ import (
 	"net/http"
 	"sync"
 	"time"
+	"unicode/utf8"
 
 	"camus/internal/analysis/report"
 	"camus/internal/ctlplane"
@@ -245,8 +246,40 @@ type statsResponse struct {
 // ---------------------------------------------------------------------
 // Handlers
 
-func (d *Daemon) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
+// validTenantName gates the names that can enter the registry: path
+// decoding lets %00-style escapes smuggle arbitrary bytes into the
+// {tenant} segment, and names must round-trip cleanly through log
+// records and metrics labels. Control characters, invalid UTF-8, and
+// over-long names are refused at the door.
+func validTenantName(name string) bool {
+	if name == "" || len(name) > 128 || !utf8.ValidString(name) {
+		return false
+	}
+	for _, r := range name {
+		if r < 0x20 || r == 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// tenantName extracts and validates the {tenant} path segment for the
+// handlers that can create or mutate tenant state, writing the 400
+// itself when the name is unusable.
+func (d *Daemon) tenantName(w http.ResponseWriter, r *http.Request) (string, bool) {
 	name := r.PathValue("tenant")
+	if !validTenantName(name) {
+		d.fail(w, http.StatusBadRequest, "bad-request", fmt.Sprintf("invalid tenant name %q", name), "")
+		return "", false
+	}
+	return name, true
+}
+
+func (d *Daemon) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
+	name, ok := d.tenantName(w, r)
+	if !ok {
+		return
+	}
 	var quota ctlplane.TenantQuota
 	if r.ContentLength != 0 {
 		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&quota); err != nil {
@@ -267,7 +300,10 @@ func (d *Daemon) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
 }
 
 func (d *Daemon) handleSubscribe(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("tenant")
+	name, ok := d.tenantName(w, r)
+	if !ok {
+		return
+	}
 	var req subscribeRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
 		d.fail(w, http.StatusBadRequest, "bad-request", fmt.Sprintf("decode request: %v", err), "")
@@ -303,7 +339,10 @@ func (d *Daemon) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 }
 
 func (d *Daemon) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("tenant")
+	name, ok := d.tenantName(w, r)
+	if !ok {
+		return
+	}
 	var req unsubscribeRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
 		d.fail(w, http.StatusBadRequest, "bad-request", fmt.Sprintf("decode request: %v", err), "")

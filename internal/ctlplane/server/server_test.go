@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"os"
 	"path/filepath"
 	"strings"
@@ -267,6 +268,48 @@ func TestHTTPGoldens(t *testing.T) {
 	status, raw = do(t, http.MethodGet, base+"/healthz", nil)
 	if status != http.StatusOK || strings.TrimSpace(string(raw)) != "ok" {
 		t.Errorf("healthz = %d %q", status, raw)
+	}
+}
+
+// TestTenantNameValidationAndEscaping: the {tenant} path segment is
+// client-controlled and ends up in log records and Prometheus labels.
+// Control characters and over-long names are refused with 400; odd but
+// printable names must render as valid exposition-format labels
+// (backslash/quote/newline escaping — not Go %q, whose \t and \xNN
+// escapes the format does not define).
+func TestTenantNameValidationAndEscaping(t *testing.T) {
+	_, ts := newDaemon(t)
+	base := ts.URL
+
+	for _, bad := range []string{
+		url.PathEscape("tab\there"),
+		url.PathEscape(strings.Repeat("x", 200)),
+	} {
+		status, raw := do(t, http.MethodPut, base+"/v1/tenants/"+bad, nil)
+		if status != http.StatusBadRequest {
+			t.Fatalf("PUT invalid name %q: status %d\n%s", bad, status, raw)
+		}
+		wantFinding(t, raw, "bad-request")
+		status, raw = do(t, http.MethodPost, base+"/v1/tenants/"+bad+"/subscriptions",
+			map[string]any{"host": 0, "filters": []string{"stock == GOOGL"}})
+		if status != http.StatusBadRequest {
+			t.Fatalf("POST invalid name %q: status %d\n%s", bad, status, raw)
+		}
+	}
+
+	// Printable-but-odd name: accepted, and escaped per the exposition
+	// format on /metrics.
+	odd := `we"ird\name`
+	if status, raw := do(t, http.MethodPut, base+"/v1/tenants/"+url.PathEscape(odd), nil); status != http.StatusCreated {
+		t.Fatalf("PUT odd name: status %d\n%s", status, raw)
+	}
+	status, raw := do(t, http.MethodGet, base+"/metrics", nil)
+	if status != http.StatusOK {
+		t.Fatalf("metrics: status %d", status)
+	}
+	want := `camus_tenant_live{tenant="we\"ird\\name"} 0`
+	if !strings.Contains(string(raw), want) {
+		t.Errorf("metrics exposition missing %q", want)
 	}
 }
 

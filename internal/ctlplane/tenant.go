@@ -175,15 +175,17 @@ func NewTenants(svc *Service, opts ...TenantOption) *Tenants {
 }
 
 // CreateTenant registers (or re-quotas) a tenant. A zero quota takes
-// the layer default.
+// the layer default. The log record is appended under the same lock
+// hold that mutates the registry, so log order always matches logical
+// order (a quota update can never be logged after a "sub" it preceded).
 func (t *Tenants) CreateTenant(name string, q TenantQuota) error {
 	if name == "" {
 		return fmt.Errorf("%w: empty name", ErrUnknownTenant)
 	}
 	t.mu.Lock()
+	defer t.mu.Unlock()
 	tn := t.createLocked(name, q)
-	t.mu.Unlock()
-	return t.appendLog(&LogRecord{Op: "tenant", Tenant: name, Quota: &tn.quota})
+	return t.appendLogLocked(&LogRecord{Op: "tenant", Tenant: name, Quota: &tn.quota})
 }
 
 // createLocked registers name if absent and applies q (zero → layer
@@ -197,19 +199,26 @@ func (t *Tenants) createLocked(name string, q TenantQuota) *tenant {
 		tn = &tenant{
 			name:       name,
 			live:       make(map[int]int),
+			tokens:     q.burst(),
 			lastRefill: time.Now(),
 		}
 		t.byName[name] = tn
 		t.order = append(t.order, name)
 	}
 	tn.quota = q
-	tn.tokens = q.burst()
+	// Re-quota never refills the bucket — a tenant re-PUTting itself
+	// before each subscribe must not mint fresh tokens. Existing
+	// tokens only clamp down when the new burst is smaller.
+	if b := q.burst(); tn.tokens > b {
+		tn.tokens = b
+	}
 	return tn
 }
 
 // lookup resolves a tenant for an operation, auto-creating when
-// enabled. logCreate reports whether an auto-create happened (the
-// caller must append its log record outside the lock).
+// enabled. created reports whether an auto-create happened (the caller
+// must append its "tenant" log record before releasing t.mu, so the
+// record provably precedes any of the tenant's event records).
 func (t *Tenants) lookup(name string) (tn *tenant, created bool, err error) {
 	if name == "" {
 		return nil, false, fmt.Errorf("%w: empty name", ErrUnknownTenant)
@@ -257,6 +266,13 @@ func (t *Tenants) Subscribe(tenantName string, host int, exprs []subscription.Ex
 		t.mu.Unlock()
 		return nil, nil, err
 	}
+	// Log the auto-create while still holding the lock: the dispatcher
+	// cannot pop (and log) this tenant's first event until we release,
+	// so the "tenant" record lands first even if this very call is
+	// rejected below.
+	if created {
+		t.appendLogLocked(&LogRecord{Op: "tenant", Tenant: tenantName, Quota: &tn.quota})
+	}
 	if !tn.admit(time.Now()) {
 		tn.rejectedRate++
 		t.mu.Unlock()
@@ -271,9 +287,6 @@ func (t *Tenants) Subscribe(tenantName string, host int, exprs []subscription.Ex
 	op := &tenantOp{host: host, exprs: exprs, enq: time.Now(), done: make(chan struct{})}
 	t.enqueueLocked(tn, op)
 	t.mu.Unlock()
-	if created {
-		t.appendLog(&LogRecord{Op: "tenant", Tenant: tenantName, Quota: &tn.quota})
-	}
 	return t.wait(op)
 }
 
@@ -288,6 +301,9 @@ func (t *Tenants) Unsubscribe(tenantName string, host int, ids []int) (*Event, e
 	if err != nil {
 		t.mu.Unlock()
 		return nil, err
+	}
+	if created {
+		t.appendLogLocked(&LogRecord{Op: "tenant", Tenant: tenantName, Quota: &tn.quota})
 	}
 	if !tn.admit(time.Now()) {
 		tn.rejectedRate++
@@ -305,9 +321,6 @@ func (t *Tenants) Unsubscribe(tenantName string, host int, ids []int) (*Event, e
 	op := &tenantOp{host: host, ids: ids, enq: time.Now(), done: make(chan struct{})}
 	t.enqueueLocked(tn, op)
 	t.mu.Unlock()
-	if created {
-		t.appendLog(&LogRecord{Op: "tenant", Tenant: tenantName, Quota: &tn.quota})
-	}
 	ev, _, err := t.wait(op)
 	return ev, err
 }
@@ -445,12 +458,24 @@ func (t *Tenants) appendLog(rec *LogRecord) error {
 	if t.log == nil {
 		return nil
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.appendLogLocked(rec)
+}
+
+// appendLogLocked is appendLog for callers already holding t.mu.
+// Appending under the lock is the ordering guarantee for registry
+// mutations: the dispatcher (which logs event records lock-free, in
+// dispatch order) cannot observe the mutation until the lock drops,
+// by which point its log record is durable-ordered behind this one.
+func (t *Tenants) appendLogLocked(rec *LogRecord) error {
+	if t.log == nil {
+		return nil
+	}
 	if err := t.log.Append(rec); err != nil {
-		t.mu.Lock()
 		if t.logErr == nil {
 			t.logErr = err
 		}
-		t.mu.Unlock()
 		return err
 	}
 	return nil
@@ -489,6 +514,13 @@ func (t *Tenants) Replay() (int, error) {
 		case "sub":
 			t.mu.Lock()
 			tn, ok := t.byName[rec.Tenant]
+			if !ok && t.autoCreate {
+				// Logs written before the tenant-record-first ordering
+				// guarantee may carry an event ahead of its tenant
+				// record; under auto-create, mint the tenant exactly as
+				// the live path would have.
+				tn, ok = t.createLocked(rec.Tenant, TenantQuota{}), true
+			}
 			t.mu.Unlock()
 			if !ok {
 				return fmt.Errorf("ctlplane: replay seq %d: subscribe for unknown tenant %q", rec.Seq, rec.Tenant)
@@ -522,6 +554,9 @@ func (t *Tenants) Replay() (int, error) {
 		case "unsub":
 			t.mu.Lock()
 			tn, ok := t.byName[rec.Tenant]
+			if !ok && t.autoCreate {
+				tn, ok = t.createLocked(rec.Tenant, TenantQuota{}), true
+			}
 			t.mu.Unlock()
 			if !ok {
 				return fmt.Errorf("ctlplane: replay seq %d: unsubscribe for unknown tenant %q", rec.Seq, rec.Tenant)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -375,6 +376,9 @@ func TestLogTornTail(t *testing.T) {
 	if l2.Seq() != 5 {
 		t.Fatalf("Seq after torn-tail open = %d, want 5", l2.Seq())
 	}
+	if l2.Truncated() != 8 {
+		t.Errorf("Truncated = %d, want 8 (the torn tail)", l2.Truncated())
+	}
 	var seen []string
 	n, err := l2.Replay(func(rec *LogRecord) error {
 		seen = append(seen, rec.Tenant)
@@ -395,6 +399,137 @@ func TestLogTornTail(t *testing.T) {
 	n, err = l2.Replay(func(rec *LogRecord) error { return nil })
 	if err != nil || n != 6 {
 		t.Errorf("Replay after append = %d, %v; want 6, nil", n, err)
+	}
+}
+
+// TestLogCorruptionDetected: a flipped byte in the middle of the log —
+// committed, fsynced records after it — is not a torn tail and must
+// fail the open loudly instead of silently truncating away everything
+// behind it.
+func TestLogCorruptionDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.log")
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Append(&LogRecord{Op: "tenant", Tenant: fmt.Sprintf("t%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[10] ^= 0xff // inside the first record's JSON payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenLog(path); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("OpenLog on mid-log corruption = %v, want checksum error", err)
+	}
+}
+
+// TestWALAutoCreateTenantRecordOrdering: an auto-created tenant's
+// "tenant" record must land in the log before any of its event
+// records, no matter how the dispatcher races the creating caller —
+// and even when the tenant's very first event is rejected at
+// admission. Pre-fix, both shapes produced a log whose replay died
+// with "subscribe for unknown tenant".
+func TestWALAutoCreateTenantRecordOrdering(t *testing.T) {
+	net := topology.MustFatTree(4)
+	path := filepath.Join(t.TempDir(), "auto.log")
+	log1, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1, _ := newServiceForTest(t, net,
+		WithRouting(routing.Options{Policy: routing.TrafficReduction}))
+	tn1 := NewTenants(svc1, WithEventLog(log1), WithAutoCreate(),
+		WithDefaultQuota(TenantQuota{MaxSubscriptions: 4}))
+
+	// Deterministic shape: the tenant is minted by a quota-rejected
+	// event; its tenant record must be durable anyway.
+	if _, _, err := tn1.Subscribe("reject-first", 0, []subscription.Expr{
+		filter(t, "price > 1"), filter(t, "price > 2"), filter(t, "price > 3"),
+		filter(t, "price > 4"), filter(t, "price > 5"),
+	}); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("over-quota first subscribe = %v, want ErrQuotaExceeded", err)
+	}
+	if _, _, err := tn1.Subscribe("reject-first", 0, []subscription.Expr{filter(t, "stock == GOOGL")}); err != nil {
+		t.Fatal(err)
+	}
+	// Racy shape: many fresh tenants subscribing concurrently, so the
+	// dispatcher is busy appending "sub" records while callers append
+	// "tenant" records.
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, _, err := tn1.Subscribe(fmt.Sprintf("tn%02d", i), i%len(net.Hosts), []subscription.Expr{
+				filter(t, fmt.Sprintf("price > %d", i)),
+			}); err != nil {
+				t.Errorf("tenant %d subscribe: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	tn1.Close()
+	if err := log1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	log2, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	svc2, _ := newServiceForTest(t, net,
+		WithRouting(routing.Options{Policy: routing.TrafficReduction}))
+	tn2 := NewTenants(svc2, WithEventLog(log2))
+	defer tn2.Close()
+	if _, err := tn2.Replay(); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if got := tn2.TenantCount(); got != 17 {
+		t.Errorf("replayed TenantCount = %d, want 17", got)
+	}
+}
+
+// TestTenantRequotaKeepsTokens: re-PUTting a tenant must not refill
+// its token bucket — otherwise a tenant re-quotas itself before every
+// subscribe and the EventsPerSec admission control is a no-op.
+func TestTenantRequotaKeepsTokens(t *testing.T) {
+	net := topology.MustFatTree(4)
+	tn, _ := newTenantsForTest(t, net, nil)
+	quota := TenantQuota{EventsPerSec: 0.001, Burst: 2}
+	if err := tn.CreateTenant("spam", quota); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, _, err := tn.Subscribe("spam", i, []subscription.Expr{
+			filter(t, fmt.Sprintf("price > %d", i)),
+		}); err != nil {
+			t.Fatalf("burst subscribe %d: %v", i, err)
+		}
+	}
+	// The bucket is empty; a re-PUT with the same quota must not refill it.
+	if err := tn.CreateTenant("spam", quota); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tn.Subscribe("spam", 2, []subscription.Expr{filter(t, "price > 9")}); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("post-requota subscribe = %v, want ErrRateLimited (re-quota refilled the bucket)", err)
+	}
+	// Nor may a larger burst mint tokens retroactively.
+	if err := tn.CreateTenant("spam", TenantQuota{EventsPerSec: 0.001, Burst: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tn.Subscribe("spam", 3, []subscription.Expr{filter(t, "price > 10")}); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("post-burst-raise subscribe = %v, want ErrRateLimited", err)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"sync"
@@ -37,31 +38,41 @@ type LogRecord struct {
 // ErrLogClosed is returned for appends after Close.
 var ErrLogClosed = errors.New("ctlplane: event log closed")
 
-// walMaxRecord bounds one record's encoded size; a length prefix above
-// it is treated as a torn/corrupt tail rather than an allocation
-// request.
+// walMaxRecord bounds one record's encoded size; a complete length
+// prefix above it can only come from corruption, never from a torn
+// append, and fails the open.
 const walMaxRecord = 1 << 20
 
-// Log is the durable append-only event log: length-prefixed JSON
-// records (4-byte big-endian length, then the JSON payload) with
+// walHeader is the per-record frame header: 4-byte big-endian payload
+// length, then 4-byte big-endian CRC-32 (IEEE) of the payload.
+const walHeader = 8
+
+// Log is the durable append-only event log: checksummed
+// length-prefixed JSON records (4-byte big-endian length, 4-byte
+// big-endian CRC-32 of the payload, then the JSON payload) with
 // batched fsync. Appends are buffered and a group-commit flusher
 // syncs the file every FsyncInterval (or immediately after
 // FsyncEveryN records), so one fsync amortizes over a burst of events;
 // Sync and Close force the tail out. A process kill can therefore lose
 // at most the last unsynced batch and may leave a torn final record —
-// OpenLog truncates the tail to the last complete record and replay
-// proceeds from a consistent prefix.
+// OpenLog truncates the tail to the last complete record (Truncated
+// reports the dropped byte count) and replay proceeds from a
+// consistent prefix. A torn tail is the only damage that is repaired
+// silently: mid-file corruption (checksum or framing mismatch with
+// committed records after it) fails the open instead of discarding
+// durable records.
 type Log struct {
 	path string
 
-	mu      sync.Mutex
-	f       *os.File
-	w       *bufio.Writer
-	seq     int64
-	dirty   int // appends since the last sync
-	size    int64
-	lastErr error
-	closed  bool
+	mu        sync.Mutex
+	f         *os.File
+	w         *bufio.Writer
+	seq       int64
+	dirty     int // appends since the last sync
+	size      int64
+	truncated int64 // torn-tail bytes discarded by OpenLog
+	lastErr   error
+	closed    bool
 
 	interval time.Duration
 	everyN   int
@@ -85,8 +96,12 @@ func WithFsyncEveryN(n int) LogOption {
 
 // OpenLog opens (or creates) the event log at path, scans the existing
 // records to recover the append position and last sequence number, and
-// truncates any torn tail left by a crash. The returned log is ready
-// for Replay and Append.
+// truncates any torn tail left by a crash (Truncated reports how many
+// bytes that dropped). Corruption anywhere before the tail — a
+// checksum mismatch, an impossible length, undecodable JSON — is not a
+// crash artifact and fails the open rather than silently discarding
+// the committed records behind it. The returned log is ready for
+// Replay and Append.
 func OpenLog(path string, opts ...LogOption) (*Log, error) {
 	l := &Log{
 		path:     path,
@@ -107,7 +122,13 @@ func OpenLog(path string, opts ...LogOption) (*Log, error) {
 		f.Close()
 		return nil, err
 	}
-	// A torn tail (partial length prefix or payload) is expected after a
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	l.truncated = st.Size() - good
+	// A torn tail (partial header or payload) is expected after a
 	// kill; truncating to the last complete record restores the
 	// append invariant.
 	if err := f.Truncate(good); err != nil {
@@ -127,33 +148,46 @@ func OpenLog(path string, opts ...LogOption) (*Log, error) {
 }
 
 // scanLog walks the record framing from the start of the file and
-// returns the byte offset after the last complete, decodable record,
-// the highest sequence number seen, and the record count. It never
-// fails on a torn tail — that is the normal crash artifact — only on
-// I/O errors.
+// returns the byte offset after the last complete record, the highest
+// sequence number seen, and the record count. A torn tail — the
+// header or payload cut short by EOF — is the normal crash artifact
+// and is reported via good < file size, not as an error. Everything
+// else is corruption and fails the scan: appends only ever write a
+// prefix of intended bytes, so a fully present frame with a bad
+// length, a checksum mismatch, or undecodable JSON cannot be a crash
+// leftover.
 func scanLog(f *os.File) (good int64, lastSeq int64, n int, err error) {
 	if _, err = f.Seek(0, io.SeekStart); err != nil {
 		return 0, 0, 0, err
 	}
 	r := bufio.NewReader(f)
-	var hdr [4]byte
+	var hdr [walHeader]byte
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			return good, lastSeq, n, nil // clean EOF or torn prefix
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return good, lastSeq, n, nil // clean EOF or torn header
+			}
+			return good, lastSeq, n, err
 		}
-		size := binary.BigEndian.Uint32(hdr[:])
+		size := binary.BigEndian.Uint32(hdr[:4])
 		if size == 0 || size > walMaxRecord {
-			return good, lastSeq, n, nil // corrupt length → treat as tail
+			return good, lastSeq, n, fmt.Errorf("ctlplane: event log corrupt at offset %d (record %d): impossible length %d", good, n+1, size)
 		}
 		buf := make([]byte, size)
 		if _, err := io.ReadFull(r, buf); err != nil {
-			return good, lastSeq, n, nil // torn payload
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return good, lastSeq, n, nil // torn payload
+			}
+			return good, lastSeq, n, err
+		}
+		if sum := crc32.ChecksumIEEE(buf); sum != binary.BigEndian.Uint32(hdr[4:]) {
+			return good, lastSeq, n, fmt.Errorf("ctlplane: event log corrupt at offset %d (record %d): checksum mismatch", good, n+1)
 		}
 		var rec LogRecord
 		if err := json.Unmarshal(buf, &rec); err != nil {
-			return good, lastSeq, n, nil // corrupt payload → tail
+			return good, lastSeq, n, fmt.Errorf("ctlplane: event log corrupt at offset %d (record %d): %v", good, n+1, err)
 		}
-		good += int64(4 + size)
+		good += int64(walHeader + size)
 		lastSeq = rec.Seq
 		n++
 	}
@@ -175,8 +209,9 @@ func (l *Log) Append(rec *LogRecord) error {
 		l.lastErr = err
 		return err
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(buf)))
+	var hdr [walHeader]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(buf)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(buf))
 	if _, err := l.w.Write(hdr[:]); err == nil {
 		_, err = l.w.Write(buf)
 	}
@@ -184,7 +219,7 @@ func (l *Log) Append(rec *LogRecord) error {
 		l.lastErr = err
 		return err
 	}
-	l.size += int64(4 + len(buf))
+	l.size += int64(walHeader + len(buf))
 	l.dirty++
 	if l.dirty >= l.everyN {
 		return l.syncLocked()
@@ -261,6 +296,14 @@ func (l *Log) Size() int64 {
 	return l.size
 }
 
+// Truncated reports how many torn-tail bytes OpenLog discarded to
+// restore the append invariant (0 after a clean shutdown).
+func (l *Log) Truncated() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.truncated
+}
+
 // Close syncs and closes the log. Further appends fail with
 // ErrLogClosed.
 func (l *Log) Close() error {
@@ -305,23 +348,29 @@ func (l *Log) Replay(fn func(*LogRecord) error) (int, error) {
 	}
 	defer f.Close()
 	r := bufio.NewReader(io.LimitReader(f, limit))
-	var hdr [4]byte
+	var hdr [walHeader]byte
 	n := 0
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			return n, nil
+			if err == io.EOF {
+				return n, nil
+			}
+			return n, fmt.Errorf("ctlplane: replay record %d: %w", n+1, err)
 		}
-		size := binary.BigEndian.Uint32(hdr[:])
+		size := binary.BigEndian.Uint32(hdr[:4])
 		if size == 0 || size > walMaxRecord {
-			return n, nil
+			return n, fmt.Errorf("ctlplane: replay record %d: impossible length %d", n+1, size)
 		}
 		buf := make([]byte, size)
 		if _, err := io.ReadFull(r, buf); err != nil {
-			return n, nil
+			return n, fmt.Errorf("ctlplane: replay record %d: %w", n+1, err)
+		}
+		if sum := crc32.ChecksumIEEE(buf); sum != binary.BigEndian.Uint32(hdr[4:]) {
+			return n, fmt.Errorf("ctlplane: replay record %d: checksum mismatch", n+1)
 		}
 		var rec LogRecord
 		if err := json.Unmarshal(buf, &rec); err != nil {
-			return n, nil
+			return n, fmt.Errorf("ctlplane: replay record %d: %w", n+1, err)
 		}
 		if err := fn(&rec); err != nil {
 			return n, err
