@@ -2,14 +2,15 @@
 # leave `make check` green.
 GO ?= go
 
-.PHONY: check vet lint build test race bench bench-report perf-guard fuzz-smoke fuzz-extended vet-report churn-soak serve-soak soak prove
+.PHONY: check vet lint build test race bench bench-report perf-guard fuzz-smoke fuzz-extended vet-report churn-soak serve-soak soak prove netcheck
 
 ## check: the full tier-1 gate — vet, custom analyzers, build,
 ## race-enabled tests, a short churn soak, a serve soak of the
 ## multi-tenant daemon, a short fuzz smoke, a translation-validation
-## pass over the shipped rules, and a smoke run of the parallel
-## dataplane benchmark.
-check: vet lint build race churn-soak serve-soak fuzz-smoke prove bench
+## pass over the shipped rules, a network-wide delivery certification
+## of the shipped rules, and a smoke run of the parallel dataplane
+## benchmark.
+check: vet lint build race churn-soak serve-soak fuzz-smoke prove netcheck bench
 
 ## prove: certify the shipped sample rules with the translation
 ## validator (camusc prove), in both last-hop and upstream modes, and
@@ -19,6 +20,17 @@ prove:
 	$(GO) run ./cmd/camusc prove -spec cmd/camusc/testdata/itch.spec -rules cmd/camusc/testdata/itch.rules
 	$(GO) run ./cmd/camusc prove -spec cmd/camusc/testdata/itch.spec -rules cmd/camusc/testdata/itch.rules -last-hop=false
 	$(GO) run ./cmd/camusc prove -spec cmd/camusc/testdata/itch.spec -rules cmd/camusc/testdata/itch.rules -parallelism 4
+
+## netcheck: network-wide delivery certification (DESIGN.md §13) of
+## the shipped rule sets — the itch.rules sample over a fat-tree(4)
+## under both routing policies, over a random MST++ topology with α
+## overshoot, and the itchfeed example's subscriptions. Every run must
+## certify clean: no black holes, no loops, exact delivery.
+netcheck:
+	$(GO) run ./cmd/camusc netcheck -spec cmd/camusc/testdata/itch.spec -rules cmd/camusc/testdata/itch.rules
+	$(GO) run ./cmd/camusc netcheck -spec cmd/camusc/testdata/itch.spec -rules cmd/camusc/testdata/itch.rules -policy mr -alpha 10
+	$(GO) run ./cmd/camusc netcheck -spec cmd/camusc/testdata/itch.spec -rules cmd/camusc/testdata/itch.rules -topo mstpp -nodes 24 -alpha 100
+	$(GO) run ./cmd/camusc netcheck -spec cmd/camusc/testdata/itch.spec -rules cmd/camusc/testdata/itchfeed.rules
 
 vet:
 	$(GO) vet ./...
@@ -40,10 +52,10 @@ test:
 race:
 	$(GO) test -race -timeout 30m ./...
 
-## bench: one-iteration smoke of the worker-sweep, live-churn and
-## daemon benchmarks (fast).
+## bench: one-iteration smoke of the worker-sweep, live-churn,
+## daemon and network-verifier benchmarks (fast).
 bench:
-	$(GO) test -run '^$$' -bench='SwitchParallel|Churn|CtlplaneDaemon' -benchtime=1x .
+	$(GO) test -run '^$$' -bench='SwitchParallel|Churn|CtlplaneDaemon|Netcheck' -benchtime=1x .
 
 ## bench-report: regenerate bench-report.txt with steady-state numbers
 ## (host header from TestMain records NumCPU / GOMAXPROCS), then emit
@@ -53,16 +65,18 @@ bench:
 ## BENCH_ctlplane.json for the multi-tenant daemon (updates/s and
 ## client-observed p50/p99 request latency over the HTTP API).
 bench-report:
-	$(GO) test -run '^$$' -bench='SwitchParallel|Churn|CompileParallel|CtlplaneDaemon' -benchmem . | tee bench-report.txt
-	$(GO) run ./cmd/benchjson -filter 'CompileParallel|Churn$$' -out BENCH_compile.json < bench-report.txt
+	$(GO) test -run '^$$' -bench='SwitchParallel|Churn|CompileParallel|CtlplaneDaemon|Netcheck' -benchmem . | tee bench-report.txt
+	$(GO) run ./cmd/benchjson -filter 'CompileParallel|Churn$$|Netcheck' -out BENCH_compile.json < bench-report.txt
 	$(GO) run ./cmd/benchjson -filter 'SwitchParallel' -out BENCH_switch.json < bench-report.txt
 	$(GO) run ./cmd/benchjson -filter 'CtlplaneDaemon' -out BENCH_ctlplane.json < bench-report.txt
 
-## perf-guard: the CI allocation guard — run the two canonical compiler
-## benchmarks once and fail on a >2x allocs/op regression against the
-## checked-in baseline (perf-baseline.json).
+## perf-guard: the CI allocation guard — run the two canonical
+## compiler benchmarks plus the network-delivery verifier once and
+## fail on a >2x allocs/op regression against the checked-in baseline
+## (perf-baseline.json).
 perf-guard:
-	$(GO) test -run '^$$' -bench '^BenchmarkCompile500$$|^BenchmarkIncrementalAddOne$$' -benchtime 1x -benchmem ./internal/compiler \
+	{ $(GO) test -run '^$$' -bench '^BenchmarkCompile500$$|^BenchmarkIncrementalAddOne$$' -benchtime 1x -benchmem ./internal/compiler; \
+	  $(GO) test -run '^$$' -bench '^BenchmarkNetcheck$$' -benchtime 1x -benchmem .; } \
 		| $(GO) run ./cmd/benchjson -baseline perf-baseline.json -max-ratio 2
 
 ## churn-soak: race-enabled soak of the live control plane — churn +
@@ -111,4 +125,8 @@ vet-report:
 	@$(GO) run ./cmd/camusc vet -spec cmd/camusc/testdata/itch.spec -rules cmd/camusc/testdata/itch.rules >> vet-report.txt || true
 	@echo "== camusc prove -spec itch.spec -rules itch.rules ==" >> vet-report.txt
 	@$(GO) run ./cmd/camusc prove -spec cmd/camusc/testdata/itch.spec -rules cmd/camusc/testdata/itch.rules >> vet-report.txt || true
+	@echo "== camusc netcheck -spec itch.spec -rules itch.rules ==" >> vet-report.txt
+	@$(GO) run ./cmd/camusc netcheck -spec cmd/camusc/testdata/itch.spec -rules cmd/camusc/testdata/itch.rules >> vet-report.txt || true
+	@echo "== camusc netcheck -spec itch.spec -rules itch.rules -topo mstpp ==" >> vet-report.txt
+	@$(GO) run ./cmd/camusc netcheck -spec cmd/camusc/testdata/itch.spec -rules cmd/camusc/testdata/itch.rules -topo mstpp -nodes 24 -alpha 100 >> vet-report.txt || true
 	@cat vet-report.txt

@@ -24,6 +24,8 @@ import (
 	"testing"
 	"time"
 
+	"camus/internal/analysis/netcheck"
+	"camus/internal/analysis/prove"
 	"camus/internal/compiler"
 	"camus/internal/controller"
 	"camus/internal/ctlplane"
@@ -437,4 +439,57 @@ func BenchmarkAblationFieldOrder(b *testing.B) {
 // optimizations.
 func BenchmarkAblationExactMatch(b *testing.B) {
 	runExperiment(b, experiments.AblationExactMatch)
+}
+
+// BenchmarkNetcheck — the network-wide delivery verifier (DESIGN.md
+// §13) over a fat-tree(4) deployment of a mixed 24-subscription
+// workload. Each iteration symbolically propagates every packet class
+// from every ingress and discharges the black-hole / loop / exact-
+// delivery obligations; the classes metric records the per-run class
+// count so verifier cost stays attributable.
+func BenchmarkNetcheck(b *testing.B) {
+	net := topology.MustFatTree(4)
+	p := subscription.NewParser(formats.ITCH)
+	syms := workload.DefaultSymbols(64)
+	r := rand.New(rand.NewSource(5))
+	subs := make([][]subscription.Expr, len(net.Hosts))
+	var flat []netcheck.Subscription
+	for i := 0; i < 24; i++ {
+		host := r.Intn(len(net.Hosts))
+		e, err := p.ParseFilter(fmt.Sprintf("stock == %s and price > %d",
+			syms[r.Intn(len(syms))], (r.Intn(9)+1)*100))
+		if err != nil {
+			b.Fatal(err)
+		}
+		subs[host] = append(subs[host], e)
+		flat = append(flat, netcheck.Subscription{ID: i, Host: host, Expr: e})
+	}
+	d, err := controller.Deploy(net, formats.ITCH, subs,
+		controller.Options{Routing: routing.Options{Policy: routing.TrafficReduction, Alpha: 10}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	progs := make([]*prove.Program, len(d.Programs))
+	for i, prog := range d.Programs {
+		if prog == nil {
+			continue
+		}
+		if progs[i], err = prog.ProveIR(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var classes int
+	for i := 0; i < b.N; i++ {
+		res, err := netcheck.CheckFatTree(net, formats.ITCH, progs, flat, netcheck.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Ok() {
+			b.Fatalf("clean deployment has findings: %+v", res.Findings)
+		}
+		classes = res.Classes
+	}
+	b.ReportMetric(float64(classes), "classes")
 }

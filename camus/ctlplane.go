@@ -28,6 +28,12 @@ type (
 	Installer = ctlplane.Installer
 	// Validator certifies compiled programs before install.
 	Validator = ctlplane.Validator
+	// NetValidator certifies whole-deployment delivery invariants at
+	// quiescent points.
+	NetValidator = ctlplane.NetValidator
+	// HostFilter is one live (filter, host) pair handed to a
+	// NetValidator.
+	HostFilter = ctlplane.HostFilter
 
 	// Tenants layers namespaces, quotas, token-bucket admission and
 	// round-robin fairness over a ControlPlane.
@@ -69,10 +75,16 @@ var (
 	WithApplyHook = ctlplane.WithApplyHook
 	// WithValidator certifies compiled programs, sampling every Nth batch.
 	WithValidator = ctlplane.WithValidator
+	// WithNetValidator certifies network-wide delivery invariants at
+	// quiescent points, sampling every Nth quiescence.
+	WithNetValidator = ctlplane.WithNetValidator
 	// WithSeed makes retry jitter reproducible.
 	WithSeed = ctlplane.WithSeed
 	// ProveValidator builds a translation-validation Validator.
 	ProveValidator = ctlplane.ProveValidator
+	// NetcheckValidator builds a NetValidator that symbolically verifies
+	// exact, loop-free delivery over the whole fat tree.
+	NetcheckValidator = ctlplane.NetcheckValidator
 
 	// WithDefaultQuota sets the quota for auto-created tenants.
 	WithDefaultQuota = ctlplane.WithDefaultQuota

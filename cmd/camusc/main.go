@@ -9,6 +9,7 @@
 //	camusc -spec itch.spec -rules feeds.rules [-dot out.dot] [-last-hop]
 //	camusc vet -spec itch.spec -rules feeds.rules [-json]
 //	camusc prove -spec itch.spec -rules feeds.rules [-json] [-last-hop=false]
+//	camusc netcheck -spec itch.spec -rules feeds.rules [-json] [-topo fattree|mstpp]
 //
 // The vet subcommand runs the rule-program verifier instead of the
 // compiler: it reports unsatisfiable filters, fully shadowed rules,
@@ -21,6 +22,12 @@
 // forward exactly the packets the rules subscribe to. Divergences are
 // reported with concrete counterexample packets replayed through the
 // dataplane.
+//
+// The netcheck subcommand is the network-wide verifier: the rule
+// filters become host subscriptions over a deployed topology and every
+// packet class is symbolically propagated from every ingress, proving
+// the delivery-set invariants (no black holes, no loops, exact
+// delivery) end-to-end. See internal/analysis/netcheck.
 //
 // All subcommands share one exit-code contract (see
 // internal/analysis/report): 0 clean, 1 when any finding is reported,
@@ -45,6 +52,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "prove" {
 		os.Exit(runProve(os.Args[2:], os.Stdout, os.Stderr))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "netcheck" {
+		os.Exit(runNetcheck(os.Args[2:], os.Stdout, os.Stderr))
 	}
 	runCompile()
 }

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNetcheckCleanExamples is the acceptance gate: the shipped rule
+// files certify clean on both the fat tree (both policies) and a
+// general MST++ topology, with and without α-approximation.
+func TestNetcheckCleanExamples(t *testing.T) {
+	cases := [][]string{
+		{"-rules", filepath.Join("testdata", "itch.rules"), "-topo", "fattree", "-policy", "tr"},
+		{"-rules", filepath.Join("testdata", "itch.rules"), "-topo", "fattree", "-policy", "mr", "-alpha", "10"},
+		{"-rules", filepath.Join("testdata", "itch.rules"), "-topo", "mstpp", "-nodes", "24", "-alpha", "100"},
+		{"-rules", filepath.Join("testdata", "itchfeed.rules"), "-topo", "fattree", "-policy", "tr"},
+		{"-rules", filepath.Join("testdata", "itchfeed.rules"), "-topo", "mstpp", "-nodes", "20"},
+	}
+	for _, tc := range cases {
+		t.Run(strings.Join(tc[1:], "_"), func(t *testing.T) {
+			var out, errb bytes.Buffer
+			args := append([]string{"-spec", filepath.Join("testdata", "itch.spec")}, tc...)
+			code := runNetcheck(args, &out, &errb)
+			if code != 0 {
+				t.Fatalf("exit code = %d, want 0; stderr: %s\nstdout: %s",
+					code, errb.String(), out.String())
+			}
+			if !strings.Contains(out.String(), "network certificate complete") {
+				t.Errorf("expected a complete certificate, got: %s", out.String())
+			}
+		})
+	}
+}
+
+// TestNetcheckJSON checks the machine-readable envelope and the 0 exit
+// code on a clean run.
+func TestNetcheckJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := runNetcheck([]string{
+		"-spec", filepath.Join("testdata", "itch.spec"),
+		"-rules", filepath.Join("testdata", "itch.rules"),
+		"-json",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d; stderr: %s", code, errb.String())
+	}
+	var rep struct {
+		Tool     string `json:"tool"`
+		Rules    int    `json:"rules"`
+		Findings []any  `json:"findings"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if rep.Tool != "camusc-netcheck" {
+		t.Errorf("tool = %q", rep.Tool)
+	}
+	if rep.Rules != 5 {
+		t.Errorf("rules = %d, want 5", rep.Rules)
+	}
+	if len(rep.Findings) != 0 {
+		t.Errorf("findings = %v", rep.Findings)
+	}
+}
+
+// TestNetcheckUsageErrors checks the exit-2 contract.
+func TestNetcheckUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := runNetcheck(nil, &out, &errb); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code := runNetcheck([]string{
+		"-spec", filepath.Join("testdata", "itch.spec"),
+		"-rules", filepath.Join("testdata", "itch.rules"),
+		"-topo", "torus",
+	}, &out, &errb); code != 2 {
+		t.Errorf("bad topo: exit %d, want 2", code)
+	}
+}

@@ -6,9 +6,9 @@
 // Usage:
 //
 //	camusd [-addr :8080] [-k 4] [-policy tr|mr] [-alpha 0]
-//	       [-log camusd.log] [-validate-every 16] [-queue 1024]
-//	       [-max-subs 0] [-rate 0] [-burst 0] [-no-auto-create]
-//	       [-seed 1]
+//	       [-log camusd.log] [-validate-every 16] [-netcheck-every 1]
+//	       [-queue 1024] [-max-subs 0] [-rate 0] [-burst 0]
+//	       [-no-auto-create] [-seed 1]
 //
 // The daemon fronts a simulated fat-tree deployment (internal/netsim):
 // every accepted subscription is compiled incrementally and hot-swapped
@@ -42,6 +42,7 @@ func main() {
 	alpha := flag.Int64("alpha", 0, "discretization unit α (0 = exact)")
 	logPath := flag.String("log", "camusd.log", "durable event log path (empty = no durability)")
 	validateEvery := flag.Int("validate-every", 16, "translation-validate every Nth batch per switch (0 = off)")
+	netcheckEvery := flag.Int("netcheck-every", 1, "network-wide delivery certification at every Nth quiescent point (0 = off)")
 	queue := flag.Int("queue", 1024, "max in-flight events before backpressure")
 	maxSubs := flag.Int("max-subs", 0, "default per-tenant subscription quota (0 = unlimited)")
 	rate := flag.Float64("rate", 0, "default per-tenant events/sec admission rate (0 = unlimited)")
@@ -80,6 +81,10 @@ func main() {
 	}
 	if *validateEvery > 0 {
 		svcOpts = append(svcOpts, camus.WithValidator(camus.ProveValidator(net, 0), *validateEvery))
+	}
+	if *netcheckEvery > 0 {
+		svcOpts = append(svcOpts,
+			camus.WithNetValidator(camus.NetcheckValidator(net, formats.ITCH, 0), *netcheckEvery))
 	}
 	tenantOpts := []camus.TenantOption{
 		camus.WithDefaultQuota(camus.TenantQuota{

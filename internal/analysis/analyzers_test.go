@@ -18,6 +18,10 @@ func TestOptionsOnlyAnalyzerCtlplane(t *testing.T) {
 	RunFixture(t, OptionsOnlyAnalyzer, "./testdata/src/ctlplaneopts")
 }
 
+func TestOptionsOnlyAnalyzerFacade(t *testing.T) {
+	RunFixture(t, OptionsOnlyAnalyzer, "./testdata/src/facadeopts")
+}
+
 func TestAtomicMixAnalyzer(t *testing.T) {
 	RunFixture(t, AtomicMixAnalyzer, "./testdata/src/atomicmix")
 }

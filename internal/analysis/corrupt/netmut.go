@@ -1,0 +1,186 @@
+package corrupt
+
+import (
+	"fmt"
+
+	"camus/internal/routing"
+	"camus/internal/subscription"
+)
+
+// NetMutation is one named placement/routing corruption — the
+// network-level analogue of Mutation. It mutates a computed routing
+// policy (fat-tree Result or general-topology TreeResult) before
+// compilation, simulating controller defects: a port entry the
+// reconciler dropped, a stale refcount keeping a dead filter installed,
+// a wrong α-approximation cut, a mis-wired tree port. The netcheck
+// verifier must report every one with a replayable counterexample.
+type NetMutation struct {
+	// Op selects the corruption:
+	//
+	//	drop-port-entry — switch Switch's port Port loses filter FilterID
+	//	                  (mis-dropped reconciler delta → black hole)
+	//	redirect-port   — filter FilterID on Switch moves from Port to
+	//	                  ToPort (wrong placement → black hole and/or
+	//	                  spurious delivery)
+	//	inject-filter   — Filter is installed on Switch's port Port
+	//	                  although no live subscription owns it (stale
+	//	                  refcount → spurious delivery)
+	//	narrow-approx   — filter FilterID's α-approximation is replaced
+	//	                  with Expr network-wide (wrong α cut: an
+	//	                  under-approximation starves the delivering
+	//	                  edge → black hole at the α boundary)
+	//	rewire-peer     — tree mode: node Switch's port Port is rewired
+	//	                  to neighbor ToPort's vertex (routing loop /
+	//	                  duplicate delivery)
+	Op string `json:"op"`
+	// Switch is the switch ID (fat tree) or graph vertex (tree).
+	Switch int `json:"switch"`
+	// Port and ToPort are local port indices.
+	Port   int `json:"port,omitempty"`
+	ToPort int `json:"to_port,omitempty"`
+	// FilterID indexes the routing result's global filter table.
+	FilterID int `json:"filter_id,omitempty"`
+	// Expr carries the replacement approximation (narrow-approx).
+	Expr subscription.Expr `json:"-"`
+	// Filter carries the stale entry to install (inject-filter).
+	Filter *routing.Filter `json:"-"`
+}
+
+// ApplyNet performs the mutation on a fat-tree routing result in place.
+// Filter pointers are shared across FIBs, so narrow-approx propagates
+// network-wide exactly like a controller computing the wrong cut once.
+func (m NetMutation) ApplyNet(r *routing.Result) error {
+	switch m.Op {
+	case "drop-port-entry":
+		fib, err := netFIB(r, m.Switch)
+		if err != nil {
+			return err
+		}
+		fs, ok := fib.Ports[m.Port]
+		if !ok {
+			return fmt.Errorf("corrupt: switch %d has no port %d", m.Switch, m.Port)
+		}
+		if _, ok := fs[m.FilterID]; !ok {
+			return fmt.Errorf("corrupt: switch %d port %d has no filter %d", m.Switch, m.Port, m.FilterID)
+		}
+		delete(fs, m.FilterID)
+	case "redirect-port":
+		fib, err := netFIB(r, m.Switch)
+		if err != nil {
+			return err
+		}
+		fs, ok := fib.Ports[m.Port]
+		if !ok {
+			return fmt.Errorf("corrupt: switch %d has no port %d", m.Switch, m.Port)
+		}
+		f, ok := fs[m.FilterID]
+		if !ok {
+			return fmt.Errorf("corrupt: switch %d port %d has no filter %d", m.Switch, m.Port, m.FilterID)
+		}
+		delete(fs, m.FilterID)
+		if fib.Ports[m.ToPort] == nil {
+			fib.Ports[m.ToPort] = make(routing.FilterSet)
+		}
+		fib.Ports[m.ToPort][m.FilterID] = f
+	case "inject-filter":
+		if m.Filter == nil {
+			return fmt.Errorf("corrupt: inject-filter needs a filter")
+		}
+		fib, err := netFIB(r, m.Switch)
+		if err != nil {
+			return err
+		}
+		if fib.Ports[m.Port] == nil {
+			fib.Ports[m.Port] = make(routing.FilterSet)
+		}
+		fib.Ports[m.Port][m.Filter.ID] = m.Filter
+	case "narrow-approx":
+		if m.Expr == nil {
+			return fmt.Errorf("corrupt: narrow-approx needs an expression")
+		}
+		f, err := netFilter(r.Filters, m.FilterID)
+		if err != nil {
+			return err
+		}
+		f.Approx = m.Expr
+	default:
+		return fmt.Errorf("corrupt: unknown network op %q", m.Op)
+	}
+	return nil
+}
+
+// ApplyTree performs the mutation on a general-topology routing result
+// in place.
+func (m NetMutation) ApplyTree(r *routing.TreeResult) error {
+	switch m.Op {
+	case "drop-port-entry":
+		fib, err := treeFIB(r, m.Switch)
+		if err != nil {
+			return err
+		}
+		fs, ok := fib.Ports[m.Port]
+		if !ok {
+			return fmt.Errorf("corrupt: node %d has no port %d", m.Switch, m.Port)
+		}
+		if _, ok := fs[m.FilterID]; !ok {
+			return fmt.Errorf("corrupt: node %d port %d has no filter %d", m.Switch, m.Port, m.FilterID)
+		}
+		delete(fs, m.FilterID)
+	case "inject-filter":
+		if m.Filter == nil {
+			return fmt.Errorf("corrupt: inject-filter needs a filter")
+		}
+		fib, err := treeFIB(r, m.Switch)
+		if err != nil {
+			return err
+		}
+		if fib.Ports[m.Port] == nil {
+			fib.Ports[m.Port] = make(routing.FilterSet)
+		}
+		fib.Ports[m.Port][m.Filter.ID] = m.Filter
+	case "narrow-approx":
+		if m.Expr == nil {
+			return fmt.Errorf("corrupt: narrow-approx needs an expression")
+		}
+		f, err := netFilter(r.Filters, m.FilterID)
+		if err != nil {
+			return err
+		}
+		f.Approx = m.Expr
+	case "rewire-peer":
+		fib, err := treeFIB(r, m.Switch)
+		if err != nil {
+			return err
+		}
+		if m.Port < 0 || m.Port >= len(fib.PortPeer) {
+			return fmt.Errorf("corrupt: node %d has no port %d", m.Switch, m.Port)
+		}
+		fib.PortPeer[m.Port] = m.ToPort
+	default:
+		return fmt.Errorf("corrupt: unknown tree op %q", m.Op)
+	}
+	return nil
+}
+
+func netFIB(r *routing.Result, sw int) (*routing.FIB, error) {
+	if sw < 0 || sw >= len(r.FIBs) {
+		return nil, fmt.Errorf("corrupt: no switch %d", sw)
+	}
+	return r.FIBs[sw], nil
+}
+
+func treeFIB(r *routing.TreeResult, v int) (*routing.TreeFIB, error) {
+	if v < 0 || v >= len(r.FIBs) || r.FIBs[v] == nil {
+		return nil, fmt.Errorf("corrupt: no node %d", v)
+	}
+	return r.FIBs[v], nil
+}
+
+func netFilter(fs []*routing.Filter, id int) (*routing.Filter, error) {
+	for _, f := range fs {
+		if f.ID == id {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("corrupt: no filter %d", id)
+}

@@ -1,0 +1,32 @@
+package netcheck_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestNoCompilerDependency is the depguard for the verifier's
+// independence claim: netcheck must reason about deployments purely
+// through the prover's symbolic semantics, never through the BDD
+// engine, the compiler, or its match-constraint vocabulary — a bug
+// shared between the compiler and the checker would otherwise certify
+// itself. (This external test package does depend on the compiler to
+// build fixtures; `go list -deps` excludes test dependencies.)
+func TestNoCompilerDependency(t *testing.T) {
+	out, err := exec.Command("go", "list", "-deps", "camus/internal/analysis/netcheck").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go list -deps: %v\n%s", err, out)
+	}
+	deps := strings.Fields(string(out))
+	forbidden := map[string]string{
+		"camus/internal/bdd":      "the engine under validation",
+		"camus/internal/match":    "the compiler's constraint vocabulary",
+		"camus/internal/compiler": "the translation under validation",
+	}
+	for _, d := range deps {
+		if why, bad := forbidden[d]; bad {
+			t.Errorf("netcheck depends on %s (%s) — independence broken", d, why)
+		}
+	}
+}

@@ -9,6 +9,10 @@ import (
 // the suite protects alongside the dataplane's.
 const ctlplanePath = "camus/internal/ctlplane"
 
+// serverPath is the daemon package behind camus.NewDaemon; a Daemon
+// built by composite literal skips log replay and handler wiring.
+const serverPath = "camus/internal/ctlplane/server"
+
 // OptionsOnlyAnalyzer enforces the functional-options construction
 // surface of the dataplane and the control plane: outside
 // internal/pipeline, a Switch must be built with NewSwitch(id, static,
@@ -34,6 +38,7 @@ func runOptionsOnly(pass *Pass) {
 	// other layer's checks.
 	inPipeline := pass.PkgPath() == pipelinePath
 	inCtlplane := pass.PkgPath() == ctlplanePath
+	inServer := pass.PkgPath() == serverPath
 	info := pass.TypesInfo()
 	for _, file := range pass.Pkg.Syntax {
 		ast.Inspect(file, func(n ast.Node) bool {
@@ -56,6 +61,18 @@ func runOptionsOnly(pass *Pass) {
 				if !inCtlplane && namedType(t, ctlplanePath, "Config") {
 					pass.Reportf(e.Pos(),
 						"composite literal of ctlplane.Config bypasses the functional options; construct services with ctlplane.New(net, spec, opts...)")
+				}
+				// The camus facade aliases these types (ControlPlane =
+				// ctlplane.Service, Daemon = server.Daemon), so literal
+				// construction through the facade resolves to the same
+				// named types and is caught here too.
+				if !inCtlplane && namedType(t, ctlplanePath, "Service") {
+					pass.Reportf(e.Pos(),
+						"composite literal of the control-plane Service bypasses its apply workers and frozen Config; construct with camus.NewControlPlane (or ctlplane.New)")
+				}
+				if !inServer && namedType(t, serverPath, "Daemon") {
+					pass.Reportf(e.Pos(),
+						"composite literal of the control-plane Daemon bypasses log replay and handler wiring; construct with camus.NewDaemon (or server.New)")
 				}
 			case *ast.AssignStmt:
 				if !inPipeline {

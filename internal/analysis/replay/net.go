@@ -1,0 +1,115 @@
+package replay
+
+import (
+	"fmt"
+	"sort"
+
+	"camus/internal/analysis/netcheck"
+	"camus/internal/analysis/prove"
+	"camus/internal/controller"
+	"camus/internal/netsim"
+	"camus/internal/spec"
+)
+
+// NetOutcome is one netcheck counterexample replayed network-wide on
+// the simulated dataplane.
+type NetOutcome struct {
+	// Wire is the serialized witness packet; Headers its layout.
+	Wire    []byte
+	Headers []string
+	// Want is the ground-truth delivery set: hosts with a stateless
+	// subscription matching the witness (the publisher never receives
+	// its own packet). Hosts with a stateful subscription are excluded
+	// from the comparison — their delivery depends on register history
+	// the wire cannot carry.
+	Want []int
+	// Runs holds each trial's observed delivery set, restricted to the
+	// comparable hosts.
+	Runs [][]int
+	// Confirmed reports that at least one trial diverged from Want —
+	// the symbolic finding is observable on the dataplane.
+	Confirmed bool
+}
+
+// ConfirmNet replays a stateless netcheck counterexample through a
+// fresh netsim instance of the deployment: the witness is serialized,
+// decoded back, published from pub several times (cycling the
+// round-robin up-path resolutions), and each trial's delivery set is
+// compared against the subscription ground truth. trials ≤ 0 replays
+// once per distinct up-path ((k/2)² for a k-ary fat tree).
+func ConfirmNet(d *controller.Deployment, subs []netcheck.Subscription, cex *prove.Assignment, pub, trials int) (*NetOutcome, error) {
+	if !cex.Stateless() {
+		return nil, fmt.Errorf("replay: counterexample needs aggregate state %v; registers are not serializable", cex.State)
+	}
+	if pub < 0 || pub >= len(d.Network.Hosts) {
+		return nil, fmt.Errorf("replay: publisher %d out of range", pub)
+	}
+	out := &NetOutcome{}
+	var m *spec.Message
+	var err error
+	out.Wire, out.Headers, m, err = roundTrip(d.Spec, cex)
+	if err != nil {
+		return nil, err
+	}
+
+	want := make(map[int]bool)
+	exclude := make(map[int]bool) // hosts with register-dependent subscriptions
+	for _, s := range subs {
+		matcher, err := prove.NewMatcher(s.Expr, true)
+		if err != nil {
+			return nil, fmt.Errorf("replay: filter %d: %w", s.ID, err)
+		}
+		if matcher.Stateful() {
+			exclude[s.Host] = true
+			continue
+		}
+		if s.Host != pub && matcher.Matches(cex) {
+			want[s.Host] = true
+		}
+	}
+	for h := range want {
+		if !exclude[h] {
+			out.Want = append(out.Want, h)
+		}
+	}
+	sort.Ints(out.Want)
+
+	sim, err := netsim.New(d)
+	if err != nil {
+		return nil, err
+	}
+	if trials <= 0 {
+		half := 1
+		for _, sw := range d.Network.Switches {
+			if n := len(sw.UpPorts()); n > half {
+				half = n
+			}
+		}
+		trials = half * half
+	}
+	for t := 0; t < trials; t++ {
+		got := make(map[int]bool)
+		for _, hd := range sim.Publish(pub, []*spec.Message{m}, len(out.Wire)) {
+			if !exclude[hd.Host] {
+				got[hd.Host] = true
+			}
+		}
+		run := make([]int, 0, len(got))
+		for h := range got {
+			run = append(run, h)
+		}
+		sort.Ints(run)
+		out.Runs = append(out.Runs, run)
+		if len(run) != len(out.Want) {
+			out.Confirmed = true
+			continue
+		}
+		for i := range run {
+			if run[i] != out.Want[i] {
+				out.Confirmed = true
+				break
+			}
+		}
+	}
+	return out, nil
+}

@@ -66,44 +66,12 @@ func Confirm(sp *spec.Spec, prog *compiler.Program, rules []*subscription.Rule,
 	}
 
 	out := &Outcome{}
-	// Serialize present headers in declaration order, then decode the
-	// bytes back into a fresh message — the replayed packet is exactly
-	// what a wire round-trip preserves.
-	for _, h := range sp.Headers {
-		if !cex.Headers[h.Name] {
-			continue
-		}
-		codec, err := packet.NewHeaderCodec(sp, h.Name)
-		if err != nil {
-			return nil, err
-		}
-		values := make(map[string]spec.Value)
-		for _, f := range h.Fields {
-			if v, ok := cex.Fields[f.QName()]; ok {
-				values[f.Name] = v
-			}
-		}
-		if out.Wire, err = codec.Append(out.Wire, values); err != nil {
-			return nil, fmt.Errorf("replay: encode %s: %w", h.Name, err)
-		}
-		out.Headers = append(out.Headers, h.Name)
-	}
-	m := spec.NewMessage(sp)
-	rest := out.Wire
-	for _, name := range out.Headers {
-		codec, err := packet.NewHeaderCodec(sp, name)
-		if err != nil {
-			return nil, err
-		}
-		if rest, err = codec.Decode(rest, m); err != nil {
-			return nil, fmt.Errorf("replay: decode %s: %w", name, err)
-		}
-	}
-	if len(rest) != 0 {
-		return nil, fmt.Errorf("replay: %d trailing bytes after decode", len(rest))
-	}
-
+	var m *spec.Message
 	var err error
+	out.Wire, out.Headers, m, err = roundTrip(sp, cex)
+	if err != nil {
+		return nil, err
+	}
 	out.Want, out.WantUpdates, err = prove.EvalRules(rules, opts, cex)
 	if err != nil {
 		return nil, err
@@ -122,6 +90,46 @@ func Confirm(sp *spec.Spec, prog *compiler.Program, rules []*subscription.Rule,
 		out.Ports = append(out.Ports, d.Port)
 	}
 	return out, nil
+}
+
+// roundTrip serializes the present headers in declaration order, then
+// decodes the bytes back into a fresh message — the replayed packet is
+// exactly what a wire round-trip preserves.
+func roundTrip(sp *spec.Spec, cex *prove.Assignment) (wire []byte, headers []string, m *spec.Message, err error) {
+	for _, h := range sp.Headers {
+		if !cex.Headers[h.Name] {
+			continue
+		}
+		codec, cerr := packet.NewHeaderCodec(sp, h.Name)
+		if cerr != nil {
+			return nil, nil, nil, cerr
+		}
+		values := make(map[string]spec.Value)
+		for _, f := range h.Fields {
+			if v, ok := cex.Fields[f.QName()]; ok {
+				values[f.Name] = v
+			}
+		}
+		if wire, err = codec.Append(wire, values); err != nil {
+			return nil, nil, nil, fmt.Errorf("replay: encode %s: %w", h.Name, err)
+		}
+		headers = append(headers, h.Name)
+	}
+	m = spec.NewMessage(sp)
+	rest := wire
+	for _, name := range headers {
+		codec, cerr := packet.NewHeaderCodec(sp, name)
+		if cerr != nil {
+			return nil, nil, nil, cerr
+		}
+		if rest, err = codec.Decode(rest, m); err != nil {
+			return nil, nil, nil, fmt.Errorf("replay: decode %s: %w", name, err)
+		}
+	}
+	if len(rest) != 0 {
+		return nil, nil, nil, fmt.Errorf("replay: %d trailing bytes after decode", len(rest))
+	}
+	return wire, headers, m, nil
 }
 
 func sortStrings(s []string) {

@@ -84,6 +84,21 @@ func WithValidator(v Validator, every int) Option {
 	}
 }
 
+// WithNetValidator certifies the whole deployment's delivery
+// invariants at quiescent points (see NetcheckValidator): whenever the
+// in-flight event count returns to zero, the per-switch programs and
+// the live filter registry form a consistent cut that is handed to v.
+// every samples the runs: every Nth quiescence (and always the first);
+// values ≤ 1 validate every quiescence. Failures are counted in the
+// Snapshot (NetValidationFailures) and surfaced by camusd's /healthz;
+// they do not roll back installed epochs.
+func WithNetValidator(v NetValidator, every int) Option {
+	return func(c *Config) {
+		c.NetValidator = v
+		c.NetValidateEvery = every
+	}
+}
+
 // WithSeed makes retry jitter reproducible (0 seeds from switch IDs
 // only).
 func WithSeed(seed int64) Option {

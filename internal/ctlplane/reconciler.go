@@ -323,6 +323,18 @@ func (r *Reconciler) Filters(host int) []int {
 // FilterCount returns the number of live filters.
 func (r *Reconciler) FilterCount() int { return len(r.filters) }
 
+// HostFilters returns every live subscription with its host binding,
+// sorted by filter ID — the ground truth a network-wide validator
+// checks delivery against.
+func (r *Reconciler) HostFilters() []HostFilter {
+	out := make([]HostFilter, 0, len(r.filters))
+	for id, f := range r.filters {
+		out = append(out, HostFilter{ID: id, Host: f.host, Expr: f.expr})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // Program returns a switch's current compiled program. Safe to call
 // concurrently with Compile (atomic snapshot of the last publish).
 func (r *Reconciler) Program(sw int) *compiler.Program { return r.switches[sw].prog.Load() }

@@ -64,6 +64,8 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("failures_total", "Batches that exhausted retries or failed compile/validation.", snap.Failures)
 	counter("validations_total", "Translation-validation runs.", snap.Validations)
 	counter("validation_failures_total", "Batches rejected as disequivalent.", snap.ValidationFailures)
+	counter("net_validations_total", "Network-wide delivery-validation runs at quiescent points.", snap.NetValidations)
+	counter("net_validation_failures_total", "Network validations that found a delivery-invariant violation.", snap.NetValidationFailures)
 	gauge("queue_depth", "In-flight subscription events.", float64(snap.QueueDepth))
 	gauge("queue_depth_peak", "High-water mark of in-flight events.", float64(snap.PeakQueueDepth))
 

@@ -425,8 +425,12 @@ func (d *Daemon) health() error {
 	if err := d.tenants.Err(); err != nil {
 		return fmt.Errorf("event log append: %w", err)
 	}
-	if n := d.svc.Stats().ValidationFailures; n > 0 {
+	snap := d.svc.Stats()
+	if n := snap.ValidationFailures; n > 0 {
 		return fmt.Errorf("%d validation failures", n)
+	}
+	if n := snap.NetValidationFailures; n > 0 {
+		return fmt.Errorf("%d network validation failures", n)
 	}
 	return nil
 }

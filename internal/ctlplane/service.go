@@ -79,6 +79,16 @@ type Config struct {
 	// validates every Nth compiled batch (and always the first). Values
 	// ≤ 1 validate every batch.
 	ValidateEvery int
+	// NetValidator, when set, certifies the whole deployment's delivery
+	// invariants at quiescent points — whenever the in-flight event
+	// count returns to zero, the switch programs and the filter
+	// registry form a consistent cut and are handed to the validator
+	// (see NetcheckValidator). Failures are counted in the Snapshot;
+	// they do not roll back the installed epoch.
+	NetValidator NetValidator
+	// NetValidateEvery samples network validation: every Nth quiescence
+	// (and always the first). Values ≤ 1 validate every quiescence.
+	NetValidateEvery int
 	// Seed makes retry jitter reproducible (0 seeds from switch IDs
 	// only).
 	Seed int64
@@ -166,6 +176,16 @@ type Service struct {
 
 	validations        atomic.Int64
 	validationFailures atomic.Int64
+
+	// netQuiescences counts inflight→0 transitions and netRunning the
+	// network validations still executing (both under mu; Quiesce waits
+	// for netRunning to drain so post-quiesce stats include them);
+	// netValidations / netValidationFailures count sampled network
+	// validator runs and their failures.
+	netQuiescences        int
+	netRunning            int
+	netValidations        atomic.Int64
+	netValidationFailures atomic.Int64
 }
 
 // NewService builds the control plane and starts one apply worker per
@@ -339,9 +359,39 @@ func (s *Service) complete(ev *Event) {
 	s.latency = append(s.latency, float64(time.Since(ev.start).Nanoseconds()))
 	s.inflight--
 	s.applied.Add(1)
+	// Quiescent cut: with no events in flight every worker is idle, so
+	// the reconciler's programs and filter registry are consistent.
+	// Snapshot them under the lock; run the (expensive) network
+	// validator after releasing it.
+	var netRun func()
+	if s.inflight == 0 && s.cfg.NetValidator != nil {
+		n := s.netQuiescences
+		s.netQuiescences++
+		if s.cfg.NetValidateEvery <= 1 || n%s.cfg.NetValidateEvery == 0 {
+			progs := make([]*compiler.Program, len(s.cfg.Net.Switches))
+			for i := range progs {
+				progs[i] = s.rec.Program(i)
+			}
+			filters := s.rec.HostFilters()
+			s.netRunning++
+			netRun = func() {
+				s.netValidations.Add(1)
+				if err := s.cfg.NetValidator(progs, filters); err != nil {
+					s.netValidationFailures.Add(1)
+				}
+				s.mu.Lock()
+				s.netRunning--
+				s.quiesced.Broadcast()
+				s.mu.Unlock()
+			}
+		}
+	}
 	s.quiesced.Broadcast()
 	s.mu.Unlock()
 	close(ev.done)
+	if netRun != nil {
+		netRun()
+	}
 	<-s.sem
 }
 
@@ -455,10 +505,10 @@ func (s *Service) install(sw int, prog *compiler.Program, rng *rand.Rand) bool {
 }
 
 // Quiesce blocks until every submitted event has been applied (or
-// failed).
+// failed) and any in-progress network validation has finished.
 func (s *Service) Quiesce() {
 	s.mu.Lock()
-	for s.inflight > 0 {
+	for s.inflight > 0 || s.netRunning > 0 {
 		s.quiesced.Wait()
 	}
 	s.mu.Unlock()
@@ -484,6 +534,15 @@ func (s *Service) Filters(host int) []int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.rec.Filters(host)
+}
+
+// HostFilters returns every live (filter, host) pair — the same
+// consistent cut a NetValidator is handed at quiescent points. Call
+// Quiesce first for a converged view.
+func (s *Service) HostFilters() []HostFilter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec.HostFilters()
 }
 
 // Close stops the apply workers. Pending batches not yet drained are

@@ -43,6 +43,11 @@ type Snapshot struct {
 	// disequivalent — those never reach the installer.
 	Validations        int64
 	ValidationFailures int64
+	// NetValidations counts network-wide delivery-validation runs at
+	// quiescent points (Config.NetValidator); NetValidationFailures
+	// counts runs that found an invariant violation.
+	NetValidations        int64
+	NetValidationFailures int64
 	// QueueDepth is the current number of in-flight events;
 	// PeakQueueDepth the high-water mark (bounded by MaxPending).
 	QueueDepth     int
@@ -68,6 +73,9 @@ func (s *Service) Stats() Snapshot {
 
 		Validations:        s.validations.Load(),
 		ValidationFailures: s.validationFailures.Load(),
+
+		NetValidations:        s.netValidations.Load(),
+		NetValidationFailures: s.netValidationFailures.Load(),
 	}
 	s.mu.Lock()
 	snap.QueueDepth = s.inflight

@@ -141,7 +141,7 @@ func deliverySet(ds []HostDelivery) string {
 // wired to the sim's switches while concurrently publishing traffic,
 // then checks the converged network delivers exactly like a fresh batch
 // deployment of the surviving subscriptions. Returns the service stats.
-func runChurn(t *testing.T, events int, seed int64, validator ctlplane.Validator) ctlplane.Snapshot {
+func runChurn(t *testing.T, events int, seed int64, validator ctlplane.Validator, extra ...ctlplane.Option) ctlplane.Snapshot {
 	t.Helper()
 	net := topology.MustFatTree(4)
 	ropts := routing.Options{Policy: routing.TrafficReduction, Alpha: 10}
@@ -155,11 +155,13 @@ func runChurn(t *testing.T, events int, seed int64, validator ctlplane.Validator
 		t.Fatal(err)
 	}
 	sim.Workers = 4
-	svc, err := ctlplane.New(net, itchSpec,
+	opts := []ctlplane.Option{
 		ctlplane.WithRouting(ropts),
 		ctlplane.WithInstallers(sim.Installers()...),
 		ctlplane.WithSeed(seed),
-		ctlplane.WithValidator(validator, 0))
+		ctlplane.WithValidator(validator, 0),
+	}
+	svc, err := ctlplane.New(net, itchSpec, append(opts, extra...)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,4 +313,31 @@ func TestChurnValidated(t *testing.T) {
 	}
 	t.Logf("validated churn: %d events, %d batches, %d proofs, 0 disequivalent",
 		snap.Events, snap.Batches, snap.Validations)
+}
+
+// TestChurnNetValidated runs netcheck-under-churn: the full 1000-event
+// workload with the network-wide delivery verifier always-on at every
+// quiescent point. Each time the in-flight count returns to zero the
+// validator symbolically re-certifies the whole fat tree — every
+// surviving subscription delivered exactly once, loop-free, nothing
+// spurious — against the per-switch programs the churn actually
+// installed. Zero violations is the acceptance bar.
+func TestChurnNetValidated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	net := topology.MustFatTree(4)
+	snap := runChurn(t, 1000, 71, nil,
+		ctlplane.WithNetValidator(ctlplane.NetcheckValidator(net, itchSpec, 0), 1))
+	if snap.Applied != snap.Events || snap.Failures != 0 {
+		t.Errorf("unclean net-validated churn: %+v", snap)
+	}
+	if snap.NetValidations == 0 {
+		t.Error("always-on net validator never ran")
+	}
+	if snap.NetValidationFailures != 0 {
+		t.Errorf("%d delivery-invariant violations under churn", snap.NetValidationFailures)
+	}
+	t.Logf("net-validated churn: %d events, %d network certifications, 0 violations",
+		snap.Events, snap.NetValidations)
 }
