@@ -24,13 +24,18 @@ prove:
 ## netcheck: network-wide delivery certification (DESIGN.md §13) of
 ## the shipped rule sets — the itch.rules sample over a fat-tree(4)
 ## under both routing policies, over a random MST++ topology with α
-## overshoot, and the itchfeed example's subscriptions. Every run must
-## certify clean: no black holes, no loops, exact delivery.
+## overshoot, the itchfeed example's subscriptions, and the itch.rules
+## sample again with subsumption covering enabled on both topologies
+## (DESIGN.md §14 — the covered tables must deliver identically to the
+## full ones). Every run must certify clean: no black holes, no loops,
+## exact delivery.
 netcheck:
 	$(GO) run ./cmd/camusc netcheck -spec cmd/camusc/testdata/itch.spec -rules cmd/camusc/testdata/itch.rules
 	$(GO) run ./cmd/camusc netcheck -spec cmd/camusc/testdata/itch.spec -rules cmd/camusc/testdata/itch.rules -policy mr -alpha 10
 	$(GO) run ./cmd/camusc netcheck -spec cmd/camusc/testdata/itch.spec -rules cmd/camusc/testdata/itch.rules -topo mstpp -nodes 24 -alpha 100
 	$(GO) run ./cmd/camusc netcheck -spec cmd/camusc/testdata/itch.spec -rules cmd/camusc/testdata/itchfeed.rules
+	$(GO) run ./cmd/camusc netcheck -spec cmd/camusc/testdata/itch.spec -rules cmd/camusc/testdata/itch.rules -covering
+	$(GO) run ./cmd/camusc netcheck -spec cmd/camusc/testdata/itch.spec -rules cmd/camusc/testdata/itch.rules -topo mstpp -nodes 24 -covering
 
 vet:
 	$(GO) vet ./...
@@ -63,35 +68,41 @@ bench:
 ## CompileParallel worker sweep, BENCH_switch.json for the
 ## SwitchParallel sweep (ns/op, allocs/op, host shape), and
 ## BENCH_ctlplane.json for the multi-tenant daemon (updates/s and
-## client-observed p50/p99 request latency over the HTTP API).
+## client-observed p50/p99 request latency over the HTTP API) plus the
+## covering-heavy churn run (routing-entry reduction ratio).
 bench-report:
 	$(GO) test -run '^$$' -bench='SwitchParallel|Churn|CompileParallel|CtlplaneDaemon|Netcheck' -benchmem . | tee bench-report.txt
-	$(GO) run ./cmd/benchjson -filter 'CompileParallel|Churn$$|Netcheck' -out BENCH_compile.json < bench-report.txt
+	$(GO) run ./cmd/benchjson -filter 'CompileParallel|^Churn$$|Netcheck' -out BENCH_compile.json < bench-report.txt
 	$(GO) run ./cmd/benchjson -filter 'SwitchParallel' -out BENCH_switch.json < bench-report.txt
-	$(GO) run ./cmd/benchjson -filter 'CtlplaneDaemon' -out BENCH_ctlplane.json < bench-report.txt
+	$(GO) run ./cmd/benchjson -filter 'CtlplaneDaemon|CoverChurn' -out BENCH_ctlplane.json < bench-report.txt
 
 ## perf-guard: the CI allocation guard — run the two canonical
-## compiler benchmarks plus the network-delivery verifier once and
-## fail on a >2x allocs/op regression against the checked-in baseline
-## (perf-baseline.json).
+## compiler benchmarks, the network-delivery verifier, and the
+## covering-heavy churn benchmark once and fail on a >2x allocs/op
+## regression against the checked-in baseline (perf-baseline.json).
+## BenchmarkCoverChurn also self-enforces its ≥2× entry-reduction bar.
 perf-guard:
 	{ $(GO) test -run '^$$' -bench '^BenchmarkCompile500$$|^BenchmarkIncrementalAddOne$$' -benchtime 1x -benchmem ./internal/compiler; \
-	  $(GO) test -run '^$$' -bench '^BenchmarkNetcheck$$' -benchtime 1x -benchmem .; } \
+	  $(GO) test -run '^$$' -bench '^BenchmarkNetcheck$$|^BenchmarkCoverChurn$$' -benchtime 1x -benchmem .; } \
 		| $(GO) run ./cmd/benchjson -baseline perf-baseline.json -max-ratio 2
 
 ## churn-soak: race-enabled soak of the live control plane — churn +
-## concurrent traffic through the netsim switches (~5s).
+## concurrent traffic through the netsim switches, plus the covering
+## variants: a covering-heavy churn run and the uncovering epoch-swap
+## consistency check (~5s). The 1000-event net-validated covering twin
+## (TestCoveringChurnNetValidated) runs in the full `race` target.
 churn-soak:
-	$(GO) test -race -count=1 -run 'TestChurnSoak|TestLiveChurn|TestHotSwapEpochConsistency' ./internal/netsim
+	$(GO) test -race -count=1 -run 'TestChurnSoak|TestLiveChurn|TestHotSwapEpochConsistency|TestCoveringChurn$$|TestUncoverEpochConsistency' ./internal/netsim
 
 ## serve-soak: end-to-end soak of the multi-tenant daemon — an
 ## in-process camusd with a durable event log, 1000 tenants of
 ## Zipf-skewed churn driven through the HTTP API by concurrent
 ## tenant-sharded workers, translation validation sampling every 16th
 ## batch. Fails on any HTTP error, apply failure, validation failure,
-## or unhealthy /healthz.
+## or unhealthy /healthz. Runs with -covering so the soak also
+## exercises subsumption covering under multi-tenant churn.
 serve-soak:
-	$(GO) run ./cmd/camus-sim -serve -tenants 1000 -churn 1000 -validate-every 16 -seed 7
+	$(GO) run ./cmd/camus-sim -serve -tenants 1000 -churn 1000 -validate-every 16 -seed 7 -covering
 
 ## soak: the longer churn soak (CAMUS_SOAK widens the event stream).
 soak:

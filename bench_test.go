@@ -300,6 +300,112 @@ func BenchmarkChurn(b *testing.B) {
 	}
 }
 
+// BenchmarkCoverChurn — the covering control plane on a covering-heavy
+// workload: deep Zipf-nested refinement chains (workload.CoverChains)
+// concentrated on a few hosts, churned through a WithCovering service
+// while background traffic flows. The reported reduction metric is the
+// routing-state ratio full/covering — (roots + covered obligations) /
+// roots across every (switch, port) forest — and the benchmark fails
+// if subsumption stops buying at least a 2× table-state reduction.
+func BenchmarkCoverChurn(b *testing.B) {
+	net := topology.MustFatTree(4)
+	ropts := routing.Options{Policy: routing.TrafficReduction, Alpha: 10}
+	evs, err := workload.Churn(workload.ChurnConfig{
+		Spec: formats.ITCH, Hosts: 4, Events: 600, PoolSize: 64,
+		CoverHeavy: true, CoverDepth: 8, AddFraction: 0.7, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var lastStats ctlplane.Snapshot
+	var updatesPerSec, reduction float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d, err := controller.Deploy(net, formats.ITCH,
+			make([][]subscription.Expr, len(net.Hosts)), controller.Options{Routing: ropts})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim, err := netsim.New(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim.Workers = 2
+		svc, err := ctlplane.New(net, formats.ITCH,
+			ctlplane.WithRouting(ropts),
+			ctlplane.WithInstallers(sim.Installers()...),
+			ctlplane.WithSeed(3),
+			ctlplane.WithCovering(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(4))
+			stocks := workload.DefaultSymbols(100)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				pubs := make([]netsim.Publication, 16)
+				for j := range pubs {
+					m := spec.NewMessage(formats.ITCH)
+					m.MustSet("stock", spec.StrVal(stocks[r.Intn(len(stocks))]))
+					m.MustSet("price", spec.IntVal(int64(r.Intn(1000))))
+					m.MustSet("shares", spec.IntVal(1))
+					pubs[j] = netsim.Publication{Host: r.Intn(len(net.Hosts)), Msgs: []*spec.Message{m}, Bytes: 64}
+				}
+				sim.PublishBatch(pubs)
+			}
+		}()
+		live := make(map[int]int)
+		b.StartTimer()
+		start := time.Now()
+		for _, ev := range evs {
+			if ev.Add {
+				_, ids, err := svc.Subscribe(ev.Host, []subscription.Expr{ev.Filter})
+				if err != nil {
+					b.Fatal(err)
+				}
+				live[ev.Key] = ids[0]
+			} else {
+				if _, err := svc.Unsubscribe(ev.Host, []int{live[ev.Key]}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		svc.Quiesce()
+		elapsed := time.Since(start)
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+		lastStats = svc.Stats()
+		svc.Close()
+		updatesPerSec = float64(len(evs)) / elapsed.Seconds()
+		if lastStats.CoverEntries > 0 {
+			reduction = float64(lastStats.CoverEntries+lastStats.CoverObligations) /
+				float64(lastStats.CoverEntries)
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(updatesPerSec, "updates/s")
+	b.ReportMetric(reduction, "reduction-x")
+	b.ReportMetric(float64(lastStats.Latency.P50.Microseconds()), "p50-µs")
+	b.ReportMetric(0, "ns/op")
+	b.Logf("cover churn: %d events, %d batches, %d entries + %d covered (%.2f× reduction), latency %s",
+		lastStats.Events, lastStats.Batches, lastStats.CoverEntries,
+		lastStats.CoverObligations, reduction, lastStats.Latency)
+	if reduction < 2 {
+		b.Errorf("covering reduction %.2f×, want >= 2× on the covering-heavy workload", reduction)
+	}
+}
+
 // BenchmarkCtlplaneDaemon — the multi-tenant control-plane daemon end
 // to end: HTTP+JSON API → tenancy admission → round-robin dispatch →
 // reconciler → netsim switches, with every event appended to the

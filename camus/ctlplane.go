@@ -80,6 +80,12 @@ var (
 	WithNetValidator = ctlplane.WithNetValidator
 	// WithSeed makes retry jitter reproducible.
 	WithSeed = ctlplane.WithSeed
+	// WithCovering enables subsumption-aware state reduction: filters
+	// implied by a broader filter on the same port get no table entry
+	// of their own, and unsubscribing a covering filter re-installs
+	// its children in the same atomic batch (no delivery gap). The
+	// argument bounds each implication diagram (≤ 0 = default).
+	WithCovering = ctlplane.WithCovering
 	// ProveValidator builds a translation-validation Validator.
 	ProveValidator = ctlplane.ProveValidator
 	// NetcheckValidator builds a NetValidator that symbolically verifies

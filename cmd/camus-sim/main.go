@@ -50,6 +50,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	churnEvents := flag.Int("churn", 0, "live-churn mode: number of subscribe/unsubscribe events (0 = static deploy)")
 	churnPool := flag.Int("churn-pool", 64, "distinct filters in the churn pool (Zipf popularity)")
+	covering := flag.Bool("covering", false, "enable subsumption covering in the control plane and generate a covering-heavy churn pool (refinement chains)")
 	serve := flag.Bool("serve", false, "serve-soak mode: start an in-process camusd and churn tenants against its HTTP API")
 	serveAddr := flag.String("serve-addr", "127.0.0.1:0", "daemon listen address for -serve")
 	serveLog := flag.String("serve-log", "", "event log path for -serve (empty = throwaway temp file)")
@@ -85,6 +86,7 @@ func main() {
 			addr:          *serveAddr,
 			logPath:       *serveLog,
 			seed:          *seed,
+			covering:      *covering,
 		})
 		return
 	}
@@ -125,7 +127,7 @@ func main() {
 	check(err)
 	if *churnEvents > 0 {
 		runChurn(sim, net, routing.Options{Policy: policy, Alpha: *alpha},
-			*churnEvents, *churnPool, *seed)
+			*churnEvents, *churnPool, *seed, *covering)
 	}
 	feed := workload.ITCHFeed(workload.ITCHFeedConfig{
 		Packets: *packets, BatchZipf: true, InterestFraction: 0.05, Seed: *seed,
@@ -154,16 +156,21 @@ func main() {
 
 // runChurn drives a live subscription-churn session against the running
 // simulation and prints the control-plane telemetry.
-func runChurn(sim *netsim.Sim, net *topology.Network, ropts routing.Options, events, pool int, seed int64) {
-	svc, err := camus.NewControlPlane(net, formats.ITCH,
+func runChurn(sim *netsim.Sim, net *topology.Network, ropts routing.Options, events, pool int, seed int64, covering bool) {
+	opts := []camus.ControlPlaneOption{
 		camus.WithPolicy(ropts.Policy, ropts.Alpha),
 		camus.WithInstallers(sim.Installers()...),
-		camus.WithSeed(seed))
+		camus.WithSeed(seed),
+	}
+	if covering {
+		opts = append(opts, camus.WithCovering(0))
+	}
+	svc, err := camus.NewControlPlane(net, formats.ITCH, opts...)
 	check(err)
 	defer svc.Close()
 	evs, err := workload.Churn(workload.ChurnConfig{
 		Spec: formats.ITCH, Hosts: len(net.Hosts),
-		Events: events, PoolSize: pool, Seed: seed,
+		Events: events, PoolSize: pool, CoverHeavy: covering, Seed: seed,
 	})
 	check(err)
 	live := make(map[int]int)
@@ -188,6 +195,12 @@ func runChurn(sim *netsim.Sim, net *topology.Network, ropts routing.Options, eve
 	fmt.Printf("  batches=%d (coalesced) entries +%d -%d =%d retries=%d fallbacks=%d failures=%d\n",
 		snap.Batches, snap.Installs, snap.Deletes, snap.Keeps,
 		snap.Retries, snap.Fallbacks, snap.Failures)
+	if snap.Covering {
+		fmt.Printf("  covering: %d entries carry %d covered filters (%.0f%% of table state elided)\n",
+			snap.CoverEntries, snap.CoverObligations, snap.CoverSavingsRatio*100)
+		fmt.Printf("  covering totals: %d installs elided, %d roots captured, %d children promoted\n",
+			snap.CoveredAdds, snap.CoverCaptures, snap.CoverPromotions)
+	}
 	fmt.Printf("  update latency: %s\n", snap.Latency)
 }
 

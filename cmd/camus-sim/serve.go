@@ -29,6 +29,7 @@ type serveConfig struct {
 	addr          string
 	logPath       string
 	seed          int64
+	covering      bool
 }
 
 // runServe starts an in-process camusd (daemon over a simulated
@@ -64,6 +65,9 @@ func runServe(cfg serveConfig) {
 	if cfg.validateEvery > 0 {
 		svcOpts = append(svcOpts, camus.WithValidator(camus.ProveValidator(net, 0), cfg.validateEvery))
 	}
+	if cfg.covering {
+		svcOpts = append(svcOpts, camus.WithCovering(0))
+	}
 	d, err := camus.NewDaemon(net, app.Spec,
 		camus.WithDaemonEventLog(logPath),
 		camus.WithDaemonService(svcOpts...),
@@ -79,6 +83,7 @@ func runServe(cfg serveConfig) {
 		ChurnConfig: workload.ChurnConfig{
 			Spec: formats.ITCH, Hosts: len(net.Hosts),
 			Events: cfg.events, PoolSize: cfg.pool, Seed: cfg.seed,
+			CoverHeavy: cfg.covering,
 		},
 		Tenants: cfg.tenants,
 	})
@@ -127,11 +132,18 @@ func runServe(cfg serveConfig) {
 	check(err)
 	var stats struct {
 		Service struct {
-			Events             int64 `json:"Events"`
-			Applied            int64 `json:"Applied"`
-			Validations        int64 `json:"Validations"`
-			ValidationFailures int64 `json:"ValidationFailures"`
-			Failures           int64 `json:"Failures"`
+			Events             int64   `json:"Events"`
+			Applied            int64   `json:"Applied"`
+			Validations        int64   `json:"Validations"`
+			ValidationFailures int64   `json:"ValidationFailures"`
+			Failures           int64   `json:"Failures"`
+			Covering           bool    `json:"Covering"`
+			CoverEntries       int     `json:"CoverEntries"`
+			CoverObligations   int     `json:"CoverObligations"`
+			CoverSavingsRatio  float64 `json:"CoverSavingsRatio"`
+			CoveredAdds        int64   `json:"CoveredAdds"`
+			CoverCaptures      int64   `json:"CoverCaptures"`
+			CoverPromotions    int64   `json:"CoverPromotions"`
 		} `json:"service"`
 		Latency struct {
 			N     int     `json:"n"`
@@ -152,6 +164,13 @@ func runServe(cfg serveConfig) {
 		stats.Service.Failures, stats.LogSeq, stats.LogBytes)
 	fmt.Printf("  update latency: n=%d p50=%.3fms p99=%.3fms\n",
 		stats.Latency.N, stats.Latency.P50Ms, stats.Latency.P99Ms)
+	if stats.Service.Covering {
+		fmt.Printf("  covering: %d entries carry %d covered filters (%.0f%% of table state elided)\n",
+			stats.Service.CoverEntries, stats.Service.CoverObligations,
+			stats.Service.CoverSavingsRatio*100)
+		fmt.Printf("  covering totals: %d installs elided, %d roots captured, %d children promoted\n",
+			stats.Service.CoveredAdds, stats.Service.CoverCaptures, stats.Service.CoverPromotions)
+	}
 	fmt.Printf("  healthz: %s", hb)
 
 	check(d.Close())
@@ -161,6 +180,13 @@ func runServe(cfg serveConfig) {
 	}
 	if stats.Service.ValidationFailures > 0 || stats.Service.Failures > 0 {
 		fmt.Fprintln(os.Stderr, "serve-soak: FAILED — validation or apply failures")
+		os.Exit(1)
+	}
+	// Gate 3 (covering mode): the soak must have exercised subsumption.
+	// The end-state gauges can legitimately read zero — the final live
+	// set may hold no implication pair — but the lifetime totals cannot.
+	if cfg.covering && stats.Service.CoveredAdds == 0 {
+		fmt.Fprintln(os.Stderr, "serve-soak: FAILED — covering enabled but no install was ever elided")
 		os.Exit(1)
 	}
 	fmt.Println("serve-soak: PASS")

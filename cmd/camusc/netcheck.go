@@ -12,6 +12,7 @@ import (
 	"camus/internal/compiler"
 	"camus/internal/controller"
 	"camus/internal/routing"
+	"camus/internal/routing/cover"
 	"camus/internal/spec"
 	"camus/internal/subscription"
 	"camus/internal/topology"
@@ -45,6 +46,7 @@ func runNetcheck(args []string, stdout, stderr interface{ Write([]byte) (int, er
 	policy := fs.String("policy", "tr", "routing policy: tr | mr (fattree)")
 	alpha := fs.Int64("alpha", 0, "α-discretization unit (0 disables approximation)")
 	maxPaths := fs.Int("max-paths", 0, "per-switch symbolic path budget (0 = default)")
+	covering := fs.Bool("covering", false, "apply the subsumption covering reduction (internal/routing/cover) before compiling, then certify the reduced tables against the full subscription set")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -80,11 +82,12 @@ func runNetcheck(args []string, stdout, stderr interface{ Write([]byte) (int, er
 
 	var res *netcheck.Result
 	var outcomes map[int]*replay.NetOutcome
+	var st *cover.ReduceStats
 	switch *topo {
 	case "fattree":
-		res, outcomes, err = netcheckFatTree(sp, rules, *k, *policy, *alpha, *maxPaths, stderr)
+		res, outcomes, st, err = netcheckFatTree(sp, rules, *k, *policy, *alpha, *maxPaths, *covering, stderr)
 	case "mstpp":
-		res, err = netcheckTree(sp, rules, *nodes, *edges, *seed, *alpha, *maxPaths)
+		res, st, err = netcheckTree(sp, rules, *nodes, *edges, *seed, *alpha, *maxPaths, *covering)
 	default:
 		fmt.Fprintf(stderr, "camusc netcheck: unknown topology %q\n", *topo)
 		return 2
@@ -107,6 +110,10 @@ func runNetcheck(args []string, stdout, stderr interface{ Write([]byte) (int, er
 		fmt.Fprintln(stdout, rep.JSON())
 	} else {
 		fmt.Fprint(stdout, rep.String())
+		if st != nil {
+			fmt.Fprintf(stdout, "  covering reduction: %d → %d port entries (%d elided, %.2f× smaller)\n",
+				st.Before, st.After, st.Removed(), st.Ratio())
+		}
 		if len(rep.Findings) == 0 {
 			status := "complete"
 			if res.Overflowed {
@@ -136,21 +143,27 @@ func spreadRules(rules []*subscription.Rule, n int) ([]netcheck.Subscription, []
 }
 
 func netcheckFatTree(sp *spec.Spec, rules []*subscription.Rule, k int, policy string, alpha int64,
-	maxPaths int, stderr interface{ Write([]byte) (int, error) }) (*netcheck.Result, map[int]*replay.NetOutcome, error) {
+	maxPaths int, covering bool, stderr interface{ Write([]byte) (int, error) }) (*netcheck.Result, map[int]*replay.NetOutcome, *cover.ReduceStats, error) {
 	net, err := topology.FatTree(k)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	pol := routing.TrafficReduction
 	if policy == "mr" {
 		pol = routing.MemoryReduction
 	}
 	subs, byHost, _ := spreadRules(rules, len(net.Hosts))
-	d, err := controller.Deploy(net, sp, byHost, controller.Options{
-		Routing: routing.Options{Policy: pol, Alpha: alpha},
-	})
+	var d *controller.Deployment
+	var st *cover.ReduceStats
+	if covering {
+		d, st, err = coveringDeploy(net, sp, byHost, routing.Options{Policy: pol, Alpha: alpha})
+	} else {
+		d, err = controller.Deploy(net, sp, byHost, controller.Options{
+			Routing: routing.Options{Policy: pol, Alpha: alpha},
+		})
+	}
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	irs := make([]*prove.Program, len(d.Programs))
 	for i, p := range d.Programs {
@@ -158,12 +171,12 @@ func netcheckFatTree(sp *spec.Spec, rules []*subscription.Rule, k int, policy st
 			continue
 		}
 		if irs[i], err = p.ProveIR(); err != nil {
-			return nil, nil, fmt.Errorf("export IR for switch %d: %w", i, err)
+			return nil, nil, nil, fmt.Errorf("export IR for switch %d: %w", i, err)
 		}
 	}
 	res, err := netcheck.CheckFatTree(net, sp, irs, subs, netcheck.Options{MaxPaths: maxPaths})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	// Replay stateless witnesses through the simulated dataplane so the
 	// report carries dataplane-confirmed packets.
@@ -180,35 +193,75 @@ func netcheckFatTree(sp *spec.Spec, rules []*subscription.Rule, k int, policy st
 		}
 		outcomes[i] = out
 	}
-	return res, outcomes, nil
+	return res, outcomes, st, nil
+}
+
+// coveringDeploy builds the fat-tree deployment the way a
+// covering-enabled controller would: compute routing, elide every port
+// entry implied by a broader filter on the same port
+// (cover.ReduceResult — the batch equivalent of the control plane's
+// subsumption forests), then compile the reduced tables with the
+// controller's last-hop semantics on host-facing ports.
+func coveringDeploy(net *topology.Network, sp *spec.Spec, byHost [][]subscription.Expr,
+	ropts routing.Options) (*controller.Deployment, *cover.ReduceStats, error) {
+	res, err := routing.ComputeFatTree(net, byHost, ropts)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := cover.ReduceResult(cover.NewImplier(sp, 0), res)
+	static, err := compiler.GenerateStatic(sp, compiler.StaticOptions{})
+	if err != nil {
+		return nil, nil, err
+	}
+	d := &controller.Deployment{
+		Network: net, Spec: sp, Routing: res, Static: static,
+		Programs: make([]*compiler.Program, len(net.Switches)),
+	}
+	for _, s := range net.Switches {
+		copts := compiler.Options{}
+		ports := s.Ports
+		copts.LastHopPort = func(port int) bool {
+			return port >= 0 && port < len(ports) && ports[port].Kind == topology.PeerHost
+		}
+		if d.Programs[s.ID], err = compiler.Compile(sp, res.RulesForSwitch(s.ID), copts); err != nil {
+			return nil, nil, fmt.Errorf("compile switch %d: %w", s.ID, err)
+		}
+	}
+	return d, &st, nil
 }
 
 func netcheckTree(sp *spec.Spec, rules []*subscription.Rule, nodes, edges int, seed, alpha int64,
-	maxPaths int) (*netcheck.Result, error) {
+	maxPaths int, covering bool) (*netcheck.Result, *cover.ReduceStats, error) {
 	if edges <= 0 {
 		edges = 2 * nodes
 	}
 	g := workload.ASGraph(workload.ASGraphConfig{Nodes: nodes, Edges: edges, Seed: seed})
 	mst, err := topology.PrimMST(g, 0, topology.DegreeProductWeight(g))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	_, _, byNode := spreadRules(rules, g.N)
 	tr, err := routing.ComputeTree(mst, byNode, alpha)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	var st *cover.ReduceStats
+	if covering {
+		s := cover.ReduceTree(cover.NewImplier(sp, 0), tr)
+		st = &s
 	}
 	progs := make([]*prove.Program, g.N)
 	for v := 0; v < g.N; v++ {
 		prog, err := compiler.Compile(sp, tr.RulesForNode(v), compiler.Options{})
 		if err != nil {
-			return nil, fmt.Errorf("compile node %d: %w", v, err)
+			return nil, nil, fmt.Errorf("compile node %d: %w", v, err)
 		}
 		if progs[v], err = prog.ProveIR(); err != nil {
-			return nil, fmt.Errorf("export IR for node %d: %w", v, err)
+			return nil, nil, fmt.Errorf("export IR for node %d: %w", v, err)
 		}
 	}
-	return netcheck.CheckTree(tr, sp, progs, netcheck.TreeSubscriptions(tr), netcheck.Options{
+	res, err := netcheck.CheckTree(tr, sp, progs, netcheck.TreeSubscriptions(tr), netcheck.Options{
 		MaxPaths: maxPaths, Alpha: alpha,
 	})
+	return res, st, err
 }

@@ -18,6 +18,10 @@ func TestNetcheckCleanExamples(t *testing.T) {
 		{"-rules", filepath.Join("testdata", "itch.rules"), "-topo", "mstpp", "-nodes", "24", "-alpha", "100"},
 		{"-rules", filepath.Join("testdata", "itchfeed.rules"), "-topo", "fattree", "-policy", "tr"},
 		{"-rules", filepath.Join("testdata", "itchfeed.rules"), "-topo", "mstpp", "-nodes", "20"},
+		// Covering mode: the reduced tables must carry the same
+		// certificate against the full subscription set.
+		{"-rules", filepath.Join("testdata", "itch.rules"), "-topo", "fattree", "-policy", "tr", "-covering"},
+		{"-rules", filepath.Join("testdata", "itch.rules"), "-topo", "mstpp", "-nodes", "24", "-covering"},
 	}
 	for _, tc := range cases {
 		t.Run(strings.Join(tc[1:], "_"), func(t *testing.T) {
@@ -30,6 +34,15 @@ func TestNetcheckCleanExamples(t *testing.T) {
 			}
 			if !strings.Contains(out.String(), "network certificate complete") {
 				t.Errorf("expected a complete certificate, got: %s", out.String())
+			}
+			covering := false
+			for _, a := range tc {
+				if a == "-covering" {
+					covering = true
+				}
+			}
+			if covering && !strings.Contains(out.String(), "covering reduction:") {
+				t.Errorf("expected a covering reduction line, got: %s", out.String())
 			}
 		})
 	}

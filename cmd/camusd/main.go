@@ -8,7 +8,7 @@
 //	camusd [-addr :8080] [-k 4] [-policy tr|mr] [-alpha 0]
 //	       [-log camusd.log] [-validate-every 16] [-netcheck-every 1]
 //	       [-queue 1024] [-max-subs 0] [-rate 0] [-burst 0]
-//	       [-no-auto-create] [-seed 1]
+//	       [-no-auto-create] [-covering] [-seed 1]
 //
 // The daemon fronts a simulated fat-tree deployment (internal/netsim):
 // every accepted subscription is compiled incrementally and hot-swapped
@@ -48,6 +48,7 @@ func main() {
 	rate := flag.Float64("rate", 0, "default per-tenant events/sec admission rate (0 = unlimited)")
 	burst := flag.Int("burst", 0, "default per-tenant admission burst (0 = rate-derived)")
 	noAutoCreate := flag.Bool("no-auto-create", false, "refuse unknown tenants instead of creating them on first use")
+	covering := flag.Bool("covering", false, "subsumption-aware state reduction: install entries only for covering filters (DESIGN.md §14)")
 	seed := flag.Int64("seed", 1, "retry-jitter seed")
 	flag.Parse()
 
@@ -85,6 +86,9 @@ func main() {
 	if *netcheckEvery > 0 {
 		svcOpts = append(svcOpts,
 			camus.WithNetValidator(camus.NetcheckValidator(net, formats.ITCH, 0), *netcheckEvery))
+	}
+	if *covering {
+		svcOpts = append(svcOpts, camus.WithCovering(0))
 	}
 	tenantOpts := []camus.TenantOption{
 		camus.WithDefaultQuota(camus.TenantQuota{

@@ -32,6 +32,26 @@ type NetMutation struct {
 	//	rewire-peer     — tree mode: node Switch's port Port is rewired
 	//	                  to neighbor ToPort's vertex (routing loop /
 	//	                  duplicate delivery)
+	//
+	// The covering family corrupts subsumption-reduced tables
+	// (internal/routing/cover), simulating defects in the covering
+	// forest's uncover/promote machinery:
+	//
+	//	dropped-uncover — covering root FilterID vanishes from every
+	//	                  port network-wide without its covered children
+	//	                  being promoted (the uncover delta lost its
+	//	                  install half → black hole for root AND
+	//	                  children)
+	//	stale-cover     — at Switch's port Port, promoted entry FilterID
+	//	                  is replaced by Filter, the broader parent that
+	//	                  should have been uncovered (stale refcount kept
+	//	                  the root alive, the child never landed →
+	//	                  spurious delivery of broad-but-not-narrow
+	//	                  packets)
+	//	over-broad-cover — filter FilterID's Expr and Approx are replaced
+	//	                  by the broader Expr network-wide (an implication
+	//	                  oracle that wrongly widened a root → spurious
+	//	                  delivery)
 	Op string `json:"op"`
 	// Switch is the switch ID (fat tree) or graph vertex (tree).
 	Switch int `json:"switch"`
@@ -103,6 +123,46 @@ func (m NetMutation) ApplyNet(r *routing.Result) error {
 			return err
 		}
 		f.Approx = m.Expr
+	case "dropped-uncover":
+		found := false
+		for _, fib := range r.FIBs {
+			for _, fs := range fib.Ports {
+				if _, ok := fs[m.FilterID]; ok {
+					delete(fs, m.FilterID)
+					found = true
+				}
+			}
+		}
+		if !found {
+			return fmt.Errorf("corrupt: filter %d installed nowhere", m.FilterID)
+		}
+	case "stale-cover":
+		if m.Filter == nil {
+			return fmt.Errorf("corrupt: stale-cover needs the stale parent filter")
+		}
+		fib, err := netFIB(r, m.Switch)
+		if err != nil {
+			return err
+		}
+		fs, ok := fib.Ports[m.Port]
+		if !ok {
+			return fmt.Errorf("corrupt: switch %d has no port %d", m.Switch, m.Port)
+		}
+		if _, ok := fs[m.FilterID]; !ok {
+			return fmt.Errorf("corrupt: switch %d port %d has no filter %d", m.Switch, m.Port, m.FilterID)
+		}
+		delete(fs, m.FilterID)
+		fs[m.Filter.ID] = m.Filter
+	case "over-broad-cover":
+		if m.Expr == nil {
+			return fmt.Errorf("corrupt: over-broad-cover needs an expression")
+		}
+		f, err := netFilter(r.Filters, m.FilterID)
+		if err != nil {
+			return err
+		}
+		f.Expr = m.Expr
+		f.Approx = m.Expr
 	default:
 		return fmt.Errorf("corrupt: unknown network op %q", m.Op)
 	}
@@ -156,6 +216,49 @@ func (m NetMutation) ApplyTree(r *routing.TreeResult) error {
 			return fmt.Errorf("corrupt: node %d has no port %d", m.Switch, m.Port)
 		}
 		fib.PortPeer[m.Port] = m.ToPort
+	case "dropped-uncover":
+		found := false
+		for _, fib := range r.FIBs {
+			if fib == nil {
+				continue
+			}
+			for _, fs := range fib.Ports {
+				if _, ok := fs[m.FilterID]; ok {
+					delete(fs, m.FilterID)
+					found = true
+				}
+			}
+		}
+		if !found {
+			return fmt.Errorf("corrupt: filter %d installed nowhere", m.FilterID)
+		}
+	case "stale-cover":
+		if m.Filter == nil {
+			return fmt.Errorf("corrupt: stale-cover needs the stale parent filter")
+		}
+		fib, err := treeFIB(r, m.Switch)
+		if err != nil {
+			return err
+		}
+		fs, ok := fib.Ports[m.Port]
+		if !ok {
+			return fmt.Errorf("corrupt: node %d has no port %d", m.Switch, m.Port)
+		}
+		if _, ok := fs[m.FilterID]; !ok {
+			return fmt.Errorf("corrupt: node %d port %d has no filter %d", m.Switch, m.Port, m.FilterID)
+		}
+		delete(fs, m.FilterID)
+		fs[m.Filter.ID] = m.Filter
+	case "over-broad-cover":
+		if m.Expr == nil {
+			return fmt.Errorf("corrupt: over-broad-cover needs an expression")
+		}
+		f, err := netFilter(r.Filters, m.FilterID)
+		if err != nil {
+			return err
+		}
+		f.Expr = m.Expr
+		f.Approx = m.Expr
 	default:
 		return fmt.Errorf("corrupt: unknown tree op %q", m.Op)
 	}

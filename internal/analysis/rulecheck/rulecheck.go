@@ -15,6 +15,13 @@
 //     action to some region is NOT shadowed: it still shapes forwarding
 //     (itch.rules' aggregate rule fwd(5) under the broader GOOGL fwd(2)
 //     rule is the canonical example);
+//   - redundant: a strictly sharper diagnosis of shadowing — some
+//     single earlier rule with the identical action is present at every
+//     terminal the rule reaches, i.e. the filter is implied by that one
+//     rule alone. Deleting the rule provably leaves the table
+//     unchanged, and unlike a union shadow there is one specific rule
+//     to point at. Redundant rules suppress their shadowed finding;
+//
 //   - conflict: some terminal carries two markers whose actions
 //     contradict — an explicit drop overlapping a forward, or one
 //     custom action name invoked with different arguments (e.g. two
@@ -72,6 +79,10 @@ const (
 	KindUnsatisfiable Kind = "unsatisfiable"
 	// KindShadowed is a filter implied by the union of earlier rules.
 	KindShadowed Kind = "shadowed"
+	// KindRedundant is a filter implied by a single earlier rule whose
+	// action is identical — the sharp special case of shadowing where
+	// one specific rule makes this one deletable.
+	KindRedundant Kind = "redundant"
 	// KindConflict is a pair of overlapping rules with contradictory
 	// actions.
 	KindConflict Kind = "conflict"
@@ -185,8 +196,9 @@ func verifyTable(sp *spec.Spec, file string, rules []*subscription.Rule, ruleLin
 	// three checks need.
 	present := make(map[int]bool)
 	shadowed := make(map[int]bool)
-	covers := make(map[int]map[int]bool)    // rule → union of earlier rules co-resident at its terminals
-	conflicts := make(map[[2]int]bool)      // ordered pair → seen
+	covers := make(map[int]map[int]bool)     // rule → union of earlier rules co-resident at its terminals
+	alwaysWith := make(map[int]map[int]bool) // rule → intersection of earlier rules across its terminals
+	conflicts := make(map[[2]int]bool)       // ordered pair → seen
 	for id := range analyzable {
 		shadowed[id] = true // until a terminal proves sole reach
 	}
@@ -204,9 +216,26 @@ func verifyTable(sp *spec.Spec, file string, rules []*subscription.Rule, ruleLin
 		// Shadowing: rule id keeps its shadowed flag only if, at every
 		// terminal it reaches, earlier rules are present whose merged
 		// actions subsume its own — i.e. the rule contributes neither
-		// reach nor forwarding behaviour there.
+		// reach nor forwarding behaviour there. alwaysWith narrows to
+		// the earlier rules present at ALL of id's terminals: a
+		// non-empty intersection is a single-rule implication witness.
 		for _, id := range ids {
 			earlier := earliestOthers(ids, id)
+			if cur, seen := alwaysWith[id]; !seen {
+				set := make(map[int]bool, len(earlier))
+				for _, e := range earlier {
+					set[e] = true
+				}
+				alwaysWith[id] = set
+			} else {
+				keep := make(map[int]bool, len(cur))
+				for _, e := range earlier {
+					if cur[e] {
+						keep[e] = true
+					}
+				}
+				alwaysWith[id] = keep
+			}
 			if len(earlier) == 0 {
 				shadowed[id] = false
 				continue
@@ -253,6 +282,21 @@ func verifyTable(sp *spec.Spec, file string, rules []*subscription.Rule, ruleLin
 			continue
 		}
 		if shadowed[id] && len(covers[id]) > 0 {
+			// Prefer the sharper diagnosis: a single always-co-present
+			// earlier rule with the identical action makes this rule
+			// redundant — deletable with one specific rule to blame.
+			var dup []int
+			for e := range alwaysWith[id] {
+				if sameAction(rules[e].Action, rules[id].Action) {
+					dup = append(dup, e)
+				}
+			}
+			if len(dup) > 0 {
+				sort.Ints(dup)
+				finding(id, KindRedundant, SevWarning, dup,
+					"redundant: an earlier rule with the identical action already matches every packet this filter matches; deleting this rule leaves the table unchanged")
+				continue
+			}
 			cov := make([]int, 0, len(covers[id]))
 			for c := range covers[id] {
 				cov = append(cov, c)
@@ -318,6 +362,31 @@ func subsumes(set subscription.ActionSet, act subscription.Action) bool {
 		}
 	}
 	return false
+}
+
+// sameAction reports whether two actions are identical effects:
+// forwarding to the same port set (order-insensitive), or the same
+// custom action with the same arguments.
+func sameAction(a, b subscription.Action) bool {
+	if a.IsFwd() != b.IsFwd() {
+		return false
+	}
+	if a.IsFwd() {
+		if len(a.Ports) != len(b.Ports) {
+			return false
+		}
+		have := make(map[int]bool, len(a.Ports))
+		for _, p := range a.Ports {
+			have[p] = true
+		}
+		for _, p := range b.Ports {
+			if !have[p] {
+				return false
+			}
+		}
+		return true
+	}
+	return a.Key() == b.Key()
 }
 
 // earliestOthers returns the IDs in ids smaller than id.

@@ -112,17 +112,44 @@ func TestSeededFindingsDetected(t *testing.T) {
 		t.Errorf("unsat.rules: satisfiable control rule 3 was flagged")
 	}
 
+	// Rule 1 is inside rule 0 with the identical action: the sharper
+	// redundant diagnosis replaces the union-shadow one. Rule 4 needs
+	// the union of 2 and 3, so it stays a plain shadow.
 	sh := read("shadowed.rules")
-	wantKinds(t, sh, map[int]Kind{1: KindShadowed, 4: KindShadowed})
+	wantKinds(t, sh, map[int]Kind{1: KindRedundant, 4: KindShadowed})
 	for _, id := range []int{0, 2, 3} {
 		if hasFindingFor(sh, id) {
 			t.Errorf("shadowed.rules: rule %d wrongly flagged", id)
 		}
 	}
 	for _, f := range sh.Findings {
-		if f.RuleID == 4 {
+		switch f.RuleID {
+		case 1:
+			if f.Kind == KindShadowed {
+				t.Error("redundant rule 1 must not double-report as shadowed")
+			}
+			if len(f.Related) != 1 || f.Related[0] != 0 {
+				t.Errorf("redundancy witness of rule 1 = %v, want [0]", f.Related)
+			}
+		case 4:
 			if len(f.Related) != 2 || f.Related[0] != 2 || f.Related[1] != 3 {
 				t.Errorf("shadow cover of rule 4 = %v, want [2 3]", f.Related)
+			}
+		}
+	}
+
+	red := read("redundant.rules")
+	wantKinds(t, red, map[int]Kind{1: KindRedundant, 3: KindRedundant, 5: KindRedundant})
+	for _, id := range []int{0, 2, 4, 6, 7} {
+		if hasFindingFor(red, id) {
+			t.Errorf("redundant.rules: rule %d wrongly flagged", id)
+		}
+	}
+	wantWitness := map[int]int{1: 0, 3: 2, 5: 4}
+	for _, f := range red.Findings {
+		if want, ok := wantWitness[f.RuleID]; ok {
+			if len(f.Related) != 1 || f.Related[0] != want {
+				t.Errorf("redundancy witness of rule %d = %v, want [%d]", f.RuleID, f.Related, want)
 			}
 		}
 	}

@@ -99,6 +99,26 @@ func WithNetValidator(v NetValidator, every int) Option {
 	}
 }
 
+// WithCovering enables subsumption-aware state reduction: per (switch,
+// port), filters implied by a broader filter already forwarding
+// through the same port get no table entry of their own — they are
+// tracked as refcounted covered obligations in a subsumption forest
+// (BDD implication decides f ⊑ g). Unsubscribing a covering filter
+// uncovers its children: the delete and their re-installs are emitted
+// in one coalesced batch, so the atomic epoch swap leaves no window in
+// which a still-subscribed filter lacks a covering entry. Delivery is
+// provably unchanged — forwarding through a port is the union of its
+// filters, and f ⊑ g makes f ∪ g = g — and `camusc netcheck -covering`
+// certifies it end to end. maxNodes bounds each two-filter implication
+// diagram (≤ 0 selects cover.DefaultMaxNodes); oversized queries
+// conservatively count as "not implied".
+func WithCovering(maxNodes int) Option {
+	return func(c *Config) {
+		c.Covering = true
+		c.CoverMaxNodes = maxNodes
+	}
+}
+
 // WithSeed makes retry jitter reproducible (0 seeds from switch IDs
 // only).
 func WithSeed(seed int64) Option {

@@ -22,6 +22,7 @@ import (
 
 	"camus/internal/compiler"
 	"camus/internal/routing"
+	"camus/internal/routing/cover"
 	"camus/internal/spec"
 	"camus/internal/subscription"
 	"camus/internal/topology"
@@ -89,6 +90,12 @@ type swCompiler struct {
 	rules    map[int]*subscription.Rule
 	nextRule int
 	churn    int // entries added+removed since the last full rebuild
+	// forests holds, under covering mode, the per-port subsumption
+	// forests (registry state: mutated only under the Service lock,
+	// like places). Installed rules exist exactly for forest roots;
+	// covered filters are tracked as refcounted obligations with no
+	// table entry.
+	forests map[int]*cover.Forest
 	// prog is the last compiled program, published atomically so the
 	// Service can read it while the owning worker recompiles.
 	prog atomic.Pointer[compiler.Program]
@@ -116,6 +123,14 @@ type Reconciler struct {
 	filters    map[int]*filterRec
 	nextFilter int
 	switches   []*swCompiler
+
+	// covering enables subsumption-aware state reduction: per-port
+	// forests elide entries for filters implied by a broader filter on
+	// the same port, and uncovering re-installs promoted children in
+	// the same coalesced batch (no delivery gap). im is the shared
+	// implication oracle.
+	covering bool
+	im       *cover.Implier
 }
 
 // DefaultDrift is the fallback threshold used when Options leave it 0:
@@ -140,12 +155,16 @@ func newReconciler(cfg Config) (*Reconciler, error) {
 		drift = DefaultDrift
 	}
 	r := &Reconciler{
-		net:     net,
-		sp:      sp,
-		ropts:   ropts,
-		copts:   copts,
-		drift:   drift,
-		filters: make(map[int]*filterRec),
+		net:      net,
+		sp:       sp,
+		ropts:    ropts,
+		copts:    copts,
+		drift:    drift,
+		filters:  make(map[int]*filterRec),
+		covering: cfg.Covering,
+	}
+	if r.covering {
+		r.im = cover.NewImplier(sp, cfg.CoverMaxNodes)
 	}
 	r.computeSubtrees()
 	for _, s := range net.Switches {
@@ -236,14 +255,20 @@ func placeKey(port int, expr subscription.Expr) string {
 	return fmt.Sprintf("%d|%s", port, expr)
 }
 
-// retain bumps the refcount of (switch, port, expr), returning a rule
-// install op on the 0→1 transition.
-func (r *Reconciler) retain(sw, port int, expr subscription.Expr) (RuleOp, bool) {
+// retain bumps the refcount of (switch, port, expr), returning the rule
+// ops the transition implies: in full mode an install on 0→1, under
+// covering whatever the port forest decides (nothing when the filter is
+// covered, an install plus captured-root deletes when it becomes a new
+// root).
+func (r *Reconciler) retain(sw, port int, expr subscription.Expr) []RuleOp {
 	sc := r.switches[sw]
+	if r.covering {
+		return r.coverOps(sc, port, sc.forest(r.im, port).Add(expr))
+	}
 	key := placeKey(port, expr)
 	if pr, ok := sc.places[key]; ok {
 		pr.refs++
-		return RuleOp{}, false
+		return nil
 	}
 	rule := &subscription.Rule{
 		ID:     sc.nextRule,
@@ -252,24 +277,75 @@ func (r *Reconciler) retain(sw, port int, expr subscription.Expr) (RuleOp, bool)
 	}
 	sc.nextRule++
 	sc.places[key] = &placeRec{ruleID: rule.ID, refs: 1, rule: rule}
-	return RuleOp{Switch: sw, Add: true, Rule: rule, RuleID: rule.ID}, true
+	return []RuleOp{{Switch: sw, Add: true, Rule: rule, RuleID: rule.ID}}
 }
 
-// release drops one reference, returning a delete op on the 1→0
-// transition.
-func (r *Reconciler) release(sw, port int, expr subscription.Expr) (RuleOp, bool) {
+// release drops one reference, returning the implied ops: a delete on
+// 1→0 in full mode; under covering an uncovering (delete of the root
+// plus installs for every promoted child, in one batch so delivery
+// never gaps) when the released filter was a forest root.
+func (r *Reconciler) release(sw, port int, expr subscription.Expr) []RuleOp {
 	sc := r.switches[sw]
+	if r.covering {
+		return r.coverOps(sc, port, sc.forest(r.im, port).Remove(expr))
+	}
 	key := placeKey(port, expr)
 	pr, ok := sc.places[key]
 	if !ok {
-		return RuleOp{}, false
+		return nil
 	}
 	pr.refs--
 	if pr.refs > 0 {
-		return RuleOp{}, false
+		return nil
 	}
 	delete(sc.places, key)
-	return RuleOp{Switch: sw, Add: false, RuleID: pr.ruleID}, true
+	return []RuleOp{{Switch: sw, Add: false, RuleID: pr.ruleID}}
+}
+
+// forest returns the port's subsumption forest, creating it on first
+// use (covering mode only).
+func (sc *swCompiler) forest(im *cover.Implier, port int) *cover.Forest {
+	if sc.forests == nil {
+		sc.forests = make(map[int]*cover.Forest)
+	}
+	f := sc.forests[port]
+	if f == nil {
+		f = cover.NewForest(im)
+		sc.forests[port] = f
+	}
+	return f
+}
+
+// coverOps translates a forest delta into rule ops against the
+// installed-entry registry. Uninstalls precede installs; both halves of
+// an uncovering travel in one slice and therefore land in one coalesced
+// Compile batch — a single atomic epoch swap with no window in which a
+// still-subscribed filter lacks a covering entry.
+func (r *Reconciler) coverOps(sc *swCompiler, port int, d cover.Delta) []RuleOp {
+	if d.Empty() {
+		return nil
+	}
+	ops := make([]RuleOp, 0, len(d.Install)+len(d.Uninstall))
+	for _, e := range d.Uninstall {
+		key := placeKey(port, e)
+		pr := sc.places[key]
+		if pr == nil {
+			continue // forest and registry out of sync; nothing to delete
+		}
+		delete(sc.places, key)
+		ops = append(ops, RuleOp{Switch: sc.id, Add: false, RuleID: pr.ruleID})
+	}
+	for _, e := range d.Install {
+		rule := &subscription.Rule{
+			ID:     sc.nextRule,
+			Filter: e,
+			Action: subscription.FwdAction(port),
+		}
+		sc.nextRule++
+		sc.places[placeKey(port, e)] = &placeRec{ruleID: rule.ID, refs: 1, rule: rule}
+		ops = append(ops, RuleOp{Switch: sc.id, Add: true, Rule: rule, RuleID: rule.ID})
+	}
+	return ops
 }
 
 // AddFilter registers one host subscription and returns its filter ID
@@ -284,9 +360,7 @@ func (r *Reconciler) AddFilter(host int, expr subscription.Expr) (int, []RuleOp,
 	r.filters[f.id] = f
 	var ops []RuleOp
 	for _, pl := range f.places {
-		if op, changed := r.retain(pl.sw, pl.port, pl.expr); changed {
-			ops = append(ops, op)
-		}
+		ops = append(ops, r.retain(pl.sw, pl.port, pl.expr)...)
 	}
 	return f.id, ops, nil
 }
@@ -301,9 +375,7 @@ func (r *Reconciler) RemoveFilter(host, id int) ([]RuleOp, error) {
 	delete(r.filters, id)
 	var ops []RuleOp
 	for _, pl := range f.places {
-		if op, changed := r.release(pl.sw, pl.port, pl.expr); changed {
-			ops = append(ops, op)
-		}
+		ops = append(ops, r.release(pl.sw, pl.port, pl.expr)...)
 	}
 	return ops, nil
 }
@@ -444,4 +516,57 @@ func (r *Reconciler) FullRebuild(sw int) (*CompileResult, error) {
 func (r *Reconciler) Drift(sw int) float64 {
 	sc := r.switches[sw]
 	return float64(sc.churn) / float64(max(sc.inc.Program().TotalEntries(), 1))
+}
+
+// Covering reports whether subsumption-aware covering is enabled.
+func (r *Reconciler) Covering() bool { return r.covering }
+
+// CoverStats reports covering telemetry across every per-port forest:
+// entries is the number of installed roots (actual table rules),
+// obligations the number of covered filters elided from the tables.
+// Full installation would use entries+obligations rules; both are 0
+// when covering is off.
+func (r *Reconciler) CoverStats() (entries, obligations int) {
+	for _, sc := range r.switches {
+		for _, f := range sc.forests {
+			roots := f.Roots()
+			entries += roots
+			obligations += f.Size() - roots
+		}
+	}
+	return entries, obligations
+}
+
+// CoverTotals sums the lifetime covering counters across every
+// per-port forest — monotone evidence of covering activity that
+// survives moments when the instantaneous gauges read zero.
+func (r *Reconciler) CoverTotals() cover.Counters {
+	var c cover.Counters
+	for _, sc := range r.switches {
+		for _, f := range sc.forests {
+			ctr := f.Counters()
+			c.CoveredAdds += ctr.CoveredAdds
+			c.Captures += ctr.Captures
+			c.Promotions += ctr.Promotions
+		}
+	}
+	return c
+}
+
+// CoveredFilters returns the live filter IDs whose exact access-port
+// entry is elided because a broader filter on the same port covers it
+// (nil when covering is off).
+func (r *Reconciler) CoveredFilters() map[int]bool {
+	if !r.covering {
+		return nil
+	}
+	out := make(map[int]bool)
+	for id, f := range r.filters {
+		pl := f.places[0] // the access placement is always first
+		sc := r.switches[pl.sw]
+		if fo := sc.forests[pl.port]; fo != nil && fo.Covered(pl.expr) {
+			out[id] = true
+		}
+	}
+	return out
 }

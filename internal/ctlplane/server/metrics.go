@@ -37,6 +37,15 @@ const maxTenantSeries = 256
 //	camus_tenant_series_omitted       tenants beyond the label-cardinality cap
 //	camus_tenant_live{tenant}         per-tenant live subscriptions
 //	camus_tenant_pending{tenant}      per-tenant fairness-queue depth
+//	camus_cover_entries               installed covering entries (forest roots)
+//	camus_cover_obligations           covered filters elided from the tables
+//	camus_cover_savings_ratio         elided entry fraction
+//	camus_cover_covered_adds_total    installs elided by an existing covering entry
+//	camus_cover_captures_total        entries removed by broader-root capture
+//	camus_cover_promotions_total      children re-installed by uncoverings
+//	camus_tenant_covered{tenant}      per-tenant covered subscriptions
+//	  (covering-mode series appear only under WithCovering and respect
+//	  the same tenant-series cap)
 //	camus_tenant_events_total{tenant,op}        dispatched sub/unsub
 //	camus_tenant_rejected_total{tenant,reason}  quota/rate refusals
 //	camus_tenant_latency_seconds{tenant,quantile}
@@ -68,6 +77,14 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("net_validation_failures_total", "Network validations that found a delivery-invariant violation.", snap.NetValidationFailures)
 	gauge("queue_depth", "In-flight subscription events.", float64(snap.QueueDepth))
 	gauge("queue_depth_peak", "High-water mark of in-flight events.", float64(snap.PeakQueueDepth))
+	if snap.Covering {
+		gauge("cover_entries", "Installed covering entries (subsumption-forest roots).", float64(snap.CoverEntries))
+		gauge("cover_obligations", "Covered filters elided from the tables (refcounted obligations).", float64(snap.CoverObligations))
+		gauge("cover_savings_ratio", "Fraction of table entries elided by covering.", snap.CoverSavingsRatio)
+		counter("cover_covered_adds_total", "Installs elided because an existing covering entry subsumed the new filter.", snap.CoveredAdds)
+		counter("cover_captures_total", "Entries removed because a broader new root captured them.", snap.CoverCaptures)
+		counter("cover_promotions_total", "Covered children re-installed by uncoverings.", snap.CoverPromotions)
+	}
 
 	writeSummary(&b, "apply_latency_seconds", "Event submission to all-switches-applied latency.", "", snap.Latency)
 
@@ -91,6 +108,12 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "# HELP camus_tenant_pending Fairness-queue depth per tenant.\n# TYPE camus_tenant_pending gauge\n")
 	for _, t := range tenants {
 		fmt.Fprintf(&b, "camus_tenant_pending{tenant=\"%s\"} %d\n", labelEscaper.Replace(t.Name), t.Pending)
+	}
+	if snap.Covering {
+		fmt.Fprintf(&b, "# HELP camus_tenant_covered Live subscriptions whose access-port entry is elided by covering, per tenant.\n# TYPE camus_tenant_covered gauge\n")
+		for _, t := range tenants {
+			fmt.Fprintf(&b, "camus_tenant_covered{tenant=\"%s\"} %d\n", labelEscaper.Replace(t.Name), t.Covered)
+		}
 	}
 	fmt.Fprintf(&b, "# HELP camus_tenant_events_total Dispatched events per tenant.\n# TYPE camus_tenant_events_total counter\n")
 	for _, t := range tenants {

@@ -314,6 +314,61 @@ func TestTenantNameValidationAndEscaping(t *testing.T) {
 	}
 }
 
+// TestMetricsCovering: under WithCovering the exposition gains the
+// covering families, including the per-tenant covered-subscription
+// gauge (registry state, so visible as soon as the subscribe returns).
+func TestMetricsCovering(t *testing.T) {
+	_, ts := newDaemon(t, server.WithService(ctlplane.WithCovering(0)),
+		server.WithTenancy(ctlplane.WithAutoCreate()))
+	base := ts.URL
+
+	// acme's narrow refinement is covered by its broad filter; the other
+	// tenant holds an unrelated, uncovered subscription.
+	status, raw := do(t, http.MethodPost, base+"/v1/tenants/acme/subscriptions",
+		map[string]any{"host": 0, "filters": []string{"stock == GOOGL", "stock == GOOGL and price > 500"}})
+	if status != http.StatusOK {
+		t.Fatalf("subscribe: status %d\n%s", status, raw)
+	}
+	status, raw = do(t, http.MethodPost, base+"/v1/tenants/beta/subscriptions",
+		map[string]any{"host": 5, "filters": []string{"stock == MSFT"}})
+	if status != http.StatusOK {
+		t.Fatalf("subscribe: status %d\n%s", status, raw)
+	}
+
+	status, raw = do(t, http.MethodGet, base+"/metrics", nil)
+	if status != http.StatusOK {
+		t.Fatalf("metrics: status %d", status)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"camus_cover_entries ",
+		"camus_cover_obligations ",
+		"camus_cover_savings_ratio ",
+		"camus_cover_captures_total ",
+		"camus_cover_promotions_total ",
+		`camus_tenant_covered{tenant="acme"} 1`,
+		`camus_tenant_covered{tenant="beta"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics exposition missing %q\n%s", want, body)
+		}
+	}
+	// The lifetime counter must have recorded the elided narrow install.
+	if strings.Contains(body, "camus_cover_covered_adds_total 0\n") ||
+		!strings.Contains(body, "camus_cover_covered_adds_total ") {
+		t.Errorf("camus_cover_covered_adds_total missing or zero after a covered subscribe\n%s", body)
+	}
+	// Without covering the families must stay absent (series hygiene).
+	_, plain := newDaemon(t)
+	status, raw = do(t, http.MethodGet, plain.URL+"/metrics", nil)
+	if status != http.StatusOK {
+		t.Fatalf("metrics: status %d", status)
+	}
+	if strings.Contains(string(raw), "camus_cover_") || strings.Contains(string(raw), "camus_tenant_covered") {
+		t.Error("covering series exposed without WithCovering")
+	}
+}
+
 // TestHTTPCrashRecovery certifies the daemon's restart path end to end:
 // churn over HTTP into a durable log, kill the daemon (torn record at
 // the tail), boot a fresh daemon over the same log, and require

@@ -92,6 +92,11 @@ type Config struct {
 	// Seed makes retry jitter reproducible (0 seeds from switch IDs
 	// only).
 	Seed int64
+	// Covering enables subsumption-aware state reduction (see
+	// WithCovering); CoverMaxNodes bounds each implication diagram
+	// (≤ 0 selects cover.DefaultMaxNodes).
+	Covering      bool
+	CoverMaxNodes int
 }
 
 func (c Config) withDefaults() Config {
@@ -543,6 +548,16 @@ func (s *Service) HostFilters() []HostFilter {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.rec.HostFilters()
+}
+
+// CoveredFilters returns the live filter IDs whose access-port entry
+// is elided under covering mode (nil when covering is off). Tenant
+// accounting uses this to report per-tenant covered-subscription
+// counts.
+func (s *Service) CoveredFilters() map[int]bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec.CoveredFilters()
 }
 
 // Close stops the apply workers. Pending batches not yet drained are

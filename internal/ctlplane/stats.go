@@ -52,6 +52,26 @@ type Snapshot struct {
 	// PeakQueueDepth the high-water mark (bounded by MaxPending).
 	QueueDepth     int
 	PeakQueueDepth int
+	// Covering telemetry (WithCovering; all zero when covering is
+	// off): CoverEntries is the number of installed forest roots —
+	// the actual table rules — and CoverObligations the number of
+	// covered filters elided from the tables. Full installation would
+	// use CoverEntries+CoverObligations rules; CoverSavingsRatio is
+	// the elided fraction CoverObligations / (CoverEntries +
+	// CoverObligations).
+	// CoveredAdds/CoverCaptures/CoverPromotions are lifetime totals
+	// (cover.Counters): installs elided because an existing root
+	// covered the new filter, entries removed because a broader new
+	// root captured them, and children re-installed by uncoverings.
+	// Monotone — they prove covering did work even when the live set
+	// momentarily holds no implication pair and the gauges read zero.
+	Covering          bool
+	CoverEntries      int
+	CoverObligations  int
+	CoverSavingsRatio float64
+	CoveredAdds       int64
+	CoverCaptures     int64
+	CoverPromotions   int64
 	// Latency is the event→all-switches-applied distribution.
 	Latency LatencyStats
 }
@@ -80,6 +100,17 @@ func (s *Service) Stats() Snapshot {
 	s.mu.Lock()
 	snap.QueueDepth = s.inflight
 	snap.PeakQueueDepth = s.peakDepth
+	if s.rec.Covering() {
+		snap.Covering = true
+		snap.CoverEntries, snap.CoverObligations = s.rec.CoverStats()
+		if total := snap.CoverEntries + snap.CoverObligations; total > 0 {
+			snap.CoverSavingsRatio = float64(snap.CoverObligations) / float64(total)
+		}
+		ctr := s.rec.CoverTotals()
+		snap.CoveredAdds = ctr.CoveredAdds
+		snap.CoverCaptures = ctr.Captures
+		snap.CoverPromotions = ctr.Promotions
+	}
 	lat := append([]float64(nil), s.latency...)
 	s.mu.Unlock()
 	if len(lat) > 0 {

@@ -56,6 +56,9 @@ type TenantSnapshot struct {
 	// admitted events waiting in the fairness queue.
 	Live    int `json:"live"`
 	Pending int `json:"pending"`
+	// Covered counts live subscriptions whose access-port entry is
+	// elided under covering mode (0 when covering is off).
+	Covered int `json:"covered"`
 	// Subscribes / Unsubscribes count dispatched events since start
 	// (replayed history is not re-counted).
 	Subscribes   int64 `json:"subscribes"`
@@ -580,28 +583,30 @@ func (t *Tenants) Replay() (int, error) {
 
 // Snapshot returns one tenant's counters.
 func (t *Tenants) Snapshot(name string) (TenantSnapshot, error) {
+	covered := t.svc.CoveredFilters() // before t.mu: Service.mu is never taken under t.mu
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	tn, ok := t.byName[name]
 	if !ok {
 		return TenantSnapshot{}, fmt.Errorf("%w: %q", ErrUnknownTenant, name)
 	}
-	return t.snapshotLocked(tn), nil
+	return t.snapshotLocked(tn, covered), nil
 }
 
 // Snapshots returns every tenant's counters, sorted by name.
 func (t *Tenants) Snapshots() []TenantSnapshot {
+	covered := t.svc.CoveredFilters() // before t.mu: Service.mu is never taken under t.mu
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := make([]TenantSnapshot, 0, len(t.byName))
 	for _, name := range t.order {
-		out = append(out, t.snapshotLocked(t.byName[name]))
+		out = append(out, t.snapshotLocked(t.byName[name], covered))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
-func (t *Tenants) snapshotLocked(tn *tenant) TenantSnapshot {
+func (t *Tenants) snapshotLocked(tn *tenant, covered map[int]bool) TenantSnapshot {
 	snap := TenantSnapshot{
 		Name:          tn.name,
 		Quota:         tn.quota,
@@ -611,6 +616,11 @@ func (t *Tenants) snapshotLocked(tn *tenant) TenantSnapshot {
 		Unsubscribes:  tn.unsubscribes,
 		RejectedQuota: tn.rejectedQuota,
 		RejectedRate:  tn.rejectedRate,
+	}
+	for id := range tn.live {
+		if covered[id] {
+			snap.Covered++
+		}
 	}
 	if tn.latency.N() > 0 {
 		snap.Latency = LatencyStats{

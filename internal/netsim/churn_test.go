@@ -143,6 +143,16 @@ func deliverySet(ds []HostDelivery) string {
 // deployment of the surviving subscriptions. Returns the service stats.
 func runChurn(t *testing.T, events int, seed int64, validator ctlplane.Validator, extra ...ctlplane.Option) ctlplane.Snapshot {
 	t.Helper()
+	return runChurnMode(t, events, seed, false, validator, extra...)
+}
+
+// runChurnMode is runChurn with the workload mode exposed: coverHeavy
+// generates the Zipf-nested refinement-chain pool (workload.CoverChains)
+// instead of independent Siena filters. The final delivery comparison
+// against a fresh full-installation batch deploy doubles as the
+// covering == full certification when the service runs WithCovering.
+func runChurnMode(t *testing.T, events int, seed int64, coverHeavy bool, validator ctlplane.Validator, extra ...ctlplane.Option) ctlplane.Snapshot {
+	t.Helper()
 	net := topology.MustFatTree(4)
 	ropts := routing.Options{Policy: routing.TrafficReduction, Alpha: 10}
 	d, err := controller.Deploy(net, itchSpec, make([][]subscription.Expr, len(net.Hosts)),
@@ -169,7 +179,7 @@ func runChurn(t *testing.T, events int, seed int64, validator ctlplane.Validator
 
 	evs, err := workload.Churn(workload.ChurnConfig{
 		Spec: itchSpec, Hosts: len(net.Hosts), Events: events,
-		PoolSize: 40, Seed: seed,
+		PoolSize: 40, CoverHeavy: coverHeavy, Seed: seed,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -38,6 +38,13 @@ type ChurnConfig struct {
 	AddFraction float64
 	// ZipfS is the Zipf skew over the pool (default 1.2, s > 1).
 	ZipfS float64
+	// CoverHeavy switches pool generation (when Pool is nil) from
+	// independent Siena filters to Zipf-nested refinement chains
+	// (CoverChains): broad filters sit at the popular front of the
+	// pool with refinement tails behind them, so the stream exercises
+	// subsumption covering. CoverDepth is the chain length (default 4).
+	CoverHeavy bool
+	CoverDepth int
 	// Seed makes the stream deterministic.
 	Seed int64
 }
@@ -87,7 +94,20 @@ func Churn(cfg ChurnConfig) ([]ChurnEvent, error) {
 	pool := cfg.Pool
 	if pool == nil {
 		var err error
-		pool, err = Siena(SienaConfig{Spec: cfg.Spec, Filters: cfg.PoolSize, Seed: cfg.Seed})
+		if cfg.CoverHeavy {
+			depth := cfg.CoverDepth
+			if depth <= 0 {
+				depth = 4
+			}
+			pool, err = CoverChains(CoverChainsConfig{
+				Spec:   cfg.Spec,
+				Chains: (cfg.PoolSize + depth - 1) / depth,
+				Depth:  depth,
+				Seed:   cfg.Seed,
+			})
+		} else {
+			pool, err = Siena(SienaConfig{Spec: cfg.Spec, Filters: cfg.PoolSize, Seed: cfg.Seed})
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"camus/internal/spec"
+	"camus/internal/subscription"
+)
+
+// CoverChainsConfig parameterizes the covering-heavy generator:
+// Zipf-nested refinement chains in which every filter strictly implies
+// the previous level of its chain (`stock == S` ⊒ `stock == S and
+// price > t` ⊒ `stock == S and price > t+Step` ...), so a
+// subsumption-aware control plane can cover most of the pool under a
+// few broad roots. Chain base symbols are drawn Zipf-skewed, making
+// cross-chain covering common too.
+type CoverChainsConfig struct {
+	// Spec is the message spec filters are generated against
+	// (required; needs at least one numeric subscribable field).
+	Spec *spec.Spec
+	// Chains is the number of refinement chains (default 16).
+	Chains int
+	// Depth is the number of nesting levels per chain (default 4).
+	Depth int
+	// Symbols is the universe of chain base symbols (default
+	// DefaultSymbols(Chains)), used when the spec has a string field.
+	Symbols []string
+	// Step is the threshold spacing between nesting levels (default
+	// 100). Keep it ≥ the routing α so approximation does not collapse
+	// adjacent levels into identical expressions — collapsed levels
+	// dedup in full mode and the covering reduction would be invisible.
+	Step int64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (c CoverChainsConfig) withDefaults() CoverChainsConfig {
+	if c.Chains <= 0 {
+		c.Chains = 16
+	}
+	if c.Depth <= 0 {
+		c.Depth = 4
+	}
+	if len(c.Symbols) == 0 {
+		c.Symbols = DefaultSymbols(c.Chains)
+	}
+	if c.Step <= 0 {
+		c.Step = 100
+	}
+	return c
+}
+
+// CoverChains generates Chains×Depth filters in level-major order: the
+// broad level-0 filters of every chain first, then level 1, and so on.
+// Zipf consumers that favor low pool indices (Churn) therefore
+// subscribe broad covering filters most often, with refinement tails
+// behind them — the covering-heavy regime.
+func CoverChains(cfg CoverChainsConfig) ([]subscription.Expr, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Spec == nil {
+		return nil, fmt.Errorf("workload: CoverChainsConfig.Spec required")
+	}
+	var stringField *spec.Field
+	var numeric []*spec.Field
+	for _, f := range cfg.Spec.SubscribableFields() {
+		if f.Type == spec.StringField {
+			if stringField == nil {
+				stringField = f
+			}
+		} else if f.Hint == spec.MatchRange {
+			// Exact-match numeric fields (flag bytes) can't carry the
+			// chains' threshold predicates.
+			numeric = append(numeric, f)
+		}
+	}
+	if len(numeric) == 0 {
+		return nil, fmt.Errorf("workload: spec %s has no range-matchable numeric field for refinement chains", cfg.Spec.Name)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(r, 1.2, 1, uint64(len(cfg.Symbols)-1))
+	parser := subscription.NewParser(cfg.Spec)
+
+	// Per-chain base: a Zipf-drawn symbol (broad equality) and a
+	// starting threshold, both multiples of Step so levels stay
+	// distinct after α-discretization.
+	type chain struct {
+		base string
+		t0   int64
+	}
+	// The chain's threshold field is the first numeric field with room
+	// for Depth distinct Step-spaced levels (flag-like fields such as a
+	// one-byte side indicator can't host a refinement chain).
+	var prim *spec.Field
+	var headroom int64
+	for _, f := range numeric {
+		if h := f.MaxValue() / cfg.Step; h >= int64(cfg.Depth)+1 {
+			prim, headroom = f, h
+			break
+		}
+	}
+	if prim == nil {
+		return nil, fmt.Errorf("workload: no numeric field in spec %s has range for %d levels of step %d", cfg.Spec.Name, cfg.Depth, cfg.Step)
+	}
+	chains := make([]chain, cfg.Chains)
+	for i := range chains {
+		var base string
+		if stringField != nil {
+			base = fmt.Sprintf("%s == %s", stringField.Name, cfg.Symbols[int(zipf.Uint64())])
+		} else {
+			base = fmt.Sprintf("%s > %d", prim.Name, cfg.Step)
+		}
+		maxStart := headroom - int64(cfg.Depth)
+		if maxStart < 1 {
+			maxStart = 1
+		}
+		chains[i] = chain{base: base, t0: cfg.Step * (1 + r.Int63n(maxStart))}
+	}
+
+	out := make([]subscription.Expr, 0, cfg.Chains*cfg.Depth)
+	for level := 0; level < cfg.Depth; level++ {
+		for _, c := range chains {
+			terms := []string{c.base}
+			if level > 0 {
+				terms = append(terms, fmt.Sprintf("%s > %d", prim.Name, c.t0+int64(level-1)*cfg.Step))
+			}
+			// The deepest level narrows on a second field when the
+			// spec has one with room, exercising multi-field implication.
+			if level == cfg.Depth-1 {
+				for _, f := range numeric {
+					if f != prim && f.MaxValue() >= 2*cfg.Step {
+						terms = append(terms, fmt.Sprintf("%s > %d", f.Name, cfg.Step))
+						break
+					}
+				}
+			}
+			src := strings.Join(terms, " and ")
+			e, err := parser.ParseFilter(src)
+			if err != nil {
+				return nil, fmt.Errorf("workload: generated filter %q: %w", src, err)
+			}
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"camus/internal/routing/cover"
+	"camus/internal/subscription"
+)
+
+func TestCoverChainsNested(t *testing.T) {
+	cfg := CoverChainsConfig{Spec: testSpec, Chains: 8, Depth: 4, Seed: 3}
+	pool, err := CoverChains(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool) != 8*4 {
+		t.Fatalf("pool size = %d, want %d", len(pool), 8*4)
+	}
+	// Determinism.
+	again, err := CoverChains(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(pool) != fmt.Sprint(again) {
+		t.Fatal("CoverChains not deterministic")
+	}
+	// Level-major layout: pool[level*Chains + c] is chain c at that
+	// level, and each level strictly implies the one above it.
+	im := cover.NewImplier(testSpec, 0)
+	for c := 0; c < cfg.Chains; c++ {
+		for level := 1; level < cfg.Depth; level++ {
+			narrow := pool[level*cfg.Chains+c]
+			broad := pool[(level-1)*cfg.Chains+c]
+			if !im.Implies(narrow, broad) {
+				t.Errorf("chain %d level %d: %q does not imply %q", c, level, narrow, broad)
+			}
+			if im.Implies(broad, narrow) {
+				t.Errorf("chain %d level %d: %q not strictly narrower than %q", c, level, narrow, broad)
+			}
+		}
+	}
+}
+
+func TestChurnCoverHeavyPool(t *testing.T) {
+	evs, err := Churn(ChurnConfig{
+		Spec: testSpec, Hosts: 8, Events: 200, PoolSize: 32, CoverHeavy: true, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 200 {
+		t.Fatalf("got %d events, want 200", len(evs))
+	}
+	// The stream must actually exercise subsumption: some subscribed
+	// filter strictly implies another subscribed filter.
+	im := cover.NewImplier(testSpec, 0)
+	seen := make(map[string]subscription.Expr)
+	for _, ev := range evs {
+		if ev.Add {
+			seen[ev.Filter.String()] = ev.Filter
+		}
+	}
+	for fk, f := range seen {
+		for gk, g := range seen {
+			if fk != gk && im.Implies(f, g) {
+				return // found a covering pair
+			}
+		}
+	}
+	t.Fatal("covering-heavy stream produced no subsumption pair")
+}
