@@ -2,15 +2,15 @@
 # leave `make check` green.
 GO ?= go
 
-.PHONY: check vet lint build test race bench bench-report perf-guard fuzz-smoke fuzz-extended vet-report churn-soak serve-soak soak prove netcheck
+.PHONY: check vet lint build test race bench bench-report perf-guard fuzz-smoke fuzz-extended vet-report churn-soak serve-soak soak prove netcheck fit
 
 ## check: the full tier-1 gate — vet, custom analyzers, build,
 ## race-enabled tests, a short churn soak, a serve soak of the
 ## multi-tenant daemon, a short fuzz smoke, a translation-validation
 ## pass over the shipped rules, a network-wide delivery certification
-## of the shipped rules, and a smoke run of the parallel dataplane
-## benchmark.
-check: vet lint build race churn-soak serve-soak fuzz-smoke prove netcheck bench
+## of the shipped rules, a static pipeline-fit certification of the
+## shipped rules, and a smoke run of the parallel dataplane benchmark.
+check: vet lint build race churn-soak serve-soak fuzz-smoke prove netcheck fit bench
 
 ## prove: certify the shipped sample rules with the translation
 ## validator (camusc prove), in both last-hop and upstream modes, and
@@ -36,6 +36,14 @@ netcheck:
 	$(GO) run ./cmd/camusc netcheck -spec cmd/camusc/testdata/itch.spec -rules cmd/camusc/testdata/itchfeed.rules
 	$(GO) run ./cmd/camusc netcheck -spec cmd/camusc/testdata/itch.spec -rules cmd/camusc/testdata/itch.rules -covering
 	$(GO) run ./cmd/camusc netcheck -spec cmd/camusc/testdata/itch.spec -rules cmd/camusc/testdata/itch.rules -topo mstpp -nodes 24 -covering
+
+## fit: static pipeline-fit certification (DESIGN.md §15) of the
+## shipped rule sets — every table must place within the modeled
+## per-stage SRAM/TCAM/key-width budgets in one pipeline pass, with
+## positive entry headroom. Exit 1 on any overflow finding.
+fit:
+	$(GO) run ./cmd/camusc fit -spec cmd/camusc/testdata/itch.spec -rules cmd/camusc/testdata/itch.rules
+	$(GO) run ./cmd/camusc fit -spec cmd/camusc/testdata/itch.spec -rules cmd/camusc/testdata/itchfeed.rules
 
 vet:
 	$(GO) vet ./...
@@ -71,19 +79,20 @@ bench:
 ## client-observed p50/p99 request latency over the HTTP API) plus the
 ## covering-heavy churn run (routing-entry reduction ratio).
 bench-report:
-	$(GO) test -run '^$$' -bench='SwitchParallel|Churn|CompileParallel|CtlplaneDaemon|Netcheck' -benchmem . | tee bench-report.txt
-	$(GO) run ./cmd/benchjson -filter 'CompileParallel|^Churn$$|Netcheck' -out BENCH_compile.json < bench-report.txt
+	$(GO) test -run '^$$' -bench='SwitchParallel|Churn|CompileParallel|CtlplaneDaemon|Netcheck|Fitcheck' -benchmem . | tee bench-report.txt
+	$(GO) run ./cmd/benchjson -filter 'CompileParallel|^Churn$$|Netcheck|Fitcheck' -out BENCH_compile.json < bench-report.txt
 	$(GO) run ./cmd/benchjson -filter 'SwitchParallel' -out BENCH_switch.json < bench-report.txt
 	$(GO) run ./cmd/benchjson -filter 'CtlplaneDaemon|CoverChurn' -out BENCH_ctlplane.json < bench-report.txt
 
 ## perf-guard: the CI allocation guard — run the two canonical
-## compiler benchmarks, the network-delivery verifier, and the
-## covering-heavy churn benchmark once and fail on a >2x allocs/op
-## regression against the checked-in baseline (perf-baseline.json).
-## BenchmarkCoverChurn also self-enforces its ≥2× entry-reduction bar.
+## compiler benchmarks, the network-delivery verifier, the static
+## fit analyzer, and the covering-heavy churn benchmark once and fail
+## on a >2x allocs/op regression against the checked-in baseline
+## (perf-baseline.json). BenchmarkCoverChurn also self-enforces its
+## ≥2× entry-reduction bar.
 perf-guard:
 	{ $(GO) test -run '^$$' -bench '^BenchmarkCompile500$$|^BenchmarkIncrementalAddOne$$' -benchtime 1x -benchmem ./internal/compiler; \
-	  $(GO) test -run '^$$' -bench '^BenchmarkNetcheck$$|^BenchmarkCoverChurn$$' -benchtime 1x -benchmem .; } \
+	  $(GO) test -run '^$$' -bench '^BenchmarkNetcheck$$|^BenchmarkCoverChurn$$|^BenchmarkFitcheck$$' -benchtime 1x -benchmem .; } \
 		| $(GO) run ./cmd/benchjson -baseline perf-baseline.json -max-ratio 2
 
 ## churn-soak: race-enabled soak of the live control plane — churn +
@@ -121,9 +130,9 @@ fuzz-extended:
 	$(GO) test ./internal/analysis/prove -run '^$$' -fuzz '^FuzzCompileProve$$' -fuzztime 300s
 
 ## vet-report: regenerate vet-report.txt by cross-running `camusc vet`
-## (rule self-consistency) and `camusc prove` (translation validation)
-## over the rule-verifier corpus (findings are the point, so exit 1 is
-## ok).
+## (rule self-consistency), `camusc prove` (translation validation) and
+## `camusc fit` (static pipeline-layout certification) over the
+## rule-verifier corpus (findings are the point, so exit 1 is ok).
 vet-report:
 	@rm -f vet-report.txt
 	@for f in internal/analysis/rulecheck/testdata/corpus/*.rules; do \
@@ -131,6 +140,8 @@ vet-report:
 		$(GO) run ./cmd/camusc vet -spec internal/analysis/rulecheck/testdata/corpus/market.spec -rules $$f >> vet-report.txt || true; \
 		echo "== camusc prove -spec market.spec -rules $$(basename $$f) ==" >> vet-report.txt; \
 		$(GO) run ./cmd/camusc prove -spec internal/analysis/rulecheck/testdata/corpus/market.spec -rules $$f >> vet-report.txt || true; \
+		echo "== camusc fit -spec market.spec -rules $$(basename $$f) ==" >> vet-report.txt; \
+		$(GO) run ./cmd/camusc fit -spec internal/analysis/rulecheck/testdata/corpus/market.spec -rules $$f >> vet-report.txt 2>&1 || true; \
 	done
 	@echo "== camusc vet -spec itch.spec -rules itch.rules ==" >> vet-report.txt
 	@$(GO) run ./cmd/camusc vet -spec cmd/camusc/testdata/itch.spec -rules cmd/camusc/testdata/itch.rules >> vet-report.txt || true
@@ -140,4 +151,6 @@ vet-report:
 	@$(GO) run ./cmd/camusc netcheck -spec cmd/camusc/testdata/itch.spec -rules cmd/camusc/testdata/itch.rules >> vet-report.txt || true
 	@echo "== camusc netcheck -spec itch.spec -rules itch.rules -topo mstpp ==" >> vet-report.txt
 	@$(GO) run ./cmd/camusc netcheck -spec cmd/camusc/testdata/itch.spec -rules cmd/camusc/testdata/itch.rules -topo mstpp -nodes 24 -alpha 100 >> vet-report.txt || true
+	@echo "== camusc fit -spec itch.spec -rules itch.rules ==" >> vet-report.txt
+	@$(GO) run ./cmd/camusc fit -spec cmd/camusc/testdata/itch.spec -rules cmd/camusc/testdata/itch.rules >> vet-report.txt || true
 	@cat vet-report.txt

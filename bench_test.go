@@ -24,6 +24,7 @@ import (
 	"testing"
 	"time"
 
+	"camus/internal/analysis/fitcheck"
 	"camus/internal/analysis/netcheck"
 	"camus/internal/analysis/prove"
 	"camus/internal/compiler"
@@ -553,6 +554,42 @@ func BenchmarkAblationExactMatch(b *testing.B) {
 // from every ingress and discharges the black-hole / loop / exact-
 // delivery obligations; the classes metric records the per-run class
 // count so verifier cost stays attributable.
+// BenchmarkFitcheck — the static pipeline-layout analyzer over a
+// compiled 2000-rule program: placement, per-dimension verdicts, and
+// the per-table headroom search (the dominant cost — one binary search
+// of re-placements per table). Guarded in perf-guard via
+// perf-baseline.json.
+func BenchmarkFitcheck(b *testing.B) {
+	p := subscription.NewParser(formats.ITCH)
+	syms := workload.DefaultSymbols(500)
+	r := rand.New(rand.NewSource(11))
+	rules := make([]*subscription.Rule, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		src := fmt.Sprintf("stock == %s and price > %d: fwd(%d)",
+			syms[r.Intn(len(syms))], (r.Intn(20)+1)*100, i%48)
+		rule, err := p.ParseRule(src, i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rules = append(rules, rule)
+	}
+	prog, err := compiler.Compile(formats.ITCH, rules, compiler.Options{LastHop: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var tables int
+	for i := 0; i < b.N; i++ {
+		l := fitcheck.Analyze(prog, fitcheck.Options{})
+		if !l.Fits() {
+			b.Fatalf("benchmark program overflows the default budget: %v", l.Findings)
+		}
+		tables = len(l.Tables)
+	}
+	b.ReportMetric(float64(tables), "tables")
+}
+
 func BenchmarkNetcheck(b *testing.B) {
 	net := topology.MustFatTree(4)
 	p := subscription.NewParser(formats.ITCH)

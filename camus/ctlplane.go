@@ -1,6 +1,7 @@
 package camus
 
 import (
+	"camus/internal/analysis/fitcheck"
 	"camus/internal/ctlplane"
 	"camus/internal/ctlplane/server"
 	"camus/internal/routing"
@@ -34,6 +35,15 @@ type (
 	// HostFilter is one live (filter, host) pair handed to a
 	// NetValidator.
 	HostFilter = ctlplane.HostFilter
+
+	// FitModel is the static pipeline-fit admission model: a cached
+	// fitcheck analyzer over installed programs. Construct with
+	// NewFitModel (default Tofino-class budget) or
+	// NewFitModelWith(budget).
+	FitModel = fitcheck.Model
+	// FitBudget is the per-stage/per-pipeline capacity envelope a
+	// FitModel checks against.
+	FitBudget = fitcheck.Budget
 
 	// Tenants layers namespaces, quotas, token-bucket admission and
 	// round-robin fairness over a ControlPlane.
@@ -86,6 +96,18 @@ var (
 	// its children in the same atomic batch (no delivery gap). The
 	// argument bounds each implication diagram (≤ 0 = default).
 	WithCovering = ctlplane.WithCovering
+	// WithAdmission enables static resource admission: every Subscribe
+	// is fit-checked against the model before any registry mutation,
+	// and oversized deltas fail with ErrAdmissionRejected, leaving all
+	// control-plane state untouched.
+	WithAdmission = ctlplane.WithAdmission
+	// NewFitModel builds a FitModel with the default Tofino-class
+	// budget.
+	NewFitModel = fitcheck.NewModel
+	// NewFitModelWith builds a FitModel with an explicit budget.
+	NewFitModelWith = fitcheck.NewModelWith
+	// DefaultFitBudget is the default Tofino-class FitBudget.
+	DefaultFitBudget = fitcheck.DefaultBudget
 	// ProveValidator builds a translation-validation Validator.
 	ProveValidator = ctlplane.ProveValidator
 	// NetcheckValidator builds a NetValidator that symbolically verifies
@@ -126,6 +148,9 @@ var (
 	ErrQuotaExceeded = ctlplane.ErrQuotaExceeded
 	// ErrRateLimited marks an empty token bucket.
 	ErrRateLimited = ctlplane.ErrRateLimited
+	// ErrAdmissionRejected marks a subscribe the fit model refused:
+	// the predicted entry delta would overflow a switch pipeline.
+	ErrAdmissionRejected = ctlplane.ErrAdmissionRejected
 )
 
 // NewControlPlane builds the live control plane for a network and

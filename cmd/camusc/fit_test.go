@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFitCleanExamples is the acceptance gate: the shipped rule files
+// certify clean under the default pipeline budget.
+func TestFitCleanExamples(t *testing.T) {
+	for _, rules := range []string{"itch.rules", "itchfeed.rules"} {
+		t.Run(rules, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			code := runFit([]string{
+				"-spec", filepath.Join("testdata", "itch.spec"),
+				"-rules", filepath.Join("testdata", rules),
+			}, &out, &errb)
+			if code != 0 {
+				t.Fatalf("exit code = %d, want 0; stderr: %s\nstdout: %s", code, errb.String(), out.String())
+			}
+			if !strings.Contains(out.String(), "fit certificate:") {
+				t.Errorf("expected a fit certificate, got: %s", out.String())
+			}
+			if !strings.Contains(out.String(), "stage  0") {
+				t.Errorf("expected a per-stage utilization table, got: %s", out.String())
+			}
+		})
+	}
+}
+
+// TestFitJSON checks the machine-readable envelope: findings plus the
+// full layout (stages, tables, headroom).
+func TestFitJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := runFit([]string{
+		"-spec", filepath.Join("testdata", "itch.spec"),
+		"-rules", filepath.Join("testdata", "itch.rules"),
+		"-json",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, errb.String())
+	}
+	var rep struct {
+		Tool     string `json:"tool"`
+		Rules    int    `json:"rules"`
+		Findings []any  `json:"findings"`
+		Layout   struct {
+			Passes int `json:"passes"`
+			Tables []struct {
+				Name     string `json:"name"`
+				Headroom int    `json:"headroom"`
+			} `json:"tables"`
+			Stages []any `json:"stages"`
+		} `json:"layout"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if rep.Tool != "camusc-fit" || rep.Rules != 5 || len(rep.Findings) != 0 {
+		t.Errorf("envelope = tool=%q rules=%d findings=%d, want camusc-fit/5/0", rep.Tool, rep.Rules, len(rep.Findings))
+	}
+	if rep.Layout.Passes != 1 || len(rep.Layout.Stages) == 0 || len(rep.Layout.Tables) == 0 {
+		t.Errorf("layout missing: %+v", rep.Layout)
+	}
+	for _, tf := range rep.Layout.Tables {
+		if tf.Headroom <= 0 {
+			t.Errorf("table %s headroom = %d, want > 0", tf.Name, tf.Headroom)
+		}
+	}
+}
+
+// TestFitOverflowExit: shrinking the stage budget below the chain's
+// demand must produce findings and exit 1.
+func TestFitOverflowExit(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := runFit([]string{
+		"-spec", filepath.Join("testdata", "itch.spec"),
+		"-rules", filepath.Join("testdata", "itch.rules"),
+		"-stages", "2", "-recirc", "0",
+	}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "error: pipeline needs") {
+		t.Errorf("expected a fit-stages finding, got: %s", out.String())
+	}
+}
+
+// TestFitUsageExit: missing arguments exit 2.
+func TestFitUsageExit(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := runFit(nil, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}

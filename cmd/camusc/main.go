@@ -10,6 +10,7 @@
 //	camusc vet -spec itch.spec -rules feeds.rules [-json]
 //	camusc prove -spec itch.spec -rules feeds.rules [-json] [-last-hop=false]
 //	camusc netcheck -spec itch.spec -rules feeds.rules [-json] [-topo fattree|mstpp]
+//	camusc fit -spec itch.spec -rules feeds.rules [-json] [-last-hop=false]
 //
 // The vet subcommand runs the rule-program verifier instead of the
 // compiler: it reports unsatisfiable filters, fully shadowed rules,
@@ -28,6 +29,13 @@
 // packet class is symbolically propagated from every ingress, proving
 // the delivery-set invariants (no black holes, no loops, exact
 // delivery) end-to-end. See internal/analysis/netcheck.
+//
+// The fit subcommand is the static pipeline-layout analyzer: it packs
+// the compiled tables into the modeled match-action pipeline under
+// per-stage SRAM/TCAM/key-width budgets (with recirculation passes
+// when one pipe is not enough) and reports the per-dimension fit
+// verdict, the per-stage utilization, and each table's remaining entry
+// headroom. See internal/analysis/fitcheck.
 //
 // All subcommands share one exit-code contract (see
 // internal/analysis/report): 0 clean, 1 when any finding is reported,
@@ -55,6 +63,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "netcheck" {
 		os.Exit(runNetcheck(os.Args[2:], os.Stdout, os.Stderr))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "fit" {
+		os.Exit(runFit(os.Args[2:], os.Stdout, os.Stderr))
 	}
 	runCompile()
 }

@@ -8,7 +8,7 @@
 //	camusd [-addr :8080] [-k 4] [-policy tr|mr] [-alpha 0]
 //	       [-log camusd.log] [-validate-every 16] [-netcheck-every 1]
 //	       [-queue 1024] [-max-subs 0] [-rate 0] [-burst 0]
-//	       [-no-auto-create] [-covering] [-seed 1]
+//	       [-no-auto-create] [-covering] [-admission] [-seed 1]
 //
 // The daemon fronts a simulated fat-tree deployment (internal/netsim):
 // every accepted subscription is compiled incrementally and hot-swapped
@@ -49,6 +49,7 @@ func main() {
 	burst := flag.Int("burst", 0, "default per-tenant admission burst (0 = rate-derived)")
 	noAutoCreate := flag.Bool("no-auto-create", false, "refuse unknown tenants instead of creating them on first use")
 	covering := flag.Bool("covering", false, "subsumption-aware state reduction: install entries only for covering filters (DESIGN.md §14)")
+	admission := flag.Bool("admission", false, "static fit admission: reject subscribes whose predicted entry delta would overflow a switch pipeline (DESIGN.md §15)")
 	seed := flag.Int64("seed", 1, "retry-jitter seed")
 	flag.Parse()
 
@@ -89,6 +90,9 @@ func main() {
 	}
 	if *covering {
 		svcOpts = append(svcOpts, camus.WithCovering(0))
+	}
+	if *admission {
+		svcOpts = append(svcOpts, camus.WithAdmission(camus.NewFitModel()))
 	}
 	tenantOpts := []camus.TenantOption{
 		camus.WithDefaultQuota(camus.TenantQuota{

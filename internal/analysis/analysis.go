@@ -153,6 +153,7 @@ func All() []*Analyzer {
 		OptionsOnlyAnalyzer,
 		AtomicMixAnalyzer,
 		LockSendAnalyzer,
+		FitGateAnalyzer,
 	}
 }
 

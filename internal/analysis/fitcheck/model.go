@@ -1,0 +1,123 @@
+package fitcheck
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"camus/internal/compiler"
+	"camus/internal/subscription"
+)
+
+// ErrNoHeadroom is the sentinel wrapped by Model.Admit when a delta
+// does not fit: either the installed program already overflows, or the
+// tightest table lacks the headroom the delta needs.
+var ErrNoHeadroom = errors.New("insufficient pipeline headroom")
+
+// Model is a concurrency-safe admission oracle over fitcheck layouts.
+// It caches the layout per *compiler.Program (programs are immutable
+// once installed — the incremental compiler always produces a new
+// Program value), so repeated Admit/Layout calls against an unchanged
+// switch are map lookups.
+type Model struct {
+	budget Budget
+
+	mu    sync.Mutex
+	cache map[*compiler.Program]*Layout
+}
+
+// NewModel returns a Model over DefaultBudget.
+func NewModel() *Model { return NewModelWith(DefaultBudget()) }
+
+// NewModelWith returns a Model over the given budget.
+func NewModelWith(b Budget) *Model {
+	if b.Stages == 0 {
+		b = DefaultBudget()
+	}
+	return &Model{budget: b, cache: make(map[*compiler.Program]*Layout)}
+}
+
+// Budget returns the pipeline model in force.
+func (m *Model) Budget() Budget { return m.budget }
+
+// Layout returns the (cached) placement of prog. A nil prog — a switch
+// with nothing installed yet — returns nil.
+func (m *Model) Layout(prog *compiler.Program) *Layout {
+	if prog == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if l, ok := m.cache[prog]; ok {
+		return l
+	}
+	// Cap the cache: layouts are small but programs churn. One live
+	// program per switch is the steady state; flush on excess.
+	if len(m.cache) > 1024 {
+		m.cache = make(map[*compiler.Program]*Layout)
+	}
+	l := Analyze(prog, Options{Budget: m.budget})
+	m.cache[prog] = l
+	return l
+}
+
+// Admit reports whether adding extraEntries worst-case entries on top
+// of prog still fits the pipeline. nil error = admitted. A nil prog
+// admits anything that fits an empty pipe (it does, by construction).
+func (m *Model) Admit(prog *compiler.Program, extraEntries int) error {
+	if prog == nil {
+		return nil
+	}
+	l := m.Layout(prog)
+	if !l.Fits() {
+		return fmt.Errorf("%w: installed program already overflows (%s)",
+			ErrNoHeadroom, firstError(l))
+	}
+	if h := l.MinHeadroom(); h < extraEntries {
+		return fmt.Errorf("%w: delta needs %d entries, tightest table has headroom %d",
+			ErrNoHeadroom, extraEntries, h)
+	}
+	return nil
+}
+
+func firstError(l *Layout) string {
+	for _, f := range l.Findings {
+		if f.Severity == "error" {
+			return string(f.Kind)
+		}
+	}
+	return "overflow"
+}
+
+// EntryEstimate conservatively bounds the table entries one new filter
+// can add to a switch: one entry per atom in the expression (each atom
+// lands at most one row in its field's stage table, counting every
+// Or-branch), plus a validity-guard entry and the leaf row. It
+// deliberately over-counts — admission must reject before compiling,
+// so it can only see the expression, not the BDD sharing.
+func EntryEstimate(expr subscription.Expr) int {
+	return countAtoms(expr) + 2
+}
+
+func countAtoms(e subscription.Expr) int {
+	switch e := e.(type) {
+	case *subscription.Atom:
+		return 1
+	case *subscription.And:
+		n := 0
+		for _, t := range e.Terms {
+			n += countAtoms(t)
+		}
+		return n
+	case *subscription.Or:
+		n := 0
+		for _, t := range e.Terms {
+			n += countAtoms(t)
+		}
+		return n
+	case *subscription.Not:
+		return countAtoms(e.Term)
+	default:
+		return 0
+	}
+}

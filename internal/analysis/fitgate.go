@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// compilerPath is the package whose outputs the fit gate tracks.
+const compilerPath = "camus/internal/compiler"
+
+// FitGateAnalyzer enforces the control plane's admission discipline:
+// inside ctlplane packages, a program freshly produced by
+// compiler.Compile (or an Incremental.Apply update) must not flow into
+// an Install call unless the same function also runs a fit-admission
+// check (a Model.Admit / Service.admit call). Installing an unchecked
+// compile is exactly the bug WithAdmission exists to prevent — the
+// table entries land on the switch before anyone asked whether the
+// pipeline can hold them, and the overflow is discovered by the
+// hardware instead of the fit model. The live service stays clean by
+// construction: Subscribe admits the predicted delta before any
+// registry mutation, so by the time a worker compiles and installs, the
+// entries were already accounted for — Install sites there receive the
+// program as a parameter, not from a same-function compile.
+//
+// The analysis is intra-procedural and syntactic in the same spirit as
+// camus-locksend: values assigned from a taint source are tracked
+// through direct assignments and field selections within one function
+// body (closures are scanned separately and do not inherit taint), and
+// an Admit/admit call anywhere in the function discharges the
+// obligation.
+var FitGateAnalyzer = &Analyzer{
+	Name: "camus-fitgate",
+	Doc:  "flag freshly compiled programs reaching Install without a fit-admission check in ctlplane paths",
+	Run:  runFitGate,
+}
+
+func runFitGate(pass *Pass) {
+	path := pass.PkgPath()
+	if !strings.Contains(path, "/ctlplane") && !strings.HasSuffix(path, "/fitgate") {
+		return
+	}
+	for _, file := range pass.Pkg.Syntax {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFitGate(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				// A closure is its own gate scope: taint does not flow in
+				// through captured variables (the capture site is the
+				// caller's obligation), and an Admit inside the closure
+				// does not discharge the caller's.
+				checkFitGate(pass, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// checkFitGate scans one function body: collects program values tainted
+// by compiler.Compile / Incremental.Apply, notes whether any admission
+// check runs, and reports Install calls fed a tainted value when none
+// does.
+func checkFitGate(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo()
+	tainted := make(map[types.Object]bool)
+	admitted := false
+	var installs []*ast.CallExpr
+
+	inBody := func(n ast.Node, visit func(ast.Node) bool) {
+		first := true
+		ast.Inspect(n, func(m ast.Node) bool {
+			if _, isLit := m.(*ast.FuncLit); isLit && !first {
+				return false // nested closures are scanned separately
+			}
+			first = false
+			return visit(m)
+		})
+	}
+
+	inBody(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			// x, err := compiler.Compile(...) / up, err := inc.Apply(...)
+			if len(s.Rhs) == 1 {
+				if call, ok := s.Rhs[0].(*ast.CallExpr); ok && fitTaintSource(info, call) {
+					taintIdent(info, tainted, s.Lhs[0])
+					return true
+				}
+			}
+			// prog := up.Program (and other direct propagation)
+			for i, rhs := range s.Rhs {
+				if i < len(s.Lhs) && rootTainted(info, tainted, rhs) {
+					taintIdent(info, tainted, s.Lhs[i])
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := s.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Admit", "admit":
+					admitted = true
+				case "Install":
+					installs = append(installs, s)
+				}
+			}
+		}
+		return true
+	})
+
+	if admitted {
+		return
+	}
+	for _, call := range installs {
+		for _, arg := range call.Args {
+			if rootTainted(info, tainted, arg) {
+				pass.Reportf(call.Pos(),
+					"freshly compiled program %s reaches Install without a fit-admission check (run Model.Admit first)",
+					exprString(arg))
+				break
+			}
+		}
+	}
+}
+
+// fitTaintSource recognizes the two compile entry points whose results
+// must be admitted before install: the package function
+// compiler.Compile* and the (*compiler.Incremental).Apply method.
+func fitTaintSource(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if s, found := info.Selections[sel]; found {
+		return sel.Sel.Name == "Apply" && namedType(s.Recv(), compilerPath, "Incremental")
+	}
+	if fn, ok := info.Uses[sel.Sel].(*types.Func); ok {
+		return strings.HasPrefix(fn.Name(), "Compile") &&
+			fn.Pkg() != nil && fn.Pkg().Path() == compilerPath
+	}
+	return false
+}
+
+// taintIdent marks the object behind one assignment target.
+func taintIdent(info *types.Info, tainted map[types.Object]bool, e ast.Expr) {
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := info.ObjectOf(id); obj != nil {
+			tainted[obj] = true
+		}
+	}
+}
+
+// rootTainted reports whether e is a tainted identifier or a selection
+// rooted at one (up.Program is tainted when up is).
+func rootTainted(info *types.Info, tainted map[types.Object]bool, e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := info.ObjectOf(x)
+			return obj != nil && tainted[obj]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}

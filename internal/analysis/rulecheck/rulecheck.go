@@ -6,6 +6,7 @@
 //
 //   - unsatisfiable: the rule's marker reaches no terminal — no packet
 //     can ever match the filter;
+//
 //   - shadowed: at every terminal carrying the rule's marker, earlier
 //     rules are present too AND their merged actions already subsume
 //     this rule's action — the filter is implied by the union of the
@@ -15,6 +16,7 @@
 //     action to some region is NOT shadowed: it still shapes forwarding
 //     (itch.rules' aggregate rule fwd(5) under the broader GOOGL fwd(2)
 //     rule is the canonical example);
+//
 //   - redundant: a strictly sharper diagnosis of shadowing — some
 //     single earlier rule with the identical action is present at every
 //     terminal the rule reaches, i.e. the filter is implied by that one
@@ -54,6 +56,7 @@ import (
 	"strconv"
 	"strings"
 
+	"camus/internal/analysis/fitcheck"
 	"camus/internal/analysis/report"
 	"camus/internal/bdd"
 	"camus/internal/compiler"
@@ -308,12 +311,18 @@ func verifyTable(sp *spec.Spec, file string, rules []*subscription.Rule, ruleLin
 	}
 
 	// The real compile pass (validity guards, table layout) reports
-	// resource overflow on the table as written.
-	if prog, err := compiler.Compile(sp, rules, compiler.Options{}); err == nil && !prog.Resources.Fits() {
-		out = append(out, Finding{
-			Tool: Tool, File: file, RuleID: -1, Kind: KindResources, Severity: SevWarning,
-			Message: fmt.Sprintf("compiled table exceeds the modeled switch resources: %s", prog.Resources),
-		})
+	// resource overflow on the table as written. Delegate the verdict
+	// to fitcheck's per-stage placement model, compiling for a last-hop
+	// switch: that placement realizes the stateful (aggregate) stages,
+	// so it is the largest the rules demand anywhere in the network.
+	if prog, err := compiler.Compile(sp, rules, compiler.Options{LastHop: true}); err == nil {
+		l := fitcheck.Analyze(prog, fitcheck.Options{File: file, SkipHeadroom: true})
+		for _, f := range l.Findings {
+			out = append(out, Finding{
+				Tool: Tool, File: file, RuleID: -1, Kind: KindResources, Severity: f.Severity,
+				Message: fmt.Sprintf("compiled table exceeds the modeled switch resources: %s (%s)", f.Message, f.Kind),
+			})
+		}
 	}
 	return out
 }

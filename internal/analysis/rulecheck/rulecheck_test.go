@@ -173,6 +173,24 @@ func TestSeededFindingsDetected(t *testing.T) {
 	if unk.Rules != 1 {
 		t.Errorf("unknown.rules: %d rules survived parsing (want 1: the clean control)", unk.Rules)
 	}
+
+	// The resources entry compiles fine but demands five distinct
+	// aggregate windows — one more than the modeled stateful registers.
+	// The verdict is delegated to fitcheck's per-stage placement model.
+	res := read("resources.rules")
+	if n := countKind(res, KindResources); n != 1 {
+		t.Errorf("resources.rules: %d resources findings (want 1)", n)
+	}
+	for _, f := range res.Findings {
+		if f.Kind == KindResources {
+			if f.Severity != SevError {
+				t.Errorf("resources finding severity = %s, want error", f.Severity)
+			}
+			if !strings.Contains(f.Message, "fit-registers") {
+				t.Errorf("resources finding must carry the fit dimension, got: %s", f.Message)
+			}
+		}
+	}
 }
 
 // TestRepoExamplesClean asserts the repo's own shipped rule files carry

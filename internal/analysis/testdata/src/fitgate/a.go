@@ -1,0 +1,68 @@
+// Package fitgate is a fixture for the camus-fitgate analyzer: freshly
+// compiled programs must pass a fit-admission check before Install.
+package fitgate
+
+import (
+	"camus/internal/analysis/fitcheck"
+	"camus/internal/compiler"
+	"camus/internal/spec"
+	"camus/internal/subscription"
+)
+
+type installer interface {
+	Install(*compiler.Program) error
+}
+
+func installUnchecked(t installer, sp *spec.Spec, rules []*subscription.Rule) error {
+	prog, err := compiler.Compile(sp, rules, compiler.Options{})
+	if err != nil {
+		return err
+	}
+	return t.Install(prog) // want `freshly compiled program prog reaches Install without a fit-admission check`
+}
+
+func installUncheckedUpdate(t installer, inc *compiler.Incremental, add []*subscription.Rule) error {
+	up, err := inc.Apply(add, nil)
+	if err != nil {
+		return err
+	}
+	return t.Install(up.Program) // want `freshly compiled program up\.Program reaches Install without a fit-admission check`
+}
+
+func installPropagated(t installer, inc *compiler.Incremental, add []*subscription.Rule) error {
+	up, err := inc.Apply(add, nil)
+	if err != nil {
+		return err
+	}
+	prog := up.Program
+	return t.Install(prog) // want `freshly compiled program prog reaches Install without a fit-admission check`
+}
+
+func installAdmitted(t installer, m *fitcheck.Model, sp *spec.Spec, rules []*subscription.Rule) error {
+	prog, err := compiler.Compile(sp, rules, compiler.Options{})
+	if err != nil {
+		return err
+	}
+	if err := m.Admit(prog, 0); err != nil {
+		return err
+	}
+	return t.Install(prog) // admitted above: no finding
+}
+
+func installParameter(t installer, prog *compiler.Program) error {
+	// The program was compiled (and admitted) by the caller; the gate is
+	// the caller's obligation, exactly like the service's install worker.
+	return t.Install(prog)
+}
+
+func installClosureParameter(t installer, sp *spec.Spec, rules []*subscription.Rule) error {
+	prog, err := compiler.Compile(sp, rules, compiler.Options{})
+	if err != nil {
+		return err
+	}
+	do := func(p *compiler.Program) error {
+		return t.Install(p) // parameter inside the closure: caller's gate
+	}
+	_ = do
+	return t.Install(prog) // want `freshly compiled program prog reaches Install without a fit-admission check`
+}

@@ -3,6 +3,7 @@ package ctlplane
 import (
 	"time"
 
+	"camus/internal/analysis/fitcheck"
 	"camus/internal/compiler"
 	"camus/internal/routing"
 	"camus/internal/spec"
@@ -117,6 +118,22 @@ func WithCovering(maxNodes int) Option {
 		c.Covering = true
 		c.CoverMaxNodes = maxNodes
 	}
+}
+
+// WithAdmission enables static resource admission: before any registry
+// mutation, every Subscribe is fit-checked against the model — the
+// predicted per-switch entry delta (Reconciler.PredictAdd ×
+// fitcheck.EntryEstimate) must fit within each affected switch's
+// remaining pipeline headroom (fitcheck.Model.Admit over the installed
+// program's layout). Oversized deltas fail with ErrAdmissionRejected
+// and leave the registry, forests, and installed programs untouched.
+// Composes with WithCovering: filters the forests would elide predict
+// zero new entries and pass through. Snapshot gains
+// AdmissionChecks/AdmissionRejects counters plus the
+// FitHeadroomEntries/FitStageSRAMPct gauges. Pass fitcheck.NewModel()
+// for the default Tofino-class budget.
+func WithAdmission(m *fitcheck.Model) Option {
+	return func(c *Config) { c.Admission = m }
 }
 
 // WithSeed makes retry jitter reproducible (0 seeds from switch IDs

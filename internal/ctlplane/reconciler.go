@@ -351,6 +351,37 @@ func (r *Reconciler) coverOps(sc *swCompiler, port int, d cover.Delta) []RuleOp 
 // AddFilter registers one host subscription and returns its filter ID
 // plus the per-switch rule ops the event expands to (empty when every
 // placement was already covered by an identical filter).
+// PredictAdd is the non-mutating mirror of AddFilter: it returns, per
+// switch, how many new table rules adding the filter would install,
+// without touching the registry, refcounts, or forests. The admission
+// layer (Config.Admission) calls it before AddFilter so an oversized
+// delta is rejected with zero state to roll back. The count is
+// conservative under covering: a new root's captures could *shrink*
+// other tables, but admission only needs an upper bound.
+func (r *Reconciler) PredictAdd(host int, expr subscription.Expr) (map[int]int, error) {
+	if host < 0 || host >= len(r.net.Hosts) {
+		return nil, fmt.Errorf("%w: %d", ErrBadHost, host)
+	}
+	adds := make(map[int]int)
+	for _, pl := range r.placements(host, expr) {
+		sc := r.switches[pl.sw]
+		if r.covering {
+			if sc.forests != nil {
+				if f := sc.forests[pl.port]; f != nil && (f.Covered(pl.expr) || f.Refs(pl.expr) > 0) {
+					continue // elided by an existing root, or already placed
+				}
+			}
+			adds[pl.sw]++
+			continue
+		}
+		if pr, ok := sc.places[placeKey(pl.port, pl.expr)]; ok && pr.refs > 0 {
+			continue // refcounted: no new rule
+		}
+		adds[pl.sw]++
+	}
+	return adds, nil
+}
+
 func (r *Reconciler) AddFilter(host int, expr subscription.Expr) (int, []RuleOp, error) {
 	if host < 0 || host >= len(r.net.Hosts) {
 		return 0, nil, fmt.Errorf("%w: %d", ErrBadHost, host)

@@ -46,6 +46,10 @@ const maxTenantSeries = 256
 //	camus_tenant_covered{tenant}      per-tenant covered subscriptions
 //	  (covering-mode series appear only under WithCovering and respect
 //	  the same tenant-series cap)
+//	camus_fit_checks_total            fit-admission checks (WithAdmission only)
+//	camus_fit_rejects_total           subscribes refused by fit admission
+//	camus_fit_headroom_entries        min entry headroom across switches
+//	camus_fit_stage_sram_pct          fullest stage SRAM bank, percent
 //	camus_tenant_events_total{tenant,op}        dispatched sub/unsub
 //	camus_tenant_rejected_total{tenant,reason}  quota/rate refusals
 //	camus_tenant_latency_seconds{tenant,quantile}
@@ -84,6 +88,12 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		counter("cover_covered_adds_total", "Installs elided because an existing covering entry subsumed the new filter.", snap.CoveredAdds)
 		counter("cover_captures_total", "Entries removed because a broader new root captured them.", snap.CoverCaptures)
 		counter("cover_promotions_total", "Covered children re-installed by uncoverings.", snap.CoverPromotions)
+	}
+	if snap.Admission {
+		counter("fit_checks_total", "Static fit-admission checks run before registry mutation.", snap.AdmissionChecks)
+		counter("fit_rejects_total", "Subscribes refused because the predicted entry delta would overflow a pipeline.", snap.AdmissionRejects)
+		gauge("fit_headroom_entries", "Minimum remaining table-entry headroom across switches with an installed program.", float64(snap.FitHeadroomEntries))
+		gauge("fit_stage_sram_pct", "Fullest stage SRAM bank anywhere in the deployment, percent.", snap.FitStageSRAMPct)
 	}
 
 	writeSummary(&b, "apply_latency_seconds", "Event submission to all-switches-applied latency.", "", snap.Latency)

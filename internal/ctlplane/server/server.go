@@ -449,7 +449,8 @@ func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // Error envelope
 
 // failErr maps tenancy-layer errors to HTTP statuses: unknown tenant or
-// filter → 404, quota/rate admission refusals → 429, shutdown → 503.
+// filter → 404, quota/rate admission refusals → 429, fit-admission
+// refusals → 507 Insufficient Storage, shutdown → 503.
 func (d *Daemon) failErr(w http.ResponseWriter, err error, ruleText string) {
 	switch {
 	case errors.Is(err, ctlplane.ErrUnknownTenant):
@@ -460,6 +461,8 @@ func (d *Daemon) failErr(w http.ResponseWriter, err error, ruleText string) {
 		d.fail(w, http.StatusTooManyRequests, "quota-exceeded", err.Error(), ruleText)
 	case errors.Is(err, ctlplane.ErrRateLimited):
 		d.fail(w, http.StatusTooManyRequests, "rate-limited", err.Error(), ruleText)
+	case errors.Is(err, ctlplane.ErrAdmissionRejected):
+		d.fail(w, http.StatusInsufficientStorage, "fit-overflow", err.Error(), ruleText)
 	case errors.Is(err, ctlplane.ErrClosed):
 		d.fail(w, http.StatusServiceUnavailable, "shutting-down", err.Error(), ruleText)
 	default:

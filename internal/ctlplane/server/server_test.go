@@ -12,6 +12,7 @@ import (
 	"strings"
 	"testing"
 
+	"camus/internal/analysis/fitcheck"
 	"camus/internal/compiler"
 	"camus/internal/controller"
 	"camus/internal/ctlplane"
@@ -366,6 +367,76 @@ func TestMetricsCovering(t *testing.T) {
 	}
 	if strings.Contains(string(raw), "camus_cover_") || strings.Contains(string(raw), "camus_tenant_covered") {
 		t.Error("covering series exposed without WithCovering")
+	}
+}
+
+// TestHTTPAdmissionReject drives the daemon with fit admission on a
+// tight pipeline budget until a subscribe is refused: the refusal must
+// surface as 507 Insufficient Storage with a "fit-overflow" finding,
+// and /metrics must expose the camus_fit_* family (and only then —
+// series hygiene without WithAdmission).
+func TestHTTPAdmissionReject(t *testing.T) {
+	model := fitcheck.NewModelWith(fitcheck.Budget{
+		Stages:          8,
+		StageSRAMBytes:  512,
+		StageTCAMBytes:  1024,
+		StageKeyBits:    512,
+		MaxTableSplit:   1,
+		MulticastGroups: 65536,
+		Registers:       4,
+	})
+	_, ts := newDaemon(t, server.WithService(ctlplane.WithAdmission(model)),
+		server.WithTenancy(ctlplane.WithAutoCreate()))
+	base := ts.URL
+
+	rejected := false
+	var rejectBody []byte
+	for i := 0; i < 120 && !rejected; i++ {
+		status, raw := do(t, http.MethodPost, base+"/v1/tenants/acme/subscriptions",
+			map[string]any{"host": 1, "filters": []string{fmt.Sprintf("stock == GOOGL and price == %d", i)}})
+		switch status {
+		case http.StatusOK:
+		case http.StatusInsufficientStorage:
+			rejected, rejectBody = true, raw
+		default:
+			t.Fatalf("subscribe %d: status %d\n%s", i, status, raw)
+		}
+	}
+	if !rejected {
+		t.Fatal("no subscribe was refused under the tight fit budget")
+	}
+	env := wantFinding(t, rejectBody, "fit-overflow")
+	if !strings.Contains(env.Findings[0].Message, "admission rejected") {
+		t.Errorf("fit-overflow message = %q, want the ErrAdmissionRejected text", env.Findings[0].Message)
+	}
+
+	status, raw := do(t, http.MethodGet, base+"/metrics", nil)
+	if status != http.StatusOK {
+		t.Fatalf("metrics: status %d", status)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"camus_fit_checks_total ",
+		"camus_fit_rejects_total ",
+		"camus_fit_headroom_entries ",
+		"camus_fit_stage_sram_pct ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics exposition missing %q\n%s", want, body)
+		}
+	}
+	if strings.Contains(body, "camus_fit_rejects_total 0\n") {
+		t.Errorf("camus_fit_rejects_total still zero after a 507\n%s", body)
+	}
+
+	// Without WithAdmission the family must stay absent.
+	_, plain := newDaemon(t)
+	status, raw = do(t, http.MethodGet, plain.URL+"/metrics", nil)
+	if status != http.StatusOK {
+		t.Fatalf("metrics: status %d", status)
+	}
+	if strings.Contains(string(raw), "camus_fit_") {
+		t.Error("fit-admission series exposed without WithAdmission")
 	}
 }
 

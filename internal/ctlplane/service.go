@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"camus/internal/analysis/fitcheck"
 	"camus/internal/compiler"
 	"camus/internal/routing"
 	"camus/internal/spec"
@@ -24,6 +25,12 @@ type Installer interface {
 
 // ErrClosed is returned for events submitted after Close.
 var ErrClosed = errors.New("ctlplane: service closed")
+
+// ErrAdmissionRejected is returned by Subscribe when the admission
+// model (WithAdmission) predicts the delta would overflow a switch's
+// pipeline. The registry is untouched: nothing was added, nothing needs
+// rolling back.
+var ErrAdmissionRejected = errors.New("ctlplane: admission rejected: pipeline would overflow")
 
 // ErrApplyFailed marks an event whose switch apply exhausted its
 // retries.
@@ -97,6 +104,12 @@ type Config struct {
 	// (≤ 0 selects cover.DefaultMaxNodes).
 	Covering      bool
 	CoverMaxNodes int
+	// Admission, when set, statically fit-checks every subscribe before
+	// any registry mutation (see WithAdmission): the predicted
+	// per-switch entry delta must fit each switch's remaining pipeline
+	// headroom or the subscribe fails with ErrAdmissionRejected,
+	// leaving registry, forests, and installed programs untouched.
+	Admission *fitcheck.Model
 }
 
 func (c Config) withDefaults() Config {
@@ -191,6 +204,12 @@ type Service struct {
 	netRunning            int
 	netValidations        atomic.Int64
 	netValidationFailures atomic.Int64
+
+	// admissionChecks / admissionRejects count static fit checks run
+	// before registry mutation (Config.Admission) and the subscribes
+	// they refused.
+	admissionChecks  atomic.Int64
+	admissionRejects atomic.Int64
 }
 
 // NewService builds the control plane and starts one apply worker per
@@ -250,6 +269,15 @@ func (s *Service) initialOps() []RuleOp {
 func (s *Service) Subscribe(host int, exprs []subscription.Expr) (*Event, []int, error) {
 	var ids []int
 	ev, err := s.submit(func() ([]RuleOp, error) {
+		// Admission runs before the first AddFilter: a rejection must
+		// leave the registry, forests, and live programs untouched —
+		// rolling back a partial add under covering would mint new rule
+		// IDs, so the only safe reject is one that never mutates.
+		if s.cfg.Admission != nil {
+			if err := s.admit(host, exprs); err != nil {
+				return nil, err
+			}
+		}
 		var all []RuleOp
 		for _, e := range exprs {
 			id, ops, err := s.rec.AddFilter(host, e)
@@ -262,6 +290,33 @@ func (s *Service) Subscribe(host int, exprs []subscription.Expr) (*Event, []int,
 		return all, nil
 	}, &s.subscribes)
 	return ev, ids, err
+}
+
+// admit statically fit-checks a subscribe batch against every affected
+// switch: the predicted new-rule count (Reconciler.PredictAdd) times a
+// conservative per-filter entry bound (fitcheck.EntryEstimate) must fit
+// the switch's remaining headroom. Called under s.mu with no prior
+// mutation, so a rejection needs no rollback.
+func (s *Service) admit(host int, exprs []subscription.Expr) error {
+	s.admissionChecks.Add(1)
+	need := make(map[int]int)
+	for _, e := range exprs {
+		adds, err := s.rec.PredictAdd(host, e)
+		if err != nil {
+			return err
+		}
+		per := fitcheck.EntryEstimate(e)
+		for sw, n := range adds {
+			need[sw] += n * per
+		}
+	}
+	for sw, n := range need {
+		if err := s.cfg.Admission.Admit(s.rec.Program(sw), n); err != nil {
+			s.admissionRejects.Add(1)
+			return fmt.Errorf("%w: switch %d: %v", ErrAdmissionRejected, sw, err)
+		}
+	}
+	return nil
 }
 
 // Unsubscribe removes a host's filters by ID.

@@ -72,6 +72,18 @@ type Snapshot struct {
 	CoveredAdds       int64
 	CoverCaptures     int64
 	CoverPromotions   int64
+	// Admission telemetry (WithAdmission; all zero when admission is
+	// off): AdmissionChecks counts static fit checks run before
+	// registry mutation, AdmissionRejects the subscribes they refused.
+	// FitHeadroomEntries is the minimum remaining entry headroom across
+	// all switches with an installed program (the tightest table on the
+	// tightest switch); FitStageSRAMPct the fullest stage SRAM bank
+	// anywhere in the deployment.
+	Admission          bool
+	AdmissionChecks    int64
+	AdmissionRejects   int64
+	FitHeadroomEntries int
+	FitStageSRAMPct    float64
 	// Latency is the event→all-switches-applied distribution.
 	Latency LatencyStats
 }
@@ -113,6 +125,27 @@ func (s *Service) Stats() Snapshot {
 	}
 	lat := append([]float64(nil), s.latency...)
 	s.mu.Unlock()
+	if m := s.cfg.Admission; m != nil {
+		snap.Admission = true
+		snap.AdmissionChecks = s.admissionChecks.Load()
+		snap.AdmissionRejects = s.admissionRejects.Load()
+		// Program loads are atomic, so the gauges are safe concurrent
+		// with the apply workers; layouts are cached per program.
+		first := true
+		for _, sw := range s.cfg.Net.Switches {
+			l := m.Layout(s.rec.Program(sw.ID))
+			if l == nil {
+				continue
+			}
+			if h := l.MinHeadroom(); first || h < snap.FitHeadroomEntries {
+				snap.FitHeadroomEntries = h
+			}
+			if pct := l.MaxStageSRAMPct(); pct > snap.FitStageSRAMPct {
+				snap.FitStageSRAMPct = pct
+			}
+			first = false
+		}
+	}
 	if len(lat) > 0 {
 		var sample stats.Sample
 		for _, v := range lat {
