@@ -65,34 +65,38 @@ test:
 race:
 	$(GO) test -race -timeout 30m ./...
 
-## bench: one-iteration smoke of the worker-sweep, live-churn,
-## daemon and network-verifier benchmarks (fast).
+## bench: one-iteration smoke of the worker-sweep, leaf-cache fast
+## path, live-churn, daemon and network-verifier benchmarks (fast).
 bench:
-	$(GO) test -run '^$$' -bench='SwitchParallel|Churn|CtlplaneDaemon|Netcheck' -benchtime=1x .
+	$(GO) test -run '^$$' -bench='SwitchParallel|SwitchFastPath|Churn|CtlplaneDaemon|Netcheck' -benchtime=1x .
 
 ## bench-report: regenerate bench-report.txt with steady-state numbers
 ## (host header from TestMain records NumCPU / GOMAXPROCS), then emit
 ## the machine-readable companions: BENCH_compile.json for the
 ## CompileParallel worker sweep, BENCH_switch.json for the
-## SwitchParallel sweep (ns/op, allocs/op, host shape), and
-## BENCH_ctlplane.json for the multi-tenant daemon (updates/s and
-## client-observed p50/p99 request latency over the HTTP API) plus the
-## covering-heavy churn run (routing-entry reduction ratio).
+## SwitchParallel and leaf-cache SwitchFastPath sweeps (ns/op,
+## allocs/op, Mpps, host shape), and BENCH_ctlplane.json for the
+## multi-tenant daemon (updates/s and client-observed p50/p99 request
+## latency over the HTTP API) plus the covering-heavy churn run
+## (routing-entry reduction ratio).
 bench-report:
-	$(GO) test -run '^$$' -bench='SwitchParallel|Churn|CompileParallel|CtlplaneDaemon|Netcheck|Fitcheck' -benchmem . | tee bench-report.txt
+	$(GO) test -run '^$$' -bench='SwitchParallel|SwitchFastPath|Churn|CompileParallel|CtlplaneDaemon|Netcheck|Fitcheck' -benchmem . | tee bench-report.txt
 	$(GO) run ./cmd/benchjson -filter 'CompileParallel|^Churn$$|Netcheck|Fitcheck' -out BENCH_compile.json < bench-report.txt
-	$(GO) run ./cmd/benchjson -filter 'SwitchParallel' -out BENCH_switch.json < bench-report.txt
+	$(GO) run ./cmd/benchjson -filter 'SwitchParallel|SwitchFastPath' -out BENCH_switch.json < bench-report.txt
 	$(GO) run ./cmd/benchjson -filter 'CtlplaneDaemon|CoverChurn' -out BENCH_ctlplane.json < bench-report.txt
 
 ## perf-guard: the CI allocation guard — run the two canonical
 ## compiler benchmarks, the network-delivery verifier, the static
 ## fit analyzer, and the covering-heavy churn benchmark once and fail
 ## on a >2x allocs/op regression against the checked-in baseline
-## (perf-baseline.json). BenchmarkCoverChurn also self-enforces its
-## ≥2× entry-reduction bar.
+## (perf-baseline.json). The single-worker leaf-cache fast path runs
+## 50 steady-state batches and is held to an exact zero-alloc baseline
+## plus ≥0.9x its recorded Mpps. BenchmarkCoverChurn also
+## self-enforces its ≥2× entry-reduction bar.
 perf-guard:
 	{ $(GO) test -run '^$$' -bench '^BenchmarkCompile500$$|^BenchmarkIncrementalAddOne$$' -benchtime 1x -benchmem ./internal/compiler; \
-	  $(GO) test -run '^$$' -bench '^BenchmarkNetcheck$$|^BenchmarkCoverChurn$$|^BenchmarkFitcheck$$' -benchtime 1x -benchmem .; } \
+	  $(GO) test -run '^$$' -bench '^BenchmarkNetcheck$$|^BenchmarkCoverChurn$$|^BenchmarkFitcheck$$' -benchtime 1x -benchmem .; \
+	  $(GO) test -run '^$$' -bench '^BenchmarkSwitchFastPath$$/^workers=1$$' -benchtime 50x -benchmem .; } \
 		| $(GO) run ./cmd/benchjson -baseline perf-baseline.json -max-ratio 2
 
 ## churn-soak: race-enabled soak of the live control plane — churn +

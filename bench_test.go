@@ -166,6 +166,79 @@ func BenchmarkSwitchParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkSwitchFastPath — the zero-alloc leaf-cache batch path
+// (DESIGN.md §16) on the ITCH market-data workload: 100 symbol-equality
+// filters (key-only, so every leaf is admissible) over a Zipf-popular
+// synthetic feed. A warm-up batch fills the per-shard leaf cache before
+// the timer starts; the timed region must then report 0 allocs/op —
+// ProcessBatch resolves every packet from the packed-key cache without
+// walking the BDD stages and writes deliveries into the preallocated
+// per-shard arenas. perf-guard holds workers=1 to 0 allocs/op and
+// ≥0.9× the recorded Mpps.
+func BenchmarkSwitchFastPath(b *testing.B) {
+	p := subscription.NewParser(formats.ITCH)
+	syms := workload.DefaultSymbols(100)
+	rules := make([]*subscription.Rule, 0, len(syms))
+	for i, s := range syms {
+		rule, err := p.ParseRule(fmt.Sprintf("stock == %s: fwd(%d)", s, i%48), i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rules = append(rules, rule)
+	}
+	prog, err := compiler.Compile(formats.ITCH, rules, compiler.Options{LastHop: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	feed := workload.ITCHFeed(workload.ITCHFeedConfig{Packets: 20000, Seed: 1})
+	pkts := make([]*pipeline.Packet, len(feed))
+	for i, fp := range feed {
+		msgs := make([]*spec.Message, len(fp.Orders))
+		for j, o := range fp.Orders {
+			msgs[j] = o.Message()
+		}
+		pkts[i] = &pipeline.Packet{In: 0, Msgs: msgs, Bytes: formats.ITCHOrderBytes * len(fp.Orders)}
+	}
+
+	maxW := runtime.NumCPU()
+	if maxW < 8 {
+		maxW = 8
+	}
+	var sweep []int
+	for w := 1; w <= maxW; w *= 2 {
+		sweep = append(sweep, w)
+	}
+	if last := sweep[len(sweep)-1]; last != maxW {
+		sweep = append(sweep, maxW)
+	}
+	for _, workers := range sweep {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			sw, err := pipeline.NewSwitch("bench", nil, prog, pipeline.WithWorkers(workers))
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Two warm-up batches: the first fills the leaf cache (and
+			// mostly runs the slow path), the second sizes the delivery
+			// arenas for the all-hits regime the timer measures.
+			sw.ProcessBatch(pkts, 0)
+			sw.ProcessBatch(pkts, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sw.ProcessBatch(pkts, 0)
+			}
+			b.StopTimer()
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(b.N*len(pkts))/s/1e6, "Mpps")
+			}
+			st := sw.Stats()
+			if st.LeafHits == 0 {
+				b.Fatal("fast path never hit the leaf cache")
+			}
+		})
+	}
+}
+
 // BenchmarkCompileParallel — the parallel compilation pipeline on a
 // 10k-rule ITCH workload (symbol-equality filters with tick-threshold
 // price predicates, the §VIII-F3 shape), swept over compile worker

@@ -53,6 +53,9 @@ type (
 	Switch = pipeline.Switch
 	// StatsSnapshot is an immutable copy of a switch's counters.
 	StatsSnapshot = pipeline.StatsSnapshot
+	// LeafCacheStats is a point-in-time view of a switch's hot-rule
+	// leaf cache (DESIGN.md §16); read it via Switch.LeafCacheStats().
+	LeafCacheStats = pipeline.LeafCacheStats
 	// Packet is a (possibly batched) packet traversing a switch.
 	Packet = pipeline.Packet
 	// FlowKey identifies a packet's stream for stream subscriptions
@@ -178,6 +181,11 @@ var (
 	WithRecirculationLatency = pipeline.WithRecirculationLatency
 	// WithFlowCache sizes the stream-subscription cache (§VII-B).
 	WithFlowCache = pipeline.WithFlowCache
+	// WithLeafCache sizes the hot-rule leaf cache that memoizes final
+	// forwarding decisions in front of the match stages (DESIGN.md
+	// §16): 0 keeps the default 65536 entries (the cache is on by
+	// default), negative disables it.
+	WithLeafCache = pipeline.WithLeafCache
 	// WithWorkers sets the number of dataplane worker shards that
 	// ProcessBatch fans packets out across.
 	WithWorkers = pipeline.WithWorkers

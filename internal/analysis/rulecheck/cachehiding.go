@@ -1,0 +1,314 @@
+package rulecheck
+
+import (
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"camus/internal/analysis/prove"
+	"camus/internal/analysis/report"
+	"camus/internal/packet"
+	"camus/internal/pipeline"
+	"camus/internal/routing/cover"
+	"camus/internal/spec"
+	"camus/internal/subscription"
+)
+
+// checkCacheHiding flags the FIB cache-hiding hazard for the dataplane
+// leaf cache (DESIGN.md §16). The leaf cache memoizes a final
+// forwarding decision under a key built from the first
+// pipeline.LeafKeySlots packable subscribable fields plus the header
+// validity mask; fields outside that key (late declarations, strings
+// wider than 8 bytes) are invisible to it. If a cacheable key-only rule
+// g overlaps a rule f that refines g on a non-key field, then a
+// decision cache keyed only on the packed key and filled from g's
+// region would keep serving g's action to same-key packets that also
+// match f — silently hiding f's forwarding. The shipping dataplane
+// refuses such fills (the walk-purity rule: a lookup that branched on a
+// non-key stage is never memoized), so the finding is a warning, not an
+// error: it marks rules that both defeat leaf-cache hit rate on their
+// overlap and would be miswired by any external decision cache (e.g. a
+// Tofino-style FIB cache) that keys on the packed fields alone.
+//
+// A pair (g, f) fires when all of:
+//
+//   - g is leaf-cacheable: stateless, references only key fields, and
+//     forwards to at most pipeline.LeafMaxPorts ports (custom actions
+//     and aggregate-refined rules compile to inadmissible leaves, so
+//     they can never be cached — itch.rules' avg(price) refinement is
+//     the canonical clean overlap);
+//   - f is stateless and references at least one non-key packet field;
+//   - f's action is not already subsumed by g's (otherwise the hidden
+//     delivery is unobservable);
+//   - g does not imply f (cover.Implier: otherwise every g-packet
+//     matches f and every fill already carries f's action); and
+//   - g ∧ f is satisfiable, established by exact per-field domain
+//     intersection over the pair's DNF disjuncts — the same
+//     single-field-versus-constant argument that makes the BDD
+//     builder's pruning exact. The satisfying assignment becomes the
+//     finding's counterexample: the packet whose delivery a key-only
+//     cache would truncate, serialized for replay.
+func checkCacheHiding(sp *spec.Spec, file string, rules []*subscription.Rule, ruleLine map[int]int) []Finding {
+	keyFields := pipeline.LeafKeyFields(sp)
+	if len(keyFields) == 0 || len(sp.Headers) > 64 {
+		return nil // leaf cache inoperative for this spec
+	}
+	isKey := make(map[*spec.Field]bool, len(keyFields))
+	for _, f := range keyFields {
+		isKey[f] = true
+	}
+
+	type classified struct {
+		rule     *subscription.Rule
+		disj     []subscription.Conjunction
+		nonKey   []*spec.Field
+		stateful bool
+	}
+	cls := make([]classified, 0, len(rules))
+	for _, r := range rules {
+		c := classified{rule: r}
+		nrs, err := subscription.NormalizeRule(r)
+		if err != nil {
+			continue // already reported as a parse/normalize finding
+		}
+		seen := make(map[*spec.Field]bool)
+		for _, nr := range nrs {
+			c.disj = append(c.disj, nr.Conj)
+			for _, a := range nr.Conj {
+				switch a.Ref.Kind {
+				case subscription.AggregateRef:
+					c.stateful = true
+				case subscription.PacketRef:
+					if !isKey[a.Ref.Field] && !seen[a.Ref.Field] {
+						seen[a.Ref.Field] = true
+						c.nonKey = append(c.nonKey, a.Ref.Field)
+					}
+				}
+			}
+		}
+		cls = append(cls, c)
+	}
+
+	im := cover.NewImplier(sp, 0)
+	var out []Finding
+	for _, f := range cls {
+		if f.stateful || len(f.nonKey) == 0 {
+			continue
+		}
+		var related []int
+		var cex *report.Counterexample
+		for _, g := range cls {
+			if g.rule.ID == f.rule.ID || g.stateful || len(g.nonKey) > 0 {
+				continue
+			}
+			if !g.rule.Action.IsFwd() || len(g.rule.Action.Ports) > pipeline.LeafMaxPorts {
+				continue // inadmissible leaf: never cached, cannot hide
+			}
+			var gSet subscription.ActionSet
+			gSet.Add(g.rule.Action)
+			if subsumes(gSet, f.rule.Action) {
+				continue // hiding would be unobservable
+			}
+			if im.Implies(g.rule.Filter, f.rule.Filter) {
+				continue // every fill from g's region already carries f
+			}
+			w := overlapWitness(sp, g.disj, f.disj)
+			if w == nil {
+				continue // disjoint: no shared cache slot to poison
+			}
+			related = append(related, g.rule.ID)
+			if cex == nil {
+				cex = w
+				var want subscription.ActionSet
+				want.Add(g.rule.Action)
+				want.Add(f.rule.Action)
+				cex.Want = want.String()
+				cex.Got = gSet.String()
+			}
+		}
+		if len(related) == 0 {
+			continue
+		}
+		sort.Ints(related)
+		names := make([]string, len(f.nonKey))
+		for i, fld := range f.nonKey {
+			names[i] = fld.QName()
+		}
+		sort.Strings(names)
+		out = append(out, Finding{
+			Tool: Tool, File: file, Line: ruleLine[f.rule.ID], RuleID: f.rule.ID,
+			Kind: KindCacheHiding, Severity: SevWarning,
+			Message: fmt.Sprintf(
+				"cache-hiding hazard: rule refines a leaf-cacheable rule on non-key field %s; a decision cache keyed on the packed subscription key would serve the coarse action to packets this rule matches (the dataplane leaf cache refuses to fill these overlaps)",
+				strings.Join(names, ", ")),
+			RuleText:       f.rule.String(),
+			Related:        related,
+			Counterexample: cex,
+		})
+	}
+	return out
+}
+
+// overlapWitness decides satisfiability of g ∧ f over the pair's DNF
+// disjuncts by per-field domain intersection and, when satisfiable,
+// concretizes one witness packet. Exactness: every atom constrains a
+// single field against a constant, so per-field consistency is global
+// consistency. Aggregate atoms cannot occur (callers pre-filter
+// stateful rules); a defensive nil is returned if one slips through.
+func overlapWitness(sp *spec.Spec, gd, fd []subscription.Conjunction) *report.Counterexample {
+	for _, cg := range gd {
+		for _, cf := range fd {
+			if w := conjWitness(sp, cg, cf); w != nil {
+				return w
+			}
+		}
+	}
+	return nil
+}
+
+func conjWitness(sp *spec.Spec, conjs ...subscription.Conjunction) *report.Counterexample {
+	ints := make(map[*spec.Field]prove.IntDomain)
+	strs := make(map[*spec.Field]prove.StrDomain)
+	presence := make(map[string]bool) // validity-atom demands
+	for _, conj := range conjs {
+		for _, a := range conj {
+			switch a.Ref.Kind {
+			case subscription.AggregateRef:
+				return nil
+			case subscription.ValidityRef:
+				want := (a.Rel == subscription.EQ) == (a.Const.Int != 0)
+				if have, ok := presence[a.Ref.Header]; ok && have != want {
+					return nil
+				}
+				presence[a.Ref.Header] = want
+			case subscription.PacketRef:
+				fld := a.Ref.Field
+				if fld.Type == spec.IntField {
+					cur, ok := ints[fld]
+					if !ok {
+						cur = prove.IntRange(0, fld.MaxValue())
+					}
+					cur = cur.Intersect(intRelDom(a.Rel, a.Const.Int, fld.MaxValue()))
+					if cur.IsEmpty() {
+						return nil
+					}
+					ints[fld] = cur
+				} else {
+					cur, ok := strs[fld]
+					if !ok {
+						cur = prove.StrAll()
+					}
+					cur = cur.Intersect(strRelDom(a.Rel, a.Const.Str))
+					if cur.EmptyFor(fld.Bytes()) {
+						return nil
+					}
+					strs[fld] = cur
+				}
+			}
+		}
+	}
+	// Constrained fields force their header present; a validity atom
+	// demanding that header absent is a contradiction.
+	for fld := range ints {
+		if have, ok := presence[fld.Header]; ok && !have {
+			return nil
+		}
+		presence[fld.Header] = true
+	}
+	for fld := range strs {
+		if have, ok := presence[fld.Header]; ok && !have {
+			return nil
+		}
+		presence[fld.Header] = true
+	}
+
+	cex := &report.Counterexample{Fields: make(map[string]string)}
+	values := make(map[string]map[string]spec.Value) // header → field → value
+	for fld, d := range ints {
+		w, ok := d.Witness()
+		if !ok {
+			return nil
+		}
+		cex.Fields[fld.QName()] = spec.IntVal(w).String()
+		if values[fld.Header] == nil {
+			values[fld.Header] = make(map[string]spec.Value)
+		}
+		values[fld.Header][fld.Name] = spec.IntVal(w)
+	}
+	for fld, d := range strs {
+		w, ok := d.Witness(fld.Bytes())
+		if !ok {
+			return nil
+		}
+		cex.Fields[fld.QName()] = spec.StrVal(w).String()
+		if values[fld.Header] == nil {
+			values[fld.Header] = make(map[string]spec.Value)
+		}
+		values[fld.Header][fld.Name] = spec.StrVal(w)
+	}
+
+	// Serialize the witness in spec header order so the finding carries
+	// a replayable wire packet (unconstrained fields encode as zeros).
+	var wire []byte
+	for _, h := range sp.Headers {
+		if !presence[h.Name] {
+			continue
+		}
+		codec, err := packet.NewHeaderCodec(sp, h.Name)
+		if err != nil {
+			return nil
+		}
+		wire, err = codec.Append(wire, values[h.Name])
+		if err != nil {
+			return nil
+		}
+		cex.Headers = append(cex.Headers, h.Name)
+	}
+	cex.Packet = hex.EncodeToString(wire)
+	return cex
+}
+
+// intRelDom is the set of field values satisfying rel against constant
+// c, within the field's [0, max] range.
+func intRelDom(rel subscription.Relation, c, max int64) prove.IntDomain {
+	switch rel {
+	case subscription.EQ:
+		return prove.IntPoint(c)
+	case subscription.NE:
+		return prove.IntRange(0, max).Without(c)
+	case subscription.LT:
+		if c <= 0 {
+			return prove.IntDomain{}
+		}
+		return prove.IntRange(0, c-1)
+	case subscription.LE:
+		if c < 0 {
+			return prove.IntDomain{}
+		}
+		return prove.IntRange(0, c)
+	case subscription.GT:
+		if c >= max {
+			return prove.IntDomain{}
+		}
+		return prove.IntRange(c+1, max)
+	case subscription.GE:
+		if c > max {
+			return prove.IntDomain{}
+		}
+		return prove.IntRange(c, max)
+	}
+	return prove.IntDomain{}
+}
+
+func strRelDom(rel subscription.Relation, c string) prove.StrDomain {
+	switch rel {
+	case subscription.EQ:
+		return prove.StrExact(c)
+	case subscription.NE:
+		return prove.StrAll().Subtract(prove.StrExact(c))
+	case subscription.PREFIX:
+		return prove.StrWithPrefix(c)
+	}
+	return prove.StrDomain{}
+}

@@ -194,6 +194,48 @@ func (p *Program) Lookup(m *spec.Message, st subscription.StateReader) *LeafEntr
 	return p.leafByState[state]
 }
 
+// LookupKeyed evaluates the pipeline like Lookup while additionally
+// reporting whether the walk was *pure*: every taken transition
+// (ok=true from Table.Next) happened at a stage marked true in
+// keyStage (indexed like Stages). Purity is what makes a leaf-cache
+// fill sound: whether a state enters a stage at all is a property of
+// the state alone (byState/Defaults membership is value-independent),
+// so two messages agreeing on every keyStage input follow identical
+// trajectories — a pure walk's leaf is a function of the key and may
+// be memoized without hiding any overlapping decision (DESIGN.md §16).
+func (p *Program) LookupKeyed(m *spec.Message, st subscription.StateReader, keyStage []bool) (*LeafEntry, bool) {
+	state := p.Init
+	pure := true
+	for i, t := range p.Stages {
+		var v spec.Value
+		present := false
+		switch t.Field.Ref.Kind {
+		case subscription.PacketRef:
+			if idx, ok := m.Spec().SubscribableIndex(t.Field.Ref.Field); ok {
+				v, present = m.Get(idx)
+			}
+		case subscription.ValidityRef:
+			var bit int64
+			if m.HeaderPresent(t.Field.Ref.Header) {
+				bit = 1
+			}
+			v, present = spec.IntVal(bit), true
+		default: // AggregateRef
+			var cur int64
+			if st != nil {
+				cur = st.AggValue(t.Field.Ref.Key())
+			}
+			v, present = spec.IntVal(cur), true
+		}
+		var took bool
+		state, took = t.Next(state, v, present)
+		if took && !keyStage[i] {
+			pure = false
+		}
+	}
+	return p.leafByState[state], pure
+}
+
 // Eval returns the merged action set for a message (empty set = drop).
 func (p *Program) Eval(m *spec.Message, st subscription.StateReader) subscription.ActionSet {
 	if le := p.Lookup(m, st); le != nil {

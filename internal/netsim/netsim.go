@@ -170,19 +170,28 @@ func (s *Sim) Publish(host int, msgs []*spec.Message, bytes int) []HostDelivery 
 // PublishFlow is Publish with an explicit flow identity for ECMP path
 // selection (flow 0 hashes from the publisher).
 func (s *Sim) PublishFlow(host int, msgs []*spec.Message, bytes int, flow uint64) []HostDelivery {
+	out, _ := s.publishFlow(host, msgs, bytes, flow, nil)
+	return out
+}
+
+// publishFlow forwards one publication to completion using queue as the
+// BFS workspace (head-index FIFO, no per-hop reslicing). It returns the
+// deliveries plus the possibly-grown queue so batch callers can reuse
+// one buffer across many publications instead of allocating per call;
+// the returned deliveries are always fresh.
+func (s *Sim) publishFlow(host int, msgs []*spec.Message, bytes int, flow uint64, queue []inFlight) ([]HostDelivery, []inFlight) {
 	if flow == 0 {
 		flow = uint64(host)*0x9E3779B97F4A7C15 + 1
 	}
 	swID, port := s.Deployment.Network.Access(host)
-	queue := []inFlight{{
+	queue = append(queue[:0], inFlight{
 		sw: swID, inPort: port, msgs: msgs, bytes: bytes,
 		latency: s.LinkLatency, flow: flow,
-	}}
+	})
 	var out []HostDelivery
 	now := s.Clock()
-	for len(queue) > 0 {
-		f := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		f := queue[head]
 		if f.hops >= s.HopLimit {
 			s.traffic.looped.Add(1)
 			continue
@@ -223,7 +232,7 @@ func (s *Sim) PublishFlow(host int, msgs []*spec.Message, bytes int, flow uint64
 			})
 		}
 	}
-	return out
+	return out, queue
 }
 
 // resolvePort maps a forwarding decision to a physical port. The logical
@@ -287,9 +296,13 @@ func (s *Sim) PublishBatch(pubs []Publication) [][]HostDelivery {
 	if w > len(pubs) {
 		w = len(pubs)
 	}
+	// Each worker (and the sequential path) owns one BFS queue buffer
+	// for the whole batch, so the harness allocates per publication only
+	// what it hands back to the caller.
 	if w <= 1 || len(pubs) < 2 {
+		var queue []inFlight
 		for i, p := range pubs {
-			out[i] = s.PublishFlow(p.Host, p.Msgs, p.Bytes, p.Flow)
+			out[i], queue = s.publishFlow(p.Host, p.Msgs, p.Bytes, p.Flow, queue)
 		}
 		return out
 	}
@@ -299,13 +312,14 @@ func (s *Sim) PublishBatch(pubs []Publication) [][]HostDelivery {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var queue []inFlight
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(pubs) {
 					return
 				}
 				p := pubs[i]
-				out[i] = s.PublishFlow(p.Host, p.Msgs, p.Bytes, p.Flow)
+				out[i], queue = s.publishFlow(p.Host, p.Msgs, p.Bytes, p.Flow, queue)
 			}
 		}()
 	}

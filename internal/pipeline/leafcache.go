@@ -1,0 +1,250 @@
+package pipeline
+
+import (
+	"camus/internal/spec"
+)
+
+// The leaf cache is a per-shard, fixed-size, direct-mapped result cache
+// in front of the match stages: it memoizes the final forwarding
+// decision (the leaf table row) for the hot packet keys, so repeated
+// packets skip the stage walk entirely. The design follows the FIB
+// caching literature (PAPERS.md: *Toward a Programmable FIB Caching
+// Architecture*): a cached result is only sound if it cannot "hide" an
+// overlapping higher-priority decision, which here becomes the
+// walk-purity fill rule enforced in Program.LookupKeyed — see
+// DESIGN.md §16.
+//
+// Entries are cache-line-packed flat structs in one contiguous array
+// (no pointers, no map): a probe touches at most two cache lines and
+// never allocates.
+
+// LeafKeySlots is the number of packed key fields in a leaf-cache key.
+// The matched header key is the first LeafKeySlots packable
+// subscribable fields in spec declaration order (mirroring the 5-field
+// key of hardware FIB caches).
+const LeafKeySlots = 5
+
+// leafKeyPackable reports whether a field's value can be packed into
+// one 64-bit key word: any integer field, or a byte-string field of at
+// most 8 bytes (ITCH stock symbols are str8).
+func leafKeyPackable(f *spec.Field) bool {
+	if f.Type == spec.IntField {
+		return true
+	}
+	return f.Bytes() <= 8
+}
+
+// LeafKeyFields returns the subscribable fields of sp that participate
+// in the leaf-cache key: the first ≤LeafKeySlots packable fields in
+// declaration order. Exported so the offline cache-hiding verifier
+// (internal/analysis/rulecheck) classifies fields exactly like the
+// dataplane does.
+func LeafKeyFields(sp *spec.Spec) []*spec.Field {
+	var out []*spec.Field
+	for _, f := range sp.SubscribableFields() {
+		if !leafKeyPackable(f) {
+			continue
+		}
+		out = append(out, f)
+		if len(out) == LeafKeySlots {
+			break
+		}
+	}
+	return out
+}
+
+// LeafCacheStats is a point-in-time view of the leaf cache, exposed via
+// Switch.LeafCacheStats (and from there the control-plane /metrics).
+// Hits/Misses/Fills are cumulative counters; Admissible and Capacity
+// are gauges of the current epoch and configuration.
+type LeafCacheStats struct {
+	// Enabled reports whether the switch runs with a leaf cache and the
+	// installed program's spec supports one.
+	Enabled bool
+	// Hits / Misses / Fills count probe outcomes across all shards.
+	Hits   int64
+	Misses int64
+	Fills  int64
+	// Admissible is the number of leaf-table rows of the current epoch
+	// whose action sets are cacheable (stateless, no custom actions,
+	// ≤ LeafMaxPorts egress ports).
+	Admissible int
+	// Capacity is the total entry capacity across shards.
+	Capacity int
+}
+
+// LeafMaxPorts bounds the inline port array of a cache entry: action
+// sets with more egress ports are not cached (one extra cache line
+// would double the footprint for a tail that barely exists — multicast
+// fan-outs beyond 8 ports are rare and still correct via the stage
+// walk).
+const LeafMaxPorts = 8
+
+// leafCacheEntry is one direct-mapped slot: the packed key, the epoch
+// generation it was filled under, and the inline egress port list.
+// ~96 bytes — two cache lines.
+type leafCacheEntry struct {
+	key     [LeafKeySlots]uint64
+	hdrMask uint64 // header validity bits (parse order)
+	gen     uint64 // epoch generation at fill time
+	present uint8  // key-field presence bits
+	filled  uint8  // 1 if the slot holds a decision (incl. cached drops)
+	nports  uint8
+	ports   [LeafMaxPorts]int32
+}
+
+// leafWays is the set associativity. Direct mapping lets two hot keys
+// that share a slot evict each other on every batch; at realistic
+// occupancy (tens of thousands of distinct market keys) that thrashing
+// tail re-walks the BDD for a measurable fraction of traffic. Four ways
+// shrink the expected conflict set to ~nothing.
+const leafWays = 4
+
+// leafCache is one shard's private cache partition. Not internally
+// synchronized: the owning shard's mutex guards it, exactly like the
+// flow cache.
+//
+// The probe path is split across two arrays: a compact per-entry tag
+// array (the full 64-bit key hash; leafWays tags per set share one
+// cache line) and the wide entry array. Way selection scans only tags,
+// so a miss touches a single line of the small tag array and the
+// ~100-byte entry is read only after its tag matched. Tags are a
+// filter, never an authority: a tag match is always confirmed against
+// the entry's full key, validity mask, and epoch generation before the
+// cached decision is used.
+type leafCache struct {
+	tags    []uint64
+	entries []leafCacheEntry
+	setMask uint64
+}
+
+// newLeafCache sizes a shard partition to the next power of two ≥ n
+// entries, organized as size/leafWays sets.
+func newLeafCache(n int) *leafCache {
+	if n < 64 {
+		n = 64
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &leafCache{
+		tags:    make([]uint64, size),
+		entries: make([]leafCacheEntry, size),
+		setMask: uint64(size/leafWays - 1),
+	}
+}
+
+// leafKey is a packed probe key, built once per message.
+type leafKey struct {
+	key     [LeafKeySlots]uint64
+	hdrMask uint64
+	present uint8
+	hash    uint64
+}
+
+// packLeafValue packs a field value into one key word. Strings are the
+// trimmed wire bytes, big-endian packed; callers only pack fields that
+// passed leafKeyPackable.
+func packLeafValue(v spec.Value) uint64 {
+	if v.Kind == spec.IntField {
+		return uint64(v.Int)
+	}
+	var w uint64
+	s := v.Str
+	if len(s) > 8 {
+		s = s[:8]
+	}
+	for i := 0; i < len(s); i++ {
+		w = w<<8 | uint64(s[i])
+	}
+	return w
+}
+
+// mix finalizes the key hash (splitmix64 finalizer).
+func leafMix(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// buildLeafKey assembles the probe key for m under the epoch's key
+// layout. Zero allocations.
+func buildLeafKey(lm *leafMeta, m *spec.Message, k *leafKey) {
+	var h uint64 = 0x9E3779B97F4A7C15
+	k.present = 0
+	for s := 0; s < lm.nslots; s++ {
+		v, ok := m.Get(int(lm.keyIdx[s]))
+		var w uint64
+		if ok {
+			k.present |= 1 << uint(s)
+			w = packLeafValue(v)
+		}
+		k.key[s] = w
+		h = (h ^ w) * 0x100000001b3
+	}
+	k.hdrMask = m.HeaderMask()
+	h = (h ^ k.hdrMask) * 0x100000001b3
+	h ^= uint64(k.present)
+	k.hash = leafMix(h)
+}
+
+// probe looks the key up in the shard partition: scan the set's
+// leafWays tags, and on a tag match confirm the candidate entry's
+// epoch, presence bits, validity mask, and full key (tags only filter;
+// a 64-bit collision falls through to the full compare and misses).
+// The returned entry is only valid until the shard lock is released.
+func (c *leafCache) probe(k *leafKey, gen uint64) *leafCacheEntry {
+	base := (k.hash & c.setMask) * leafWays
+	for w := uint64(0); w < leafWays; w++ {
+		if c.tags[base+w] != k.hash {
+			continue
+		}
+		e := &c.entries[base+w]
+		if e.filled != 0 && e.gen == gen && e.present == k.present &&
+			e.hdrMask == k.hdrMask && e.key == k.key {
+			return e
+		}
+	}
+	return nil
+}
+
+// fill installs (overwrites) the decision for k: the full egress port
+// set of the leaf (ingress-port suppression re-applies per packet, as
+// with cached flow decisions). Victim choice: a way already tagged
+// with this hash first (refresh in place), then any empty or
+// stale-epoch way, else a way picked from a high key-hash bit so
+// conflicting keys settle into distinct ways instead of chasing each
+// other out of way 0. Stale-epoch entries die by generation mismatch,
+// so Install never touches cache memory.
+func (c *leafCache) fill(k *leafKey, gen uint64, ports []int) {
+	base := (k.hash & c.setMask) * leafWays
+	victim := -1
+	for w := uint64(0); w < leafWays; w++ {
+		e := &c.entries[base+w]
+		if c.tags[base+w] == k.hash && e.filled != 0 {
+			victim = int(w)
+			break
+		}
+		if victim < 0 && (e.filled == 0 || e.gen != gen) {
+			victim = int(w)
+		}
+	}
+	if victim < 0 {
+		victim = int(k.hash >> 32 % leafWays)
+	}
+	c.tags[base+uint64(victim)] = k.hash
+	e := &c.entries[base+uint64(victim)]
+	e.key = k.key
+	e.hdrMask = k.hdrMask
+	e.present = k.present
+	e.gen = gen
+	e.filled = 1
+	for i, p := range ports {
+		e.ports[i] = int32(p)
+	}
+	e.nports = uint8(len(ports))
+}

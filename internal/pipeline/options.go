@@ -42,6 +42,17 @@ func WithWorkers(n int) Option {
 	return func(c *Config) { c.Workers = n }
 }
 
+// WithLeafCache sizes the hot-rule leaf cache (DESIGN.md §16): size is
+// the total entry capacity, split across worker shards and rounded up
+// to a power of two per shard. The cache memoizes final forwarding
+// decisions for the hot packet keys under the fill-time purity rule,
+// so the steady-state batch path never walks the match stages. size 0
+// keeps the default (65536 entries, the cache is on by default);
+// negative disables the cache.
+func WithLeafCache(size int) Option {
+	return func(c *Config) { c.LeafCacheSize = size }
+}
+
 // WithIngressDrop controls suppression of forwarding a packet back out
 // its ingress port (Algorithm 1's "other than the ingress port"; on by
 // default).
@@ -55,6 +66,12 @@ func WithIngressDrop(drop bool) Option {
 func (c Config) normalize() Config {
 	if c.FlowCacheSize <= 0 {
 		c.FlowCacheSize = 65536
+	}
+	switch {
+	case c.LeafCacheSize == 0:
+		c.LeafCacheSize = 65536
+	case c.LeafCacheSize < 0:
+		c.LeafCacheSize = 0 // disabled
 	}
 	if c.FlowTTL <= 0 {
 		c.FlowTTL = 30 * time.Second

@@ -14,6 +14,9 @@ type StatsSnapshot struct {
 	StateUpdates   int64 // register updates
 	FlowHits       int64 // continuation packets served from the flow cache
 	FlowMisses     int64 // continuation packets with no cached flow (dropped)
+	LeafHits       int64 // messages served from the leaf cache (DESIGN.md §16)
+	LeafMisses     int64 // messages that walked the match stages
+	LeafFills      int64 // leaf-cache fills (pure, admissible outcomes)
 	ParseErrors    int64 // raw packets the parser rejected
 	BytesIn        int64
 	BytesOut       int64
@@ -29,6 +32,9 @@ func (a StatsSnapshot) add(b StatsSnapshot) StatsSnapshot {
 	a.StateUpdates += b.StateUpdates
 	a.FlowHits += b.FlowHits
 	a.FlowMisses += b.FlowMisses
+	a.LeafHits += b.LeafHits
+	a.LeafMisses += b.LeafMisses
+	a.LeafFills += b.LeafFills
 	a.ParseErrors += b.ParseErrors
 	a.BytesIn += b.BytesIn
 	a.BytesOut += b.BytesOut
@@ -49,6 +55,9 @@ type switchStats struct {
 	stateUpdates   atomic.Int64
 	flowHits       atomic.Int64
 	flowMisses     atomic.Int64
+	leafHits       atomic.Int64
+	leafMisses     atomic.Int64
+	leafFills      atomic.Int64
 	parseErrors    atomic.Int64
 	bytesIn        atomic.Int64
 	bytesOut       atomic.Int64
@@ -64,6 +73,9 @@ func (st *switchStats) snapshot() StatsSnapshot {
 		StateUpdates:   st.stateUpdates.Load(),
 		FlowHits:       st.flowHits.Load(),
 		FlowMisses:     st.flowMisses.Load(),
+		LeafHits:       st.leafHits.Load(),
+		LeafMisses:     st.leafMisses.Load(),
+		LeafFills:      st.leafFills.Load(),
 		ParseErrors:    st.parseErrors.Load(),
 		BytesIn:        st.bytesIn.Load(),
 		BytesOut:       st.bytesOut.Load(),
@@ -79,6 +91,9 @@ func (st *switchStats) reset() {
 	st.stateUpdates.Store(0)
 	st.flowHits.Store(0)
 	st.flowMisses.Store(0)
+	st.leafHits.Store(0)
+	st.leafMisses.Store(0)
+	st.leafFills.Store(0)
 	st.parseErrors.Store(0)
 	st.bytesIn.Store(0)
 	st.bytesOut.Store(0)

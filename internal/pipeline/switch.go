@@ -2,7 +2,6 @@ package pipeline
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -70,6 +69,11 @@ type Config struct {
 	// Workers is the number of dataplane shards ProcessBatch fans out
 	// across; 0 or 1 selects the sequential single-shard dataplane.
 	Workers int
+	// LeafCacheSize bounds the hot-rule leaf cache (DESIGN.md §16),
+	// totalled across worker shards and rounded up to a power of two
+	// per shard; 0 uses the default (65536 entries), negative disables
+	// the cache.
+	LeafCacheSize int
 }
 
 // DefaultConfig returns the Tofino-like defaults.
@@ -89,6 +93,88 @@ type epoch struct {
 	gen   uint64
 	prog  *compiler.Program
 	state *StateTable
+	// leaf is the precomputed leaf-cache key layout and admissibility
+	// summary for prog, or nil when the cache cannot serve it. It is
+	// derived once per Install so the packet path never inspects the
+	// program structure (let alone the BDD).
+	leaf *leafMeta
+}
+
+// leafMeta is the per-epoch leaf-cache admissibility set: which stages
+// participate in the cache key, which subscribable indices feed the
+// key slots, and how many leaf rows are cacheable. Recomputed on every
+// Install (the epoch swap is what invalidates the cache, via the
+// generation tag).
+type leafMeta struct {
+	// keyStage marks, per pipeline stage, whether a taken transition
+	// keeps a walk pure: stages matching a key packet field or a header
+	// validity bit (both captured by the cache key). See
+	// Program.LookupKeyed.
+	keyStage []bool
+	// keyIdx are the subscribable field indices backing the key slots.
+	keyIdx [LeafKeySlots]int32
+	nslots int
+	// admissible counts leaf rows whose outcomes are cacheable.
+	admissible int
+	// fastOK reports that the program has no aggregate stages, so the
+	// zero-alloc batch path may run messages without a state reader.
+	fastOK bool
+}
+
+// newEpoch assembles an epoch, precomputing the leaf-cache metadata.
+func newEpoch(gen uint64, prog *compiler.Program, state *StateTable) *epoch {
+	return &epoch{gen: gen, prog: prog, state: state, leaf: buildLeafMeta(prog)}
+}
+
+// buildLeafMeta derives the leaf-cache key layout for a program, or
+// nil when the spec cannot be keyed (no packable fields, or more
+// headers than the validity mask holds).
+func buildLeafMeta(prog *compiler.Program) *leafMeta {
+	sp := prog.Spec
+	if len(sp.Headers) > 64 {
+		return nil
+	}
+	keyFields := LeafKeyFields(sp)
+	if len(keyFields) == 0 {
+		return nil
+	}
+	lm := &leafMeta{nslots: len(keyFields)}
+	isKey := make(map[*spec.Field]bool, len(keyFields))
+	for s, f := range keyFields {
+		idx, ok := sp.SubscribableIndex(f)
+		if !ok {
+			return nil
+		}
+		lm.keyIdx[s] = int32(idx)
+		isKey[f] = true
+	}
+	lm.keyStage = make([]bool, len(prog.Stages))
+	hasAgg := false
+	for i, t := range prog.Stages {
+		switch t.Field.Ref.Kind {
+		case subscription.PacketRef:
+			lm.keyStage[i] = isKey[t.Field.Ref.Field]
+		case subscription.ValidityRef:
+			lm.keyStage[i] = true
+		default: // AggregateRef
+			hasAgg = true
+		}
+	}
+	lm.fastOK = !hasAgg
+	for _, le := range prog.Leaf {
+		if leafAdmissible(le) {
+			lm.admissible++
+		}
+	}
+	return lm
+}
+
+// leafAdmissible reports whether a leaf row's outcome may be cached:
+// stateless (no register updates), no custom actions, and a port set
+// that fits the inline entry.
+func leafAdmissible(le *compiler.LeafEntry) bool {
+	return len(le.Updates) == 0 && len(le.Actions.Custom) == 0 &&
+		len(le.Actions.Ports) <= LeafMaxPorts
 }
 
 // Switch is a software Camus switch: a static pipeline bound to a
@@ -115,6 +201,10 @@ type Switch struct {
 	// installMu serializes control-plane updates (Install) so epoch
 	// generations advance monotonically.
 	installMu sync.Mutex
+
+	// batch is the reusable ProcessBatch workspace (result and
+	// partition buffers); see the ProcessBatch reuse contract.
+	batch batchScratch
 }
 
 // New builds a switch from a static pipeline and a compiled program.
@@ -137,11 +227,19 @@ func New(id string, static *compiler.StaticPipeline, prog *compiler.Program, cfg
 		customs: make(map[string]CustomActionFunc),
 	}
 	perShard := (cfg.FlowCacheSize + cfg.Workers - 1) / cfg.Workers
+	perLeaf := 0
+	if cfg.LeafCacheSize > 0 {
+		perLeaf = (cfg.LeafCacheSize + cfg.Workers - 1) / cfg.Workers
+	}
 	s.shards = make([]*shard, cfg.Workers)
 	for i := range s.shards {
-		s.shards[i] = &shard{flows: newFlowCache(perShard, cfg.FlowTTL)}
+		sh := &shard{flows: newFlowCache(perShard, cfg.FlowTTL)}
+		if perLeaf > 0 {
+			sh.leaf = newLeafCache(perLeaf)
+		}
+		s.shards[i] = sh
 	}
-	s.epoch.Store(&epoch{prog: prog, state: NewStateTable(prog)})
+	s.epoch.Store(newEpoch(0, prog, NewStateTable(prog)))
 	return s, nil
 }
 
@@ -203,17 +301,42 @@ func (s *Switch) Install(prog *compiler.Program) error {
 	}
 	s.installMu.Lock()
 	old := s.epoch.Load()
-	s.epoch.Store(&epoch{gen: old.gen + 1, prog: prog, state: NewStateTable(prog)})
+	s.epoch.Store(newEpoch(old.gen+1, prog, NewStateTable(prog)))
 	s.installMu.Unlock()
 	// Purge after the swap: any straggler still installing decisions
 	// under the old epoch is defeated by the generation tag on cache
 	// entries, so post-purge lookups can never observe a stale decision.
+	// The leaf cache needs no purge at all for the same reason — every
+	// entry carries the generation it was filled under and dies on
+	// mismatch; the swap above is the invalidation.
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		sh.flows.purge()
 		sh.mu.Unlock()
 	}
 	return nil
+}
+
+// LeafCacheStats reports the leaf cache's cumulative counters and the
+// current epoch's admissibility gauges. Separate from Stats because
+// Admissible/Capacity are configuration-derived gauges, not resettable
+// traffic counters.
+func (s *Switch) LeafCacheStats() LeafCacheStats {
+	var out LeafCacheStats
+	ep := s.epoch.Load()
+	for _, sh := range s.shards {
+		if sh.leaf != nil {
+			out.Capacity += len(sh.leaf.entries)
+		}
+		out.Hits += sh.stats.leafHits.Load()
+		out.Misses += sh.stats.leafMisses.Load()
+		out.Fills += sh.stats.leafFills.Load()
+	}
+	out.Enabled = out.Capacity > 0 && ep.leaf != nil
+	if ep.leaf != nil {
+		out.Admissible = ep.leaf.admissible
+	}
+	return out
 }
 
 // HandleCustom registers a handler for a custom action name. Call
@@ -277,13 +400,64 @@ func (s *Switch) processOn(sh *shard, pkt *Packet, now time.Duration) []Delivery
 	}
 	latency := s.cfg.BaseLatency + time.Duration(passes-1)*s.cfg.RecirculationLatency
 
-	// Ingress: evaluate every message, build per-port masks.
-	portMsgs := make(map[int][]*spec.Message)
+	// Ingress workspace: the shard's reusable scratch replaces the
+	// historical per-packet map allocation. TryLock keeps arbitrary
+	// goroutines that collapse onto one shard from serializing — a
+	// contended call falls back to a fresh private scratch (and skips
+	// the leaf cache, which only the lock holder may touch).
+	locked := sh.mu.TryLock()
+	scr := &sh.scr
+	if !locked {
+		scr = &procScratch{}
+	}
+	scr.reset()
+	useLeaf := locked && sh.leaf != nil && ep.leaf != nil
+
 	var flowPorts subscription.ActionSet
-	var extra []Delivery
+	var customs []customHit
 	for _, m := range pkt.Msgs {
 		st.messages.Add(1)
-		le := ep.prog.Lookup(m, ep.state.At(now))
+		var le *compiler.LeafEntry
+		pure := false
+		if useLeaf {
+			buildLeafKey(ep.leaf, m, &scr.key)
+			if e := sh.leaf.probe(&scr.key, ep.gen); e != nil {
+				// Cache hit: admissible entries are stateless by
+				// construction, so forwarding is the whole effect.
+				st.leafHits.Add(1)
+				if e.nports > 0 {
+					st.matched.Add(1)
+					for _, port := range e.ports[:e.nports] {
+						p := int(port)
+						if pkt.Flow != 0 {
+							flowPorts.Add(subscription.FwdAction(p))
+						}
+						if s.cfg.DropOnIngressPort && p == pkt.In {
+							continue
+						}
+						scr.add(p, m)
+					}
+				}
+				continue
+			}
+			st.leafMisses.Add(1)
+			le, pure = ep.prog.LookupKeyed(m, ep.state.At(now), ep.leaf.keyStage)
+			// The FIB cache-fill rule: memoize only outcomes that are a
+			// pure function of the cache key (walk purity) and whose
+			// action sets are stateless — a cached leaf then subsumes
+			// every decision reachable from its key, so no overlapping
+			// higher-priority outcome can be hidden (DESIGN.md §16).
+			if pure && (le == nil || leafAdmissible(le)) {
+				if le == nil {
+					sh.leaf.fill(&scr.key, ep.gen, nil)
+				} else {
+					sh.leaf.fill(&scr.key, ep.gen, le.Actions.Ports)
+				}
+				st.leafFills.Add(1)
+			}
+		} else {
+			le = ep.prog.Lookup(m, ep.state.At(now))
+		}
 		if le == nil {
 			continue
 		}
@@ -300,16 +474,16 @@ func (s *Switch) processOn(sh *shard, pkt *Packet, now time.Duration) []Delivery
 		for _, port := range le.Actions.Ports {
 			// The cached stream decision keeps the full port set;
 			// ingress suppression re-applies per continuation packet.
-			flowPorts.Add(subscription.FwdAction(port))
+			if pkt.Flow != 0 {
+				flowPorts.Add(subscription.FwdAction(port))
+			}
 			if s.cfg.DropOnIngressPort && port == pkt.In {
 				continue
 			}
-			portMsgs[port] = append(portMsgs[port], m)
+			scr.add(port, m)
 		}
 		for _, act := range le.Actions.Custom {
-			if fn, ok := s.customs[act.Name]; ok {
-				extra = append(extra, fn(act, m, pkt)...)
-			}
+			customs = append(customs, customHit{act: act, m: m})
 		}
 	}
 
@@ -317,30 +491,57 @@ func (s *Switch) processOn(sh *shard, pkt *Packet, now time.Duration) []Delivery
 	// stream's merged port decision for its continuations (§VII-B),
 	// tagged with the epoch it was compiled under.
 	if pkt.Flow != 0 {
-		sh.mu.Lock()
+		if !locked {
+			sh.mu.Lock()
+		}
 		sh.flows.install(pkt.Flow, flowPorts, now, ep.gen)
-		sh.mu.Unlock()
+		if !locked {
+			sh.mu.Unlock()
+		}
 	}
 
 	// Crossbar + egress: one pruned replica per port, deterministic
-	// port order.
-	ports := make([]int, 0, len(portMsgs))
-	for port := range portMsgs {
-		ports = append(ports, port)
+	// port order. The returned deliveries are heap-fresh (callers —
+	// netsim in particular — retain them past this call); only the
+	// bucket scratch is reused.
+	scr.sort()
+	total := 0
+	for i := 0; i < scr.n; i++ {
+		total += len(scr.buckets[i].msgs)
 	}
-	sort.Ints(ports)
-	out := make([]Delivery, 0, len(ports)+len(extra))
-	for _, port := range ports {
-		msgs := portMsgs[port]
-		out = append(out, Delivery{Port: port, Msgs: msgs, Latency: latency})
-		// Pruned replica bytes scale with the surviving message share.
-		if len(pkt.Msgs) > 0 {
-			st.bytesOut.Add(int64(pkt.Bytes * len(msgs) / len(pkt.Msgs)))
+	out := make([]Delivery, 0, scr.n)
+	if scr.n > 0 {
+		flat := make([]*spec.Message, 0, total)
+		for i := 0; i < scr.n; i++ {
+			b := &scr.buckets[i]
+			start := len(flat)
+			flat = append(flat, b.msgs...)
+			out = append(out, Delivery{Port: b.port, Msgs: flat[start:len(flat):len(flat)], Latency: latency})
+			// Pruned replica bytes scale with the surviving message share.
+			if len(pkt.Msgs) > 0 {
+				st.bytesOut.Add(int64(pkt.Bytes * len(b.msgs) / len(pkt.Msgs)))
+			}
 		}
 	}
-	out = append(out, extra...)
+	if locked {
+		sh.mu.Unlock()
+	}
+	// Custom actions run outside the shard lock: handlers are user code
+	// and may re-enter the switch.
+	for _, ch := range customs {
+		if fn, ok := s.customs[ch.act.Name]; ok {
+			out = append(out, fn(ch.act, ch.m, pkt)...)
+		}
+	}
 	st.deliveries.Add(int64(len(out)))
 	return out
+}
+
+// customHit defers a matched custom action until the shard lock is
+// released.
+type customHit struct {
+	act subscription.Action
+	m   *spec.Message
 }
 
 // EvalMessage evaluates a single message (diagnostics / examples).

@@ -86,6 +86,20 @@ func (m *Message) MarkHeader(name string) {
 	}
 }
 
+// HeaderMask returns the header validity bits packed into a uint64,
+// bit i = header i in parse order. Headers beyond the first 64 are not
+// represented (callers that need the mask as an identity — the
+// pipeline's leaf cache — refuse specs that wide).
+func (m *Message) HeaderMask() uint64 {
+	var mask uint64
+	for i, b := range m.headers {
+		if b && i < 64 {
+			mask |= 1 << uint(i)
+		}
+	}
+	return mask
+}
+
 // HeaderPresent reports the header's validity bit.
 func (m *Message) HeaderPresent(name string) bool {
 	i := m.spec.HeaderIndex(name)
